@@ -1,0 +1,29 @@
+"""Figure 3 — NewOrder throughput under three execution scenarios.
+
+Paper expectation: "assume distributed" stays flat as partitions are added,
+"proper selection" scales, "assume single-partition" sits in between.
+"""
+
+from repro.experiments import run_figure03
+
+
+def test_figure03_motivating_experiment(benchmark, scale, save_result):
+    result = benchmark.pedantic(run_figure03, args=(scale,), rounds=1, iterations=1)
+    save_result("figure03", result.format())
+
+    smallest = min(result.throughput)
+    largest = max(result.throughput)
+    # Proper selection must beat the distributed assumption everywhere and
+    # must scale with the cluster.
+    for partitions, values in result.throughput.items():
+        assert values["oracle"] > values["assume-distributed"]
+    assert (
+        result.throughput[largest]["oracle"]
+        >= result.throughput[smallest]["oracle"] * 0.9
+    )
+    # The distributed assumption does not scale: its largest-cluster
+    # throughput stays within a small factor of its smallest-cluster one.
+    assert (
+        result.throughput[largest]["assume-distributed"]
+        <= result.throughput[smallest]["assume-distributed"] * 2.0
+    )

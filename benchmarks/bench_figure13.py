@@ -1,0 +1,23 @@
+"""Figure 13 — sensitivity to the confidence-coefficient threshold.
+
+Paper expectation: throughput collapses at threshold 0 (every transaction is
+treated as touching every partition) and plateaus once the threshold clears
+the relevant branch probabilities.
+"""
+
+from repro.experiments import run_figure13
+
+
+def test_figure13_confidence_threshold_sweep(benchmark, scale, save_result):
+    result = benchmark.pedantic(run_figure13, args=(scale,), rounds=1, iterations=1)
+    save_result("figure13", result.format())
+
+    for benchmark_name, series in result.throughput.items():
+        thresholds = sorted(series)
+        lowest = series[thresholds[0]]
+        best = max(series.values())
+        if thresholds[0] == 0.0 and len(thresholds) > 2:
+            # Threshold zero forces every transaction to run distributed, so
+            # it must be far below the best configuration.
+            assert lowest < best, benchmark_name
+            assert best > 1.5 * lowest, benchmark_name

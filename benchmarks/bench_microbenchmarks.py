@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the hot on-line code paths.
+
+These measure the raw per-call cost of the pieces Houdini executes for every
+transaction (path estimation, optimization selection, run-time monitoring)
+and of the substrate underneath (statement execution, trace-to-model
+construction).  They are not paper figures but guard against performance
+regressions in the reproduction itself.
+"""
+
+import pytest
+
+from repro import pipeline
+from repro.houdini import GlobalModelProvider, Houdini, HoudiniConfig
+from repro.markov import MarkovModelBuilder
+from repro.types import ProcedureRequest
+
+
+@pytest.fixture(scope="module")
+def artifacts(scale):
+    return pipeline.train(
+        "tpcc", 4, trace_transactions=min(scale.trace_transactions, 1500), seed=scale.seed
+    )
+
+
+def test_path_estimation_latency(benchmark, artifacts):
+    houdini = Houdini(
+        artifacts.benchmark.catalog,
+        GlobalModelProvider(artifacts.models),
+        artifacts.mappings,
+        HoudiniConfig(),
+        learning=False,
+    )
+    request = ProcedureRequest.of(
+        "neworder", (1, 0, 3, (5, 9, 12, 14, 2), (1, 1, 1, 1, 1), (2, 1, 4, 3, 1))
+    )
+    benchmark(houdini.estimate, request)
+
+
+def test_full_plan_latency(benchmark, artifacts):
+    houdini = Houdini(
+        artifacts.benchmark.catalog,
+        GlobalModelProvider(artifacts.models),
+        artifacts.mappings,
+        HoudiniConfig(),
+        learning=False,
+    )
+    request = ProcedureRequest.of("payment", (0, 0, 2, 1, 5, 42.0))
+    benchmark(houdini.plan, request)
+
+
+def test_transaction_execution_latency(benchmark, artifacts):
+    from repro.engine import ExecutionEngine
+
+    engine = ExecutionEngine(artifacts.benchmark.catalog, artifacts.benchmark.database)
+    request = ProcedureRequest.of("payment", (0, 0, 0, 0, 5, 1.0))
+    benchmark(engine.execute_attempt, request, base_partition=0)
+
+
+def test_model_construction_throughput(benchmark, artifacts):
+    builder = MarkovModelBuilder(artifacts.benchmark.catalog)
+    neworder_trace = artifacts.trace.for_procedure("neworder")
+    benchmark.pedantic(
+        builder.build_for_procedure, args=(neworder_trace, "neworder"), rounds=2, iterations=1
+    )

@@ -1,0 +1,24 @@
+"""Headline summary — the abstract's three claims, recomputed.
+
+Paper: correct optimization selection for ~93% of transactions, ~41% average
+throughput improvement over the non-Houdini baseline, ~5.8% estimation
+overhead.  This benchmark reruns the Table 3, Figure 12 and Figure 11
+pipelines at the selected scale and reports the reproduction's equivalents
+side by side.
+"""
+
+from repro.experiments import ExperimentScale, run_summary
+
+
+def test_headline_summary(benchmark, scale, save_result):
+    # The summary re-runs three full experiments; trim the cluster sweep a
+    # little so the default (small) configuration stays quick.
+    summary_scale = scale.override(
+        partition_counts=tuple(scale.partition_counts[-2:]),
+    )
+    result = benchmark.pedantic(run_summary, args=(summary_scale,), rounds=1, iterations=1)
+    save_result("summary", result.format())
+
+    assert result.accuracy_pct > 50.0
+    assert result.estimation_overhead_pct < 25.0
+    assert result.throughput_improvement_pct > -10.0

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+default ``REPRO_SCALE`` is ``small`` so the whole suite finishes in minutes;
+set ``REPRO_SCALE=medium`` (or ``large`` / ``paper``) to run closer to the
+paper's configuration.  Each benchmark writes its formatted result table to
+``benchmarks/results/<name>.txt`` so the numbers remain inspectable after the
+run (pytest captures stdout by default).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """Experiment scale selected via the REPRO_SCALE environment variable."""
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a formatted experiment table under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[{name}]\n{text}\n")
+        return path
+
+    return _save

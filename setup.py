@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that fully offline environments (no ``wheel`` package available for PEP 517
+editable builds) can still install the library with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

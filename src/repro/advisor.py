@@ -1,0 +1,272 @@
+"""Workload-drift and reorganization advisor (paper §8, future work).
+
+The paper closes by sketching how the Markov models could drive the
+*automatic reorganization* of a running deployment: by comparing the
+expected execution paths of transactions with what the current workload
+actually does, the system can notice that its partitioning scheme or cluster
+size no longer fits and react — regenerate the models, repartition the
+database, or scale the number of partitions.
+
+This module implements that comparison as an advisory component.  It
+consumes the statistics the rest of the library already produces (Houdini's
+per-procedure optimization statistics, the simulator's run metrics, the
+model-maintenance counters) and emits concrete, explained recommendations.
+It never changes anything by itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from .houdini.maintenance import ModelMaintenance
+from .houdini.stats import HoudiniStats
+from .sim.metrics import SimulationResult
+
+
+class RecommendationKind(Enum):
+    """What the advisor thinks the deployment should do."""
+
+    #: The workload drifted: rebuild models (and mappings) from a fresh trace.
+    REGENERATE_MODELS = "regenerate_models"
+    #: Too much of the workload is distributed: revisit the partitioning scheme.
+    REPARTITION = "repartition"
+    #: The cluster is saturated with single-partition work: add partitions.
+    SCALE_OUT = "scale_out"
+    #: Short single-partition procedures pay too much estimation overhead:
+    #: enable the §6.3 estimate cache.
+    ENABLE_ESTIMATE_CACHE = "enable_estimate_cache"
+    #: Predictions chronically fail for specific procedures: disable Houdini
+    #: for them (as the paper does for CheckWinningBids).
+    DISABLE_PREDICTION = "disable_prediction"
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommendation plus the evidence that triggered it."""
+
+    kind: RecommendationKind
+    reason: str
+    #: Metric values backing the recommendation (name -> value).
+    evidence: dict[str, float] = field(default_factory=dict)
+    #: Procedures the recommendation applies to (empty = whole workload).
+    procedures: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        scope = f" [{', '.join(self.procedures)}]" if self.procedures else ""
+        details = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self.evidence.items()))
+        return f"{self.kind.value}{scope}: {self.reason} ({details})"
+
+
+@dataclass(frozen=True)
+class AdvisorThresholds:
+    """Trigger levels for each recommendation."""
+
+    #: Restart rate (restarts / transactions) above which models are stale.
+    restart_rate: float = 0.05
+    #: Fraction of maintenance checks that recomputed probabilities above
+    #: which the drift is considered structural rather than noise.
+    recomputation_rate: float = 0.25
+    #: Fraction of distributed transactions above which repartitioning is
+    #: worth considering.
+    distributed_fraction: float = 0.30
+    #: Average estimation time per transaction (ms) above which the
+    #: estimate cache is recommended for eligible procedures.
+    min_estimation_ms: float = 0.25
+    #: Per-procedure OP1/OP2 success rate below which prediction should be
+    #: disabled for that procedure.
+    prediction_success_pct: float = 50.0
+    #: Minimum transactions a procedure must have before it is judged.
+    min_procedure_transactions: int = 20
+    #: Average latency (ms) above which a saturated single-partition
+    #: workload justifies scaling out.
+    saturation_latency_ms: float = 50.0
+
+
+@dataclass
+class AdvisorReport:
+    """The advisor's findings for one observation window."""
+
+    recommendations: list[Recommendation] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.recommendations)
+
+    def __len__(self) -> int:
+        return len(self.recommendations)
+
+    def by_kind(self, kind: RecommendationKind) -> list[Recommendation]:
+        return [r for r in self.recommendations if r.kind is kind]
+
+    def has(self, kind: RecommendationKind) -> bool:
+        return any(r.kind is kind for r in self.recommendations)
+
+    def describe(self) -> str:
+        if not self.recommendations:
+            return "No reorganization recommended: predictions match the workload."
+        return "\n".join(r.describe() for r in self.recommendations)
+
+
+class WorkloadAdvisor:
+    """Turns run-time statistics into reorganization recommendations."""
+
+    def __init__(self, thresholds: AdvisorThresholds | None = None) -> None:
+        self.thresholds = thresholds or AdvisorThresholds()
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        houdini_stats: HoudiniStats | None = None,
+        result: SimulationResult | None = None,
+        maintenances: Iterable[ModelMaintenance] = (),
+    ) -> AdvisorReport:
+        """Produce recommendations from whatever statistics are available."""
+        report = AdvisorReport()
+        if result is not None:
+            self._check_restarts(result, report)
+            self._check_distribution(result, report)
+            self._check_saturation(result, report)
+        self._check_maintenance(list(maintenances), report)
+        if houdini_stats is not None:
+            self._check_estimation_overhead(houdini_stats, report)
+            self._check_chronic_mispredictions(houdini_stats, report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _check_restarts(self, result: SimulationResult, report: AdvisorReport) -> None:
+        if result.total_transactions == 0:
+            return
+        rate = result.restart_rate
+        if rate > self.thresholds.restart_rate:
+            report.recommendations.append(
+                Recommendation(
+                    kind=RecommendationKind.REGENERATE_MODELS,
+                    reason=(
+                        "transactions frequently touch partitions the models did not "
+                        "predict; the training trace no longer matches the workload"
+                    ),
+                    evidence={"restart_rate": rate, "restarts": float(result.restarts)},
+                )
+            )
+
+    def _check_distribution(self, result: SimulationResult, report: AdvisorReport) -> None:
+        total = result.single_partition + result.distributed
+        if total == 0:
+            return
+        fraction = result.distributed / total
+        if fraction > self.thresholds.distributed_fraction:
+            report.recommendations.append(
+                Recommendation(
+                    kind=RecommendationKind.REPARTITION,
+                    reason=(
+                        "a large share of the workload is distributed; a different "
+                        "partitioning scheme could make more of it single-partition"
+                    ),
+                    evidence={"distributed_fraction": fraction},
+                )
+            )
+
+    def _check_saturation(self, result: SimulationResult, report: AdvisorReport) -> None:
+        total = result.single_partition + result.distributed
+        if total == 0:
+            return
+        single_fraction = result.single_partition / total
+        if (
+            single_fraction >= (1.0 - self.thresholds.distributed_fraction)
+            and result.average_latency_ms > self.thresholds.saturation_latency_ms
+        ):
+            report.recommendations.append(
+                Recommendation(
+                    kind=RecommendationKind.SCALE_OUT,
+                    reason=(
+                        "the workload is overwhelmingly single-partition yet latencies "
+                        "are high, so partitions are queueing; adding partitions would "
+                        "spread the load"
+                    ),
+                    evidence={
+                        "single_partition_fraction": single_fraction,
+                        "average_latency_ms": result.average_latency_ms,
+                    },
+                )
+            )
+
+    def _check_maintenance(
+        self, maintenances: list[ModelMaintenance], report: AdvisorReport
+    ) -> None:
+        checks = sum(m.stats.accuracy_checks for m in maintenances)
+        recomputations = sum(m.stats.recomputations for m in maintenances)
+        if checks == 0:
+            return
+        rate = recomputations / checks
+        if rate > self.thresholds.recomputation_rate:
+            report.recommendations.append(
+                Recommendation(
+                    kind=RecommendationKind.REGENERATE_MODELS,
+                    reason=(
+                        "model maintenance keeps recomputing probabilities, which means "
+                        "the transition distributions drift faster than on-line updates "
+                        "can absorb; retrain from a fresh trace"
+                    ),
+                    evidence={
+                        "recomputation_rate": rate,
+                        "recomputations": float(recomputations),
+                    },
+                )
+            )
+
+    def _check_estimation_overhead(
+        self, stats: HoudiniStats, report: AdvisorReport
+    ) -> None:
+        # Procedures that are (almost) always single-partition, never abort
+        # under OP3, and spend a disproportionate share of time estimating
+        # are exactly the §6.3 caching candidates.
+        candidates: list[str] = []
+        for name, procedure in stats.procedures.items():
+            if procedure.transactions < self.thresholds.min_procedure_transactions:
+                continue
+            if procedure.op2_rate < 99.0:
+                continue
+            if procedure.average_estimation_ms < self.thresholds.min_estimation_ms:
+                continue
+            candidates.append(name)
+        if not candidates:
+            return
+        overall = stats.average_estimation_ms()
+        report.recommendations.append(
+            Recommendation(
+                kind=RecommendationKind.ENABLE_ESTIMATE_CACHE,
+                reason=(
+                    "these procedures are predictably single-partition, so their "
+                    "estimates can be cached and reused instead of recomputed"
+                ),
+                evidence={"average_estimation_ms": overall},
+                procedures=tuple(sorted(candidates)),
+            )
+        )
+
+    def _check_chronic_mispredictions(
+        self, stats: HoudiniStats, report: AdvisorReport
+    ) -> None:
+        chronic: list[str] = []
+        worst = 100.0
+        for name, procedure in stats.procedures.items():
+            if procedure.transactions < self.thresholds.min_procedure_transactions:
+                continue
+            success = min(procedure.op1_rate, procedure.op2_rate)
+            if success < self.thresholds.prediction_success_pct:
+                chronic.append(name)
+                worst = min(worst, success)
+        if not chronic:
+            return
+        report.recommendations.append(
+            Recommendation(
+                kind=RecommendationKind.DISABLE_PREDICTION,
+                reason=(
+                    "predictions for these procedures fail more often than they help "
+                    "(the paper disables Houdini for such procedures)"
+                ),
+                evidence={"worst_success_pct": worst},
+                procedures=tuple(sorted(chronic)),
+            )
+        )

@@ -1,0 +1,44 @@
+"""OLTP benchmarks used by the paper's evaluation: TATP, TPC-C, AuctionMark.
+
+Each benchmark exposes a :class:`~repro.benchmarks.base.BenchmarkBundle`;
+:func:`get_benchmark` looks one up by name and
+:func:`available_benchmarks` lists them all.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .base import BenchmarkBundle, BenchmarkInstance
+from . import auctionmark, tatp, tpcc
+
+_REGISTRY: dict[str, BenchmarkBundle] = {
+    tatp.BUNDLE.name: tatp.BUNDLE,
+    tpcc.BUNDLE.name: tpcc.BUNDLE,
+    auctionmark.BUNDLE.name: auctionmark.BUNDLE,
+}
+
+
+def available_benchmarks() -> tuple[str, ...]:
+    """Names of the registered benchmarks."""
+    return tuple(_REGISTRY)
+
+
+def get_benchmark(name: str) -> BenchmarkBundle:
+    """Look up a benchmark bundle by name (``tatp``, ``tpcc``, ``auctionmark``)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+__all__ = [
+    "BenchmarkBundle",
+    "BenchmarkInstance",
+    "get_benchmark",
+    "available_benchmarks",
+    "tatp",
+    "tpcc",
+    "auctionmark",
+]

@@ -1,0 +1,56 @@
+"""AuctionMark benchmark: Internet auction workload (paper §6.1)."""
+
+from __future__ import annotations
+
+from ...catalog.partitioning import PartitionScheme
+from ...catalog.schema import Catalog
+from ..base import BenchmarkBundle
+from .generator import AuctionMarkGenerator
+from .loader import load
+from .procedures import make_procedures
+from .schema import (
+    ITEM_STATUS_ENDED,
+    ITEM_STATUS_OPEN,
+    ITEM_STATUS_PURCHASED,
+    AuctionMarkConfig,
+    make_schema,
+)
+
+
+def make_catalog(num_partitions: int, partitions_per_node: int = 2) -> Catalog:
+    scheme = PartitionScheme(num_partitions, partitions_per_node)
+    return Catalog(make_schema(), scheme, make_procedures())
+
+
+def make_config(num_partitions: int, **overrides) -> AuctionMarkConfig:
+    return AuctionMarkConfig(num_partitions=num_partitions, **overrides)
+
+
+def make_generator(catalog: Catalog, config: AuctionMarkConfig, rng) -> AuctionMarkGenerator:
+    return AuctionMarkGenerator(catalog, config, rng)
+
+
+BUNDLE = BenchmarkBundle(
+    name="auctionmark",
+    make_catalog=make_catalog,
+    make_config=make_config,
+    load=load,
+    make_generator=make_generator,
+    description="AuctionMark auction workload: 10 procedures, user-partitioned.",
+    houdini_disabled_procedures=frozenset({"CheckWinningBids"}),
+)
+
+__all__ = [
+    "BUNDLE",
+    "AuctionMarkConfig",
+    "make_schema",
+    "make_catalog",
+    "make_config",
+    "make_generator",
+    "make_procedures",
+    "load",
+    "AuctionMarkGenerator",
+    "ITEM_STATUS_OPEN",
+    "ITEM_STATUS_ENDED",
+    "ITEM_STATUS_PURCHASED",
+]

@@ -1,0 +1,164 @@
+"""AuctionMark request generator.
+
+The mix approximates the paper's Table 4 procedure frequencies: the read
+procedures dominate, NewBid is the most common write, PostAuction and
+CheckWinningBids are rare periodic maintenance transactions.
+"""
+
+from __future__ import annotations
+
+from ...catalog.schema import Catalog
+from ...types import PartitionId, ProcedureRequest
+from ...workload.generator import WorkloadGenerator
+from ...workload.rng import WorkloadRandom
+from .schema import AuctionMarkConfig
+
+
+class AuctionMarkGenerator(WorkloadGenerator):
+    """Generates AuctionMark procedure requests."""
+
+    benchmark = "auctionmark"
+
+    DEFAULT_MIX = (
+        ("GetItem", 0.25),
+        ("GetUserInfo", 0.15),
+        ("GetWatchedItems", 0.10),
+        ("NewBid", 0.18),
+        ("NewComment", 0.05),
+        ("NewItem", 0.10),
+        ("NewPurchase", 0.05),
+        ("UpdateItem", 0.10),
+        ("PostAuction", 0.015),
+        ("CheckWinningBids", 0.005),
+    )
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: AuctionMarkConfig,
+        rng: WorkloadRandom | None = None,
+        mix=None,
+    ) -> None:
+        super().__init__(catalog, rng)
+        self.config = config
+        self._mix = tuple(mix) if mix is not None else self.DEFAULT_MIX
+        self._next_bid_id = 1000
+        self._next_comment_id = 1000
+        self._next_purchase_id = 1000
+        self._next_item_id = 1000
+
+    # ------------------------------------------------------------------
+    @property
+    def mix(self):
+        return self._mix
+
+    def next_request(self) -> ProcedureRequest:
+        procedure = self.rng.weighted_choice(self._mix)
+        builder = getattr(self, f"_make_{procedure}")
+        return builder()
+
+    def home_partition(self, request: ProcedureRequest) -> PartitionId:
+        """The seller's (or subject user's) partition."""
+        first = request.parameters[0]
+        if isinstance(first, (list, tuple)):
+            first = first[0] if first else 0
+        if isinstance(first, str) or isinstance(first, float):
+            return 0
+        return self.catalog.scheme.partition_for_value(first)
+
+    # ------------------------------------------------------------------
+    def _random_user(self) -> int:
+        return self.rng.integer(0, self.config.num_users - 1)
+
+    def _random_item(self) -> int:
+        return self.rng.integer(0, self.config.items_per_user - 1)
+
+    def _make_GetItem(self) -> ProcedureRequest:
+        return ProcedureRequest.of("GetItem", (self._random_user(), self._random_item()))
+
+    def _make_GetUserInfo(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "GetUserInfo",
+            (
+                self._random_user(),
+                1 if self.rng.probability(0.33) else 0,
+                1 if self.rng.probability(0.66) else 0,
+                1 if self.rng.probability(0.25) else 0,
+            ),
+        )
+
+    def _make_GetWatchedItems(self) -> ProcedureRequest:
+        return ProcedureRequest.of("GetWatchedItems", (self._random_user(),))
+
+    def _make_NewBid(self) -> ProcedureRequest:
+        self._next_bid_id += 1
+        return ProcedureRequest.of(
+            "NewBid",
+            (
+                self._random_user(),
+                self._random_item(),
+                self._random_user(),
+                self._next_bid_id,
+                round(self.rng.floating(150.0, 500.0), 2),
+            ),
+        )
+
+    def _make_NewComment(self) -> ProcedureRequest:
+        self._next_comment_id += 1
+        return ProcedureRequest.of(
+            "NewComment",
+            (
+                self._random_user(),
+                self._random_item(),
+                self._next_comment_id,
+                self._random_user(),
+                self.rng.alphanumeric(10),
+            ),
+        )
+
+    def _make_NewItem(self) -> ProcedureRequest:
+        self._next_item_id += 1
+        return ProcedureRequest.of(
+            "NewItem",
+            (
+                self._random_user(),
+                self._next_item_id,
+                self.rng.alphanumeric(8),
+                round(self.rng.floating(1.0, 100.0), 2),
+                self.rng.integer(100, 2000),
+            ),
+        )
+
+    def _make_NewPurchase(self) -> ProcedureRequest:
+        self._next_purchase_id += 1
+        return ProcedureRequest.of(
+            "NewPurchase",
+            (
+                self._random_user(),
+                self._random_item(),
+                self._next_purchase_id,
+                self._random_user(),
+                round(self.rng.floating(10.0, 300.0), 2),
+            ),
+        )
+
+    def _make_UpdateItem(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "UpdateItem",
+            (self._random_user(), self._random_item(), self.rng.alphanumeric(12)),
+        )
+
+    def _make_PostAuction(self) -> ProcedureRequest:
+        count = self.rng.integer(1, self.config.post_auction_max_items)
+        seller_ids = tuple(self._random_user() for _ in range(count))
+        item_ids = tuple(self._random_item() for _ in range(count))
+        buyer_ids = tuple(
+            self._random_user() if self.rng.probability(0.7) else -1 for _ in range(count)
+        )
+        return ProcedureRequest.of("PostAuction", (seller_ids, item_ids, buyer_ids))
+
+    def _make_CheckWinningBids(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "CheckWinningBids",
+            (self.rng.integer(100, 1000), self.config.check_winning_bids_items),
+        )

@@ -1,0 +1,145 @@
+"""AuctionMark schema (simplified).
+
+AuctionMark models an Internet auction site.  The reproduction keeps the
+properties the paper's evaluation depends on:
+
+* items, bids, comments and purchases are partitioned by the *seller's* user
+  id, while user accounts are partitioned by their own id — so procedures
+  that involve both a buyer and a seller (NewBid, NewPurchase) touch two
+  partitions;
+* feedback is partitioned by the user who *wrote* it, so looking up the
+  feedback *about* a user is a broadcast (the GetUserInfo branch visible in
+  Fig. 10c);
+* PostAuction takes arbitrary-length arrays of items/sellers/buyers, and
+  CheckWinningBids executes a very large number of queries (>175), the two
+  procedures the paper singles out as problematic for Houdini.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...catalog.column import floating, integer, string
+from ...catalog.schema import Schema
+from ...catalog.table import SecondaryIndex, Table
+
+#: Item auction status codes.
+ITEM_STATUS_OPEN = 0
+ITEM_STATUS_ENDED = 1
+ITEM_STATUS_PURCHASED = 2
+
+
+@dataclass
+class AuctionMarkConfig:
+    """Scaling knobs for the AuctionMark reproduction."""
+
+    num_partitions: int = 4
+    users_per_partition: int = 25
+    items_per_user: int = 4
+    bids_per_item: int = 2
+    feedback_per_user: int = 2
+    watches_per_user: int = 2
+    #: Maximum array length for PostAuction requests.
+    post_auction_max_items: int = 8
+    #: Number of ended items CheckWinningBids examines (drives its >175
+    #: query count in the paper; scaled down by default).
+    check_winning_bids_items: int = 60
+
+    @property
+    def num_users(self) -> int:
+        return self.num_partitions * self.users_per_partition
+
+
+def make_schema() -> Schema:
+    schema = Schema()
+    schema.add_table(Table(
+        name="USERACCT",
+        columns=[
+            integer("U_ID"),
+            string("U_NAME"),
+            floating("U_BALANCE"),
+            integer("U_COMMENTS"),
+            integer("U_ITEM_COUNT"),
+            integer("U_RATING"),
+        ],
+        primary_key=["U_ID"],
+        partition_column="U_ID",
+    ))
+    schema.add_table(Table(
+        name="ITEM",
+        columns=[
+            integer("I_U_ID"),
+            integer("I_ID"),
+            string("I_NAME"),
+            floating("I_CURRENT_PRICE"),
+            integer("I_NUM_BIDS"),
+            integer("I_STATUS"),
+            integer("I_END_DATE"),
+            integer("I_BUYER_ID", nullable=True),
+            string("I_DESCRIPTION"),
+        ],
+        primary_key=["I_U_ID", "I_ID"],
+        partition_column="I_U_ID",
+        secondary_indexes=[SecondaryIndex("IDX_ITEM_STATUS", ("I_U_ID", "I_STATUS"))],
+    ))
+    schema.add_table(Table(
+        name="BID",
+        columns=[
+            integer("B_U_ID"),
+            integer("B_I_ID"),
+            integer("B_ID"),
+            integer("B_BUYER_ID"),
+            floating("B_AMOUNT"),
+        ],
+        primary_key=["B_U_ID", "B_I_ID", "B_ID"],
+        partition_column="B_U_ID",
+        secondary_indexes=[SecondaryIndex("IDX_BID_BUYER", ("B_BUYER_ID",))],
+    ))
+    schema.add_table(Table(
+        name="ITEM_COMMENT",
+        columns=[
+            integer("IC_U_ID"),
+            integer("IC_I_ID"),
+            integer("IC_ID"),
+            integer("IC_BUYER_ID"),
+            string("IC_TEXT"),
+        ],
+        primary_key=["IC_U_ID", "IC_I_ID", "IC_ID"],
+        partition_column="IC_U_ID",
+    ))
+    schema.add_table(Table(
+        name="FEEDBACK",
+        columns=[
+            integer("F_FROM_ID"),
+            integer("F_TO_ID"),
+            integer("F_ID"),
+            integer("F_RATING"),
+            string("F_TEXT"),
+        ],
+        primary_key=["F_FROM_ID", "F_TO_ID", "F_ID"],
+        partition_column="F_FROM_ID",
+        secondary_indexes=[SecondaryIndex("IDX_FEEDBACK_TO", ("F_TO_ID",))],
+    ))
+    schema.add_table(Table(
+        name="USER_WATCH",
+        columns=[
+            integer("UW_U_ID"),
+            integer("UW_SELLER_ID"),
+            integer("UW_I_ID"),
+        ],
+        primary_key=["UW_U_ID", "UW_SELLER_ID", "UW_I_ID"],
+        partition_column="UW_U_ID",
+    ))
+    schema.add_table(Table(
+        name="PURCHASE",
+        columns=[
+            integer("P_U_ID"),
+            integer("P_I_ID"),
+            integer("P_ID"),
+            integer("P_BUYER_ID"),
+            floating("P_AMOUNT"),
+        ],
+        primary_key=["P_U_ID", "P_I_ID", "P_ID"],
+        partition_column="P_U_ID",
+    ))
+    return schema

@@ -1,0 +1,88 @@
+"""Common benchmark plumbing.
+
+Every benchmark (TATP, TPC-C, AuctionMark) exposes the same bundle of pieces
+so that experiments can be written generically:
+
+* a catalog factory (schema + stored procedures + partitioning scheme),
+* a data loader that populates a :class:`~repro.storage.Database`,
+* a workload generator,
+* a home-partition function used by the trace recorder and oracle strategy.
+
+:func:`repro.benchmarks.get_benchmark` returns the bundle by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..catalog.schema import Catalog
+from ..storage.partition_store import Database
+from ..workload.generator import WorkloadGenerator
+from ..workload.rng import WorkloadRandom
+
+#: Factory signatures used by the registry.
+CatalogFactory = Callable[..., Catalog]
+LoaderFn = Callable[[Catalog, Database, Any, WorkloadRandom], None]
+GeneratorFactory = Callable[..., WorkloadGenerator]
+
+
+@dataclass
+class BenchmarkBundle:
+    """Everything needed to run one benchmark end to end."""
+
+    name: str
+    make_catalog: CatalogFactory
+    make_config: Callable[..., Any]
+    load: LoaderFn
+    make_generator: GeneratorFactory
+    description: str = ""
+    #: Procedures for which Houdini is disabled (paper §6.4 disables it for
+    #: AuctionMark's CheckWinningBids because of its >175 queries).
+    houdini_disabled_procedures: frozenset[str] = frozenset()
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        num_partitions: int,
+        *,
+        partitions_per_node: int = 2,
+        seed: int = 0,
+        config_overrides: Mapping[str, Any] | None = None,
+    ) -> "BenchmarkInstance":
+        """Create a catalog, populate a database and build a generator."""
+        config = self.make_config(num_partitions=num_partitions, **(config_overrides or {}))
+        catalog = self.make_catalog(
+            num_partitions=num_partitions,
+            partitions_per_node=partitions_per_node,
+        )
+        database = Database(catalog.schema, num_partitions)
+        loader_rng = WorkloadRandom(seed)
+        self.load(catalog, database, config, loader_rng)
+        generator = self.make_generator(catalog, config, WorkloadRandom(seed + 1))
+        return BenchmarkInstance(
+            bundle=self,
+            catalog=catalog,
+            database=database,
+            generator=generator,
+            config=config,
+        )
+
+
+@dataclass
+class BenchmarkInstance:
+    """A built benchmark: populated database plus request generator."""
+
+    bundle: BenchmarkBundle
+    catalog: Catalog
+    database: Database
+    generator: WorkloadGenerator
+    config: Any = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.bundle.name
+
+    def home_partition(self, request) -> int:
+        return self.generator.home_partition(request)

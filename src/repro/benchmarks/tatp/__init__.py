@@ -1,0 +1,47 @@
+"""TATP benchmark: telecom subscriber-location workload (paper §6.1)."""
+
+from __future__ import annotations
+
+from ...catalog.partitioning import PartitionScheme
+from ...catalog.schema import Catalog
+from ..base import BenchmarkBundle
+from .generator import TatpGenerator
+from .loader import load
+from .procedures import make_procedures
+from .schema import TatpConfig, make_schema, sub_nbr_for
+
+
+def make_catalog(num_partitions: int, partitions_per_node: int = 2) -> Catalog:
+    scheme = PartitionScheme(num_partitions, partitions_per_node)
+    return Catalog(make_schema(), scheme, make_procedures())
+
+
+def make_config(num_partitions: int, **overrides) -> TatpConfig:
+    return TatpConfig(num_partitions=num_partitions, **overrides)
+
+
+def make_generator(catalog: Catalog, config: TatpConfig, rng) -> TatpGenerator:
+    return TatpGenerator(catalog, config, rng)
+
+
+BUNDLE = BenchmarkBundle(
+    name="tatp",
+    make_catalog=make_catalog,
+    make_config=make_config,
+    load=load,
+    make_generator=make_generator,
+    description="TATP telecom workload: 7 procedures, subscriber-partitioned.",
+)
+
+__all__ = [
+    "BUNDLE",
+    "TatpConfig",
+    "make_schema",
+    "make_catalog",
+    "make_config",
+    "make_generator",
+    "make_procedures",
+    "load",
+    "TatpGenerator",
+    "sub_nbr_for",
+]

@@ -1,0 +1,123 @@
+"""TATP request generator.
+
+The default mix matches the paper's characterization: 82% of the workload is
+single-partitioned (the read-heavy by-id procedures), and the remaining 18%
+are the three SUB_NBR-addressed procedures that begin with a broadcast query
+(paper §6.4: "The other 18% first execute a broadcast query on all
+partitions").
+"""
+
+from __future__ import annotations
+
+from ...catalog.schema import Catalog
+from ...types import PartitionId, ProcedureRequest
+from ...workload.generator import WorkloadGenerator
+from ...workload.rng import WorkloadRandom
+from .schema import TatpConfig, sub_nbr_for
+
+
+class TatpGenerator(WorkloadGenerator):
+    """Generates TATP procedure requests."""
+
+    benchmark = "tatp"
+
+    DEFAULT_MIX = (
+        ("GetSubscriberData", 0.35),
+        ("GetAccessData", 0.35),
+        ("GetNewDestination", 0.10),
+        ("UpdateSubscriber", 0.02),
+        ("UpdateLocation", 0.14),
+        ("InsertCallForwarding", 0.02),
+        ("DeleteCallForwarding", 0.02),
+    )
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: TatpConfig,
+        rng: WorkloadRandom | None = None,
+        mix=None,
+    ) -> None:
+        super().__init__(catalog, rng)
+        self.config = config
+        self._mix = tuple(mix) if mix is not None else self.DEFAULT_MIX
+
+    # ------------------------------------------------------------------
+    @property
+    def mix(self):
+        return self._mix
+
+    def next_request(self) -> ProcedureRequest:
+        procedure = self.rng.weighted_choice(self._mix)
+        builder = getattr(self, f"_make_{procedure}")
+        return builder()
+
+    def home_partition(self, request: ProcedureRequest) -> PartitionId:
+        """Home partition of the subscriber the request concerns.
+
+        For SUB_NBR-addressed procedures the subscriber id is recovered from
+        the (deterministic) number format; a real client would not know this,
+        which is precisely the paper's point about those procedures.
+        """
+        first = request.parameters[0]
+        if isinstance(first, str):
+            first = int(first)
+        return self.catalog.scheme.partition_for_value(first)
+
+    # ------------------------------------------------------------------
+    def _random_subscriber(self) -> int:
+        return self.rng.integer(0, self.config.num_subscribers - 1)
+
+    def _make_GetSubscriberData(self) -> ProcedureRequest:
+        return ProcedureRequest.of("GetSubscriberData", (self._random_subscriber(),))
+
+    def _make_GetAccessData(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "GetAccessData", (self._random_subscriber(), self.rng.integer(1, 4))
+        )
+
+    def _make_GetNewDestination(self) -> ProcedureRequest:
+        start = self.rng.choice([0, 8, 16])
+        return ProcedureRequest.of(
+            "GetNewDestination",
+            (
+                self._random_subscriber(),
+                self.rng.integer(1, self.config.special_facilities_per_subscriber),
+                start,
+                start + self.rng.integer(1, 7),
+            ),
+        )
+
+    def _make_UpdateSubscriber(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "UpdateSubscriber", (self._random_subscriber(), self.rng.integer(0, 2 ** 16))
+        )
+
+    def _make_UpdateLocation(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "UpdateLocation",
+            (sub_nbr_for(self._random_subscriber()), self.rng.integer(0, 2 ** 16)),
+        )
+
+    def _make_InsertCallForwarding(self) -> ProcedureRequest:
+        start = self.rng.choice([0, 8, 16])
+        return ProcedureRequest.of(
+            "InsertCallForwarding",
+            (
+                sub_nbr_for(self._random_subscriber()),
+                self.rng.integer(1, self.config.special_facilities_per_subscriber),
+                start,
+                start + self.rng.integer(1, 7),
+                self.rng.numeric_string(15),
+            ),
+        )
+
+    def _make_DeleteCallForwarding(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "DeleteCallForwarding",
+            (
+                sub_nbr_for(self._random_subscriber()),
+                self.rng.integer(1, self.config.special_facilities_per_subscriber),
+                self.rng.choice([0, 8, 16]),
+            ),
+        )

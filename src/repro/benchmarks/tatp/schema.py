@@ -1,0 +1,86 @@
+"""TATP schema.
+
+The Telecom Application Transaction Processing benchmark models a caller
+location / subscriber database.  Every table is partitioned on the subscriber
+id (``S_ID``); the subscriber "number" (``SUB_NBR``) is a string the tables
+are *not* partitioned on, which is exactly why three of the seven procedures
+must start with a broadcast query (paper §6.1 / Fig. 10a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...catalog.column import integer, string
+from ...catalog.schema import Schema
+from ...catalog.table import SecondaryIndex, Table
+
+
+@dataclass
+class TatpConfig:
+    """Scaling knobs for the TATP reproduction."""
+
+    num_partitions: int = 4
+    subscribers_per_partition: int = 100
+    special_facilities_per_subscriber: int = 2
+    call_forwardings_per_facility: int = 1
+
+    @property
+    def num_subscribers(self) -> int:
+        return self.num_partitions * self.subscribers_per_partition
+
+
+def sub_nbr_for(s_id: int) -> str:
+    """The string "phone number" associated with a subscriber id."""
+    return f"{s_id:015d}"
+
+
+def make_schema() -> Schema:
+    schema = Schema()
+    schema.add_table(Table(
+        name="SUBSCRIBER",
+        columns=[
+            integer("S_ID"),
+            string("SUB_NBR"),
+            integer("BIT_1"),
+            integer("VLR_LOCATION"),
+        ],
+        primary_key=["S_ID"],
+        partition_column="S_ID",
+        secondary_indexes=[SecondaryIndex("IDX_SUBSCRIBER_NBR", ("SUB_NBR",), unique=True)],
+    ))
+    schema.add_table(Table(
+        name="ACCESS_INFO",
+        columns=[
+            integer("AI_S_ID"),
+            integer("AI_TYPE"),
+            integer("DATA1"),
+            string("DATA3"),
+        ],
+        primary_key=["AI_S_ID", "AI_TYPE"],
+        partition_column="AI_S_ID",
+    ))
+    schema.add_table(Table(
+        name="SPECIAL_FACILITY",
+        columns=[
+            integer("SF_S_ID"),
+            integer("SF_TYPE"),
+            integer("IS_ACTIVE"),
+            string("DATA_A"),
+        ],
+        primary_key=["SF_S_ID", "SF_TYPE"],
+        partition_column="SF_S_ID",
+    ))
+    schema.add_table(Table(
+        name="CALL_FORWARDING",
+        columns=[
+            integer("CF_S_ID"),
+            integer("CF_SF_TYPE"),
+            integer("START_TIME"),
+            integer("END_TIME"),
+            string("NUMBERX"),
+        ],
+        primary_key=["CF_S_ID", "CF_SF_TYPE", "START_TIME"],
+        partition_column="CF_S_ID",
+    ))
+    return schema

@@ -1,0 +1,61 @@
+"""TPC-C benchmark: warehouse-centric order processing (paper §6.1).
+
+The benchmark bundle exposes the schema factory, the five stored procedures,
+the data loader and the request generator.  The key property the paper relies
+on is that the two most-executed procedures (NewOrder, Payment) *sometimes*
+touch multiple partitions, so predicting the partition footprint per request
+matters.
+"""
+
+from __future__ import annotations
+
+from ...catalog.partitioning import PartitionScheme
+from ...catalog.schema import Catalog
+from ..base import BenchmarkBundle
+from .generator import INVALID_ITEM_ID, NewOrderOnlyGenerator, TpccGenerator
+from .loader import load
+from .procedures import Delivery, NewOrder, OrderStatus, Payment, StockLevel, make_procedures
+from .schema import TpccConfig, make_schema
+
+
+def make_catalog(num_partitions: int, partitions_per_node: int = 2) -> Catalog:
+    """Catalog for a TPC-C cluster with ``num_partitions`` partitions."""
+    scheme = PartitionScheme(num_partitions, partitions_per_node)
+    return Catalog(make_schema(), scheme, make_procedures())
+
+
+def make_config(num_partitions: int, **overrides) -> TpccConfig:
+    return TpccConfig(num_partitions=num_partitions, **overrides)
+
+
+def make_generator(catalog: Catalog, config: TpccConfig, rng) -> TpccGenerator:
+    return TpccGenerator(catalog, config, rng)
+
+
+BUNDLE = BenchmarkBundle(
+    name="tpcc",
+    make_catalog=make_catalog,
+    make_config=make_config,
+    load=load,
+    make_generator=make_generator,
+    description="TPC-C order processing: 5 procedures, warehouse-partitioned.",
+)
+
+__all__ = [
+    "BUNDLE",
+    "TpccConfig",
+    "make_schema",
+    "make_catalog",
+    "make_config",
+    "make_generator",
+    "make_procedures",
+    "load",
+    "TpccGenerator",
+    "NewOrderOnlyGenerator",
+    "NewOrder",
+    "Payment",
+    "OrderStatus",
+    "Delivery",
+    "StockLevel",
+    "INVALID_ITEM_ID",
+]

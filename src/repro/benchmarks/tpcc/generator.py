@@ -1,0 +1,151 @@
+"""TPC-C request generator.
+
+Implements the standard transaction mix with the parameter distributions the
+paper's evaluation depends on:
+
+* ~45% NewOrder, ~43% Payment, 4% each OrderStatus / Delivery / StockLevel;
+* each NewOrder order line has a small probability (default 1%) of sourcing
+  its item from a remote warehouse, so roughly 90% of NewOrder transactions
+  stay single-partitioned (the Fig. 2/Fig. 3 motivating numbers);
+* ~1% of NewOrder requests carry an invalid item id and abort;
+* ~15% of Payment requests pay through a remote customer warehouse.
+"""
+
+from __future__ import annotations
+
+from ...catalog.schema import Catalog
+from ...types import PartitionId, ProcedureRequest
+from ...workload.generator import WorkloadGenerator
+from ...workload.rng import WorkloadRandom
+from .schema import TpccConfig
+
+#: Sentinel item id guaranteed not to exist, used for the 1% "bad item" case.
+INVALID_ITEM_ID = 10_000_000
+
+
+class TpccGenerator(WorkloadGenerator):
+    """Generates TPC-C procedure requests."""
+
+    benchmark = "tpcc"
+
+    DEFAULT_MIX = (
+        ("neworder", 0.45),
+        ("payment", 0.43),
+        ("orderstatus", 0.04),
+        ("delivery", 0.04),
+        ("stocklevel", 0.04),
+    )
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: TpccConfig,
+        rng: WorkloadRandom | None = None,
+        mix=None,
+    ) -> None:
+        super().__init__(catalog, rng)
+        self.config = config
+        self._mix = tuple(mix) if mix is not None else self.DEFAULT_MIX
+
+    # ------------------------------------------------------------------
+    @property
+    def mix(self):
+        return self._mix
+
+    def next_request(self) -> ProcedureRequest:
+        procedure = self.rng.weighted_choice(self._mix)
+        builder = getattr(self, f"_make_{procedure}")
+        return builder()
+
+    def home_partition(self, request: ProcedureRequest) -> PartitionId:
+        """The home warehouse's partition (always the first parameter)."""
+        return self.catalog.scheme.partition_for_value(request.parameters[0])
+
+    # ------------------------------------------------------------------
+    # Per-procedure builders
+    # ------------------------------------------------------------------
+    def _random_warehouse(self) -> int:
+        return self.rng.integer(0, self.config.num_warehouses - 1)
+
+    def _random_district(self) -> int:
+        return self.rng.integer(0, self.config.districts_per_warehouse - 1)
+
+    def _random_customer(self) -> int:
+        return self.rng.integer(0, self.config.customers_per_district - 1)
+
+    def _random_item(self) -> int:
+        return self.rng.nurand(255, 0, self.config.items - 1)
+
+    def _make_neworder(self) -> ProcedureRequest:
+        w_id = self._random_warehouse()
+        d_id = self._random_district()
+        c_id = self._random_customer()
+        line_count = self.rng.integer(5, 15)
+        i_ids = []
+        i_w_ids = []
+        i_qtys = []
+        for _ in range(line_count):
+            i_ids.append(self._random_item())
+            if (
+                self.config.num_warehouses > 1
+                and self.rng.probability(self.config.remote_item_probability)
+            ):
+                remote = w_id
+                while remote == w_id:
+                    remote = self._random_warehouse()
+                i_w_ids.append(remote)
+            else:
+                i_w_ids.append(w_id)
+            i_qtys.append(self.rng.integer(1, 10))
+        if self.rng.probability(self.config.invalid_item_probability):
+            i_ids[-1] = INVALID_ITEM_ID
+        return ProcedureRequest.of(
+            "neworder", (w_id, d_id, c_id, tuple(i_ids), tuple(i_w_ids), tuple(i_qtys))
+        )
+
+    def _make_payment(self) -> ProcedureRequest:
+        w_id = self._random_warehouse()
+        d_id = self._random_district()
+        if (
+            self.config.num_warehouses > 1
+            and self.rng.probability(self.config.remote_payment_probability)
+        ):
+            c_w_id = w_id
+            while c_w_id == w_id:
+                c_w_id = self._random_warehouse()
+            c_d_id = self._random_district()
+        else:
+            c_w_id = w_id
+            c_d_id = d_id
+        c_id = self._random_customer()
+        amount = round(self.rng.floating(1.0, 5000.0), 2)
+        return ProcedureRequest.of("payment", (w_id, d_id, c_w_id, c_d_id, c_id, amount))
+
+    def _make_orderstatus(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "orderstatus",
+            (self._random_warehouse(), self._random_district(), self._random_customer()),
+        )
+
+    def _make_delivery(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "delivery",
+            (
+                self._random_warehouse(),
+                self.rng.integer(1, 10),
+                self.config.districts_per_warehouse,
+            ),
+        )
+
+    def _make_stocklevel(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "stocklevel",
+            (self._random_warehouse(), self._random_district(), self.rng.integer(10, 20)),
+        )
+
+
+class NewOrderOnlyGenerator(TpccGenerator):
+    """Generator used by the Fig. 3 motivating experiment (NewOrder only)."""
+
+    def __init__(self, catalog: Catalog, config: TpccConfig, rng: WorkloadRandom | None = None) -> None:
+        super().__init__(catalog, config, rng, mix=(("neworder", 1.0),))

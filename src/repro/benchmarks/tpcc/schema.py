@@ -1,0 +1,177 @@
+"""TPC-C schema.
+
+The standard warehouse-centric order-processing schema, partitioned on the
+warehouse id (``W_ID``) as the paper assumes ("if the database is partitioned
+by warehouse ids, then most of these requests are executed as
+single-partitioned transactions").  The ``ITEM`` table is replicated on every
+partition, which is the standard H-Store configuration.
+
+Row counts are intentionally configurable and default to values far below the
+official specification so that tests and benchmark harnesses stay fast; the
+access *patterns* — which drive the Markov models — are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...catalog.column import floating, integer, string
+from ...catalog.schema import Schema
+from ...catalog.table import SecondaryIndex, Table
+
+
+@dataclass
+class TpccConfig:
+    """Scaling knobs for the TPC-C reproduction."""
+
+    num_partitions: int = 4
+    #: One warehouse per partition (the paper assigns 2 partitions per node
+    #: and 2 warehouses per node).
+    warehouses_per_partition: int = 1
+    districts_per_warehouse: int = 4
+    customers_per_district: int = 30
+    items: int = 200
+    initial_orders_per_district: int = 10
+    #: Fraction of NewOrder order lines drawn from a remote warehouse.
+    remote_item_probability: float = 0.01
+    #: Fraction of Payment transactions paying through a remote warehouse.
+    remote_payment_probability: float = 0.15
+    #: Fraction of NewOrder transactions carrying an invalid item id (these
+    #: abort, exercising the undo log / OP3 machinery).
+    invalid_item_probability: float = 0.01
+
+    @property
+    def num_warehouses(self) -> int:
+        return self.num_partitions * self.warehouses_per_partition
+
+
+def make_schema() -> Schema:
+    """Build the TPC-C schema used throughout the reproduction."""
+    schema = Schema()
+    schema.add_table(Table(
+        name="WAREHOUSE",
+        columns=[
+            integer("W_ID"),
+            string("W_NAME"),
+            floating("W_TAX"),
+            floating("W_YTD"),
+        ],
+        primary_key=["W_ID"],
+        partition_column="W_ID",
+    ))
+    schema.add_table(Table(
+        name="DISTRICT",
+        columns=[
+            integer("D_W_ID"),
+            integer("D_ID"),
+            string("D_NAME"),
+            floating("D_TAX"),
+            floating("D_YTD"),
+            integer("D_NEXT_O_ID"),
+        ],
+        primary_key=["D_W_ID", "D_ID"],
+        partition_column="D_W_ID",
+    ))
+    schema.add_table(Table(
+        name="CUSTOMER",
+        columns=[
+            integer("C_W_ID"),
+            integer("C_D_ID"),
+            integer("C_ID"),
+            string("C_LAST"),
+            string("C_CREDIT"),
+            floating("C_DISCOUNT"),
+            floating("C_BALANCE"),
+            floating("C_YTD_PAYMENT"),
+            integer("C_PAYMENT_CNT"),
+            integer("C_DELIVERY_CNT"),
+            string("C_DATA"),
+        ],
+        primary_key=["C_W_ID", "C_D_ID", "C_ID"],
+        partition_column="C_W_ID",
+    ))
+    schema.add_table(Table(
+        name="HISTORY",
+        columns=[
+            integer("H_C_ID"),
+            integer("H_C_D_ID"),
+            integer("H_C_W_ID"),
+            integer("H_D_ID"),
+            integer("H_W_ID"),
+            floating("H_AMOUNT"),
+        ],
+        primary_key=[],
+        partition_column="H_W_ID",
+    ))
+    schema.add_table(Table(
+        name="ORDERS",
+        columns=[
+            integer("O_W_ID"),
+            integer("O_D_ID"),
+            integer("O_ID"),
+            integer("O_C_ID"),
+            integer("O_CARRIER_ID", nullable=True),
+            integer("O_OL_CNT"),
+        ],
+        primary_key=["O_W_ID", "O_D_ID", "O_ID"],
+        partition_column="O_W_ID",
+        secondary_indexes=[
+            SecondaryIndex("IDX_ORDERS_CUSTOMER", ("O_W_ID", "O_D_ID", "O_C_ID")),
+        ],
+    ))
+    schema.add_table(Table(
+        name="NEW_ORDER",
+        columns=[
+            integer("NO_W_ID"),
+            integer("NO_D_ID"),
+            integer("NO_O_ID"),
+        ],
+        primary_key=["NO_W_ID", "NO_D_ID", "NO_O_ID"],
+        partition_column="NO_W_ID",
+        secondary_indexes=[
+            SecondaryIndex("IDX_NEW_ORDER_DISTRICT", ("NO_W_ID", "NO_D_ID")),
+        ],
+    ))
+    schema.add_table(Table(
+        name="ORDER_LINE",
+        columns=[
+            integer("OL_W_ID"),
+            integer("OL_D_ID"),
+            integer("OL_O_ID"),
+            integer("OL_NUMBER"),
+            integer("OL_I_ID"),
+            integer("OL_SUPPLY_W_ID"),
+            integer("OL_QUANTITY"),
+            floating("OL_AMOUNT"),
+            integer("OL_DELIVERY_D", nullable=True),
+        ],
+        primary_key=["OL_W_ID", "OL_D_ID", "OL_O_ID", "OL_NUMBER"],
+        partition_column="OL_W_ID",
+        secondary_indexes=[
+            SecondaryIndex("IDX_ORDER_LINE_ORDER", ("OL_W_ID", "OL_D_ID", "OL_O_ID")),
+        ],
+    ))
+    schema.add_table(Table(
+        name="ITEM",
+        columns=[
+            integer("I_ID"),
+            string("I_NAME"),
+            floating("I_PRICE"),
+        ],
+        primary_key=["I_ID"],
+        replicated=True,
+    ))
+    schema.add_table(Table(
+        name="STOCK",
+        columns=[
+            integer("S_W_ID"),
+            integer("S_I_ID"),
+            integer("S_QUANTITY"),
+            integer("S_YTD"),
+            integer("S_ORDER_CNT"),
+            integer("S_REMOTE_CNT"),
+        ],
+        primary_key=["S_W_ID", "S_I_ID"],
+        partition_column="S_W_ID",
+    ))
+    return schema

@@ -1,0 +1,66 @@
+"""Catalog subsystem: tables, statements, procedures and partitioning.
+
+This package reproduces the metadata layer of an H-Store-style DBMS: typed
+tables partitioned on a single column, parameterized statements whose
+partition footprint can be computed from their bound parameters, and stored
+procedures combining statements with Python control code.
+"""
+
+from .column import (
+    Column,
+    ColumnType,
+    bigint,
+    boolean,
+    floating,
+    integer,
+    string,
+    timestamp,
+)
+from .partitioning import PartitionEstimator, PartitionScheme, stable_hash
+from .procedure import (
+    ExecutionContext,
+    ProcedureCallResult,
+    ProcedureParameter,
+    StoredProcedure,
+)
+from .schema import Catalog, Schema, statements_by_name
+from .statement import (
+    BoundDelta,
+    ColumnDelta,
+    Operation,
+    ParameterRef,
+    Statement,
+    delta,
+    param,
+)
+from .table import SecondaryIndex, Table
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "integer",
+    "bigint",
+    "floating",
+    "string",
+    "timestamp",
+    "boolean",
+    "Table",
+    "SecondaryIndex",
+    "Schema",
+    "Catalog",
+    "statements_by_name",
+    "Statement",
+    "Operation",
+    "ParameterRef",
+    "ColumnDelta",
+    "BoundDelta",
+    "param",
+    "delta",
+    "StoredProcedure",
+    "ProcedureParameter",
+    "ProcedureCallResult",
+    "ExecutionContext",
+    "PartitionScheme",
+    "PartitionEstimator",
+    "stable_hash",
+]

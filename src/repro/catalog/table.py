@@ -1,0 +1,147 @@
+"""Table definitions for the in-memory catalog.
+
+A table declares its columns, primary key, the column it is horizontally
+partitioned on (if any) and whether it is replicated on every partition.
+Replicated tables (e.g. the TPC-C ``ITEM`` table) can be read locally by any
+transaction without making the transaction distributed, which matters for the
+partition estimates computed by the Markov-model builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..errors import CatalogError, UnknownColumnError
+from .column import Column
+
+
+@dataclass(frozen=True)
+class SecondaryIndex:
+    """A named secondary index over one or more columns of a table."""
+
+    name: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass
+class Table:
+    """A relational table definition.
+
+    Parameters
+    ----------
+    name:
+        Table name, unique within a schema.
+    columns:
+        Ordered column definitions.
+    primary_key:
+        Names of the primary-key columns (in order).  May be empty for
+        history-style append-only tables.
+    partition_column:
+        The column whose value determines which partition a row lives on.
+        ``None`` for replicated tables.
+    replicated:
+        If true, every partition stores a full copy of the table and reads
+        are always local.
+    secondary_indexes:
+        Optional secondary indexes maintained by the storage layer.
+    """
+
+    name: str
+    columns: Sequence[Column]
+    primary_key: Sequence[str] = ()
+    partition_column: str | None = None
+    replicated: bool = False
+    secondary_indexes: Sequence[SecondaryIndex] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("table name must be non-empty")
+        if not self.columns:
+            raise CatalogError(f"table {self.name!r} must have at least one column")
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise CatalogError(f"table {self.name!r} has duplicate column names")
+        self.columns = tuple(self.columns)
+        self.primary_key = tuple(self.primary_key)
+        self.secondary_indexes = tuple(self.secondary_indexes)
+        self._columns_by_name = {c.name: c for c in self.columns}
+        for key_col in self.primary_key:
+            if key_col not in self._columns_by_name:
+                raise UnknownColumnError(self.name, key_col)
+        if self.replicated and self.partition_column is not None:
+            raise CatalogError(
+                f"table {self.name!r} cannot be both replicated and partitioned"
+            )
+        if self.partition_column is not None and self.partition_column not in self._columns_by_name:
+            raise UnknownColumnError(self.name, self.partition_column)
+        for index in self.secondary_indexes:
+            for col in index.columns:
+                if col not in self._columns_by_name:
+                    raise UnknownColumnError(self.name, col)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns_by_name[name]
+        except KeyError:
+            raise UnknownColumnError(self.name, name) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns_by_name
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.partition_column is not None
+
+    # ------------------------------------------------------------------
+    # Row helpers
+    # ------------------------------------------------------------------
+    def new_row(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Build and validate a full row dict from ``values``.
+
+        Missing columns take their declared default (or ``None`` when
+        nullable).  Unknown keys raise :class:`UnknownColumnError`.
+        """
+        for key in values:
+            if key not in self._columns_by_name:
+                raise UnknownColumnError(self.name, key)
+        row: dict[str, Any] = {}
+        for column in self.columns:
+            if column.name in values:
+                value = values[column.name]
+            elif column.default is not None:
+                value = column.default
+            elif column.nullable:
+                value = None
+            else:
+                raise CatalogError(
+                    f"insert into {self.name!r} missing required column {column.name!r}"
+                )
+            column.validate_value(value)
+            row[column.name] = value
+        return row
+
+    def primary_key_of(self, row: Mapping[str, Any]) -> tuple[Any, ...]:
+        """Extract the primary-key tuple from a row dict."""
+        return tuple(row[col] for col in self.primary_key)
+
+    def validate_update(self, assignments: Mapping[str, Any]) -> None:
+        """Validate an UPDATE's column assignments against this table."""
+        for name, value in assignments.items():
+            column = self.column(name)
+            column.validate_value(value)
+
+    def indexed_column_sets(self) -> Iterable[tuple[str, ...]]:
+        """Yield the column tuples that have an index (primary key first)."""
+        if self.primary_key:
+            yield tuple(self.primary_key)
+        for index in self.secondary_indexes:
+            yield tuple(index.columns)

@@ -1,0 +1,208 @@
+"""Command-line interface for the reproduction.
+
+The CLI wraps the high-level :mod:`repro.pipeline` flows so the library can
+be exercised without writing Python:
+
+.. code-block:: console
+
+    $ python -m repro list-benchmarks
+    $ python -m repro train tpcc --partitions 8 --trace 2000 --output /tmp/tpcc
+    $ python -m repro inspect /tmp/tpcc
+    $ python -m repro simulate tpcc --strategy houdini --partitions 8
+    $ python -m repro experiment figure03 --scale small
+
+Every command prints a human-readable report to stdout and exits non-zero on
+errors, so it composes with shell scripts and CI jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from . import pipeline
+from .artifacts import ArtifactBundle
+from .benchmarks import available_benchmarks
+from .errors import ReproError
+from .experiments import (
+    ExperimentScale,
+    run_figure03,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_model_figures,
+    run_summary,
+    run_table03,
+    run_table04,
+)
+
+#: Strategy names accepted by ``repro simulate``.
+STRATEGIES = (
+    "assume-distributed",
+    "assume-single-partition",
+    "oracle",
+    "houdini",
+    "houdini-global",
+    "houdini-partitioned",
+)
+
+#: Experiment registry: id -> runner returning an object with ``format()``.
+EXPERIMENTS: dict[str, Callable] = {
+    "figure03": run_figure03,
+    "table03": run_table03,
+    "figure11": run_figure11,
+    "table04": run_table04,
+    "figure12": run_figure12,
+    "figure13": run_figure13,
+    "models": run_model_figures,
+    "summary": run_summary,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On Predictive Modeling for Optimizing Transaction "
+            "Execution in Parallel OLTP Systems' (Pavlo et al., VLDB 2011)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list-benchmarks", help="list the OLTP benchmarks available for training"
+    )
+
+    train = subparsers.add_parser(
+        "train", help="record a trace and build Markov models + parameter mappings"
+    )
+    train.add_argument("benchmark", choices=available_benchmarks())
+    train.add_argument("--partitions", type=int, default=8)
+    train.add_argument("--trace", type=int, default=2000, help="transactions to record")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--output", default=None, help="directory to write the artifact bundle to"
+    )
+
+    inspect = subparsers.add_parser(
+        "inspect", help="describe a previously saved artifact bundle"
+    )
+    inspect.add_argument("artifacts", help="directory written by 'repro train --output'")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the closed-loop cluster simulator for one configuration"
+    )
+    simulate.add_argument("benchmark", choices=available_benchmarks())
+    simulate.add_argument("--strategy", choices=STRATEGIES, default="houdini")
+    simulate.add_argument("--partitions", type=int, default=8)
+    simulate.add_argument("--trace", type=int, default=2000)
+    simulate.add_argument("--transactions", type=int, default=2000)
+    simulate.add_argument("--threshold", type=float, default=None,
+                          help="confidence-coefficient threshold (Houdini strategies)")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's tables or figures"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--scale", choices=("small", "medium", "large", "paper"), default="small"
+    )
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_list_benchmarks(_args: argparse.Namespace) -> int:
+    for name in available_benchmarks():
+        print(name)
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    trained = pipeline.train(
+        args.benchmark,
+        args.partitions,
+        trace_transactions=args.trace,
+        seed=args.seed,
+    )
+    bundle = ArtifactBundle.from_trained(trained)
+    print(bundle.describe())
+    for name in sorted(trained.models):
+        model = trained.models[name]
+        print(f"  {name}: {model.vertex_count()} states, {model.edge_count()} edges")
+    if args.output:
+        target = bundle.save(args.output)
+        print(f"artifacts written to {target}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    bundle = ArtifactBundle.load(args.artifacts)
+    print(bundle.describe())
+    for name in sorted(bundle.models):
+        model = bundle.models[name]
+        print(f"  {name}: {model.vertex_count()} states, {model.edge_count()} edges")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trained = pipeline.train(
+        args.benchmark,
+        args.partitions,
+        trace_transactions=args.trace,
+        seed=args.seed,
+    )
+    houdini = None
+    if args.threshold is not None and args.strategy.startswith("houdini"):
+        from .houdini import HoudiniConfig
+
+        houdini = pipeline.make_houdini(
+            trained, config=HoudiniConfig(confidence_threshold=args.threshold)
+        )
+    strategy = pipeline.make_strategy(args.strategy, trained, houdini=houdini)
+    result = pipeline.simulate(trained, strategy, transactions=args.transactions)
+    for key, value in result.summary_row().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    scale = {
+        "small": ExperimentScale.small,
+        "medium": ExperimentScale.medium,
+        "large": ExperimentScale.large,
+        "paper": ExperimentScale.paper,
+    }[args.scale]()
+    runner = EXPERIMENTS[args.id]
+    result = runner(scale)
+    print(result.format())
+    return 0
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
+    "list-benchmarks": _cmd_list_benchmarks,
+    "train": _cmd_train,
+    "inspect": _cmd_inspect,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Execution engine: statement executor, transaction context, attempts.
+
+The engine executes real stored-procedure control code against the real
+in-memory row store, producing the "actual execution paths" that the Markov
+models are trained on and validated against.
+"""
+
+from .context import QueryListener, TransactionContext
+from .engine import AttemptOutcome, AttemptResult, ExecutionEngine
+from .executor import StatementExecutor
+
+__all__ = [
+    "StatementExecutor",
+    "TransactionContext",
+    "QueryListener",
+    "ExecutionEngine",
+    "AttemptResult",
+    "AttemptOutcome",
+]

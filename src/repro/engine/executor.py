@@ -1,0 +1,111 @@
+"""Statement executor.
+
+Executes a bound :class:`~repro.catalog.statement.Statement` against the row
+heaps of one or more partitions, recording undo information for writes.  The
+executor is deliberately partition-oblivious about *policy*: it is told which
+partitions to touch; deciding that set (and whether touching it is allowed)
+is the transaction context's and coordinator's job.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..catalog.schema import Catalog
+from ..catalog.statement import BoundDelta, Operation, Statement
+from ..errors import ExecutionError
+from ..storage.partition_store import Database
+from ..storage.undo_log import UndoLog
+from ..types import PartitionId
+
+
+class StatementExecutor:
+    """Executes individual statements against the in-memory database."""
+
+    def __init__(self, catalog: Catalog, database: Database) -> None:
+        self.catalog = catalog
+        self.database = database
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        statement: Statement,
+        parameters: Sequence[Any],
+        partitions: Iterable[PartitionId],
+        undo_log: UndoLog,
+    ) -> list[dict[str, Any]]:
+        """Execute ``statement`` at every partition in ``partitions``.
+
+        Returns the merged result rows (for SELECT) or a single-row summary
+        with the number of modified rows (for writes), matching the shape
+        stored-procedure control code expects.
+        """
+        partition_list = list(partitions)
+        if not partition_list:
+            raise ExecutionError(f"statement {statement.name!r} targeted no partitions")
+        if statement.operation is Operation.SELECT:
+            rows: list[dict[str, Any]] = []
+            for partition_id in partition_list:
+                rows.extend(self._select(statement, parameters, partition_id))
+            if statement.order_by is not None and len(partition_list) > 1:
+                column, descending = statement.order_by
+                rows.sort(key=lambda r: r[column], reverse=descending)
+                if statement.limit is not None:
+                    rows = rows[: statement.limit]
+            return rows
+        modified = 0
+        for partition_id in partition_list:
+            modified += self._write(statement, parameters, partition_id, undo_log)
+        return [{"modified": modified}]
+
+    # ------------------------------------------------------------------
+    def _select(
+        self, statement: Statement, parameters: Sequence[Any], partition_id: PartitionId
+    ) -> list[dict[str, Any]]:
+        heap = self.database.partition(partition_id).heap(statement.table)
+        predicate = statement.bind_where(parameters)
+        return heap.select(
+            predicate,
+            output_columns=statement.output_columns,
+            order_by=statement.order_by,
+            limit=statement.limit,
+        )
+
+    def _write(
+        self,
+        statement: Statement,
+        parameters: Sequence[Any],
+        partition_id: PartitionId,
+        undo_log: UndoLog,
+    ) -> int:
+        heap = self.database.partition(partition_id).heap(statement.table)
+        if statement.operation is Operation.INSERT:
+            values = statement.bind_insert(parameters)
+            row_id = heap.insert(values)
+            undo_log.record_insert(statement.table, partition_id, row_id)
+            return 1
+        predicate = statement.bind_where(parameters)
+        row_ids = heap.find(predicate)
+        if statement.operation is Operation.UPDATE:
+            assignments = statement.bind_set(parameters)
+            for row_id in row_ids:
+                resolved = self._resolve_deltas(heap.get(row_id), assignments)
+                before = heap.update(row_id, resolved)
+                undo_log.record_update(statement.table, partition_id, row_id, before)
+            return len(row_ids)
+        if statement.operation is Operation.DELETE:
+            for row_id in row_ids:
+                before = heap.delete(row_id)
+                undo_log.record_delete(statement.table, partition_id, row_id, before)
+            return len(row_ids)
+        raise ExecutionError(f"unsupported operation {statement.operation!r}")  # pragma: no cover
+
+    @staticmethod
+    def _resolve_deltas(current_row: dict[str, Any], assignments: dict[str, Any]) -> dict[str, Any]:
+        resolved: dict[str, Any] = {}
+        for column, value in assignments.items():
+            if isinstance(value, BoundDelta):
+                resolved[column] = current_row[column] + value.amount
+            else:
+                resolved[column] = value
+        return resolved

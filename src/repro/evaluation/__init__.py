@@ -1,0 +1,15 @@
+"""Evaluation utilities: off-line accuracy measurement (Table 3 machinery)."""
+
+from .accuracy import (
+    AccuracyEvaluator,
+    AccuracyReport,
+    ProcedureAccuracy,
+    TransactionAccuracy,
+)
+
+__all__ = [
+    "AccuracyEvaluator",
+    "AccuracyReport",
+    "ProcedureAccuracy",
+    "TransactionAccuracy",
+]

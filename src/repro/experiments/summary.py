@@ -1,0 +1,82 @@
+"""Headline numbers of the paper's abstract / conclusion.
+
+The paper summarizes its evaluation with three claims:
+
+* the models select the proper optimizations for ~93% of transactions,
+* throughput improves by ~41% on average over the non-Houdini baseline,
+* the framework's overhead is ~5% (5.8%) of total transaction time.
+
+``run_summary`` recomputes the reproduction's equivalents from the Table 3,
+Figure 12 and Figure 11 experiments so that EXPERIMENTS.md can report
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import BENCHMARKS, ExperimentScale
+from .figure11 import Figure11Result, run_figure11
+from .figure12 import Figure12Result, run_figure12
+from .table03 import Table3Result, run_table03
+
+
+@dataclass
+class SummaryResult:
+    """The three headline numbers, plus the raw results they came from."""
+
+    accuracy_pct: float
+    throughput_improvement_pct: float
+    estimation_overhead_pct: float
+    table03: Table3Result
+    figure12: Figure12Result
+    figure11: Figure11Result
+
+    def format(self) -> str:
+        return (
+            "Headline reproduction summary\n"
+            "-----------------------------\n"
+            f"Correct optimization selection: {self.accuracy_pct:.1f}% "
+            f"(paper: ~93%)\n"
+            f"Average throughput improvement over baseline: "
+            f"{self.throughput_improvement_pct:.1f}% (paper: ~41%)\n"
+            f"Average estimation overhead: {self.estimation_overhead_pct:.1f}% "
+            f"of transaction time (paper: ~5.8%)"
+        )
+
+
+def run_summary(scale: ExperimentScale | None = None) -> SummaryResult:
+    """Recompute the abstract's three headline numbers."""
+    scale = scale or ExperimentScale.from_env()
+    table03 = run_table03(scale)
+    figure12 = run_figure12(scale)
+    figure11 = run_figure11(scale)
+
+    accuracies = [
+        table03.reports[benchmark]["partitioned"].total
+        for benchmark in table03.reports
+    ]
+    accuracy = sum(accuracies) / len(accuracies) if accuracies else 0.0
+
+    improvements = [
+        figure12.improvement_over_baseline(benchmark) for benchmark in BENCHMARKS
+        if benchmark in figure12.throughput
+    ]
+    improvement = sum(improvements) / len(improvements) if improvements else 0.0
+
+    return SummaryResult(
+        accuracy_pct=accuracy,
+        throughput_improvement_pct=improvement,
+        estimation_overhead_pct=figure11.average_estimation_share,
+        table03=table03,
+        figure12=figure12,
+        figure11=figure11,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_summary().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

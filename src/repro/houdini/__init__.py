@@ -1,0 +1,40 @@
+"""Houdini: the on-line predictive framework (paper Section 4)."""
+
+from .cache import CachedEstimate, CacheStats, EstimateCache
+from .config import HoudiniConfig
+from .estimate import PartitionPrediction, PathEstimate
+from .estimator import PathEstimator
+from .houdini import Houdini, HoudiniPlan
+from .maintenance import MaintenanceRegistry, MaintenanceStats, ModelMaintenance
+from .optimizations import OptimizationDecision, OptimizationSelector
+from .prefetch import BatchGroup, PrefetchAdvisor, PrefetchCandidate, PrefetchPlan
+from .providers import GlobalModelProvider, ModelProvider
+from .runtime import HoudiniRuntime, RuntimeStats
+from .stats import HoudiniStats, ProcedureStats
+
+__all__ = [
+    "Houdini",
+    "EstimateCache",
+    "CacheStats",
+    "CachedEstimate",
+    "HoudiniPlan",
+    "HoudiniConfig",
+    "PathEstimate",
+    "PartitionPrediction",
+    "PathEstimator",
+    "OptimizationDecision",
+    "OptimizationSelector",
+    "PrefetchAdvisor",
+    "PrefetchPlan",
+    "PrefetchCandidate",
+    "BatchGroup",
+    "ModelProvider",
+    "GlobalModelProvider",
+    "HoudiniRuntime",
+    "RuntimeStats",
+    "ModelMaintenance",
+    "MaintenanceRegistry",
+    "MaintenanceStats",
+    "HoudiniStats",
+    "ProcedureStats",
+]

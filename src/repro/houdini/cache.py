@@ -1,0 +1,154 @@
+"""Estimate caching for always-single-partition procedures (paper §6.3).
+
+The paper observes that short single-partition transactions can spend a
+large share of their total time inside Houdini (46.5% for AuctionMark's
+``NewComment``) and notes that "Houdini can completely avoid this if it
+caches the estimations for any non-abortable, always single-partition
+transactions."  This module implements that cache.
+
+A cached entry is keyed by the stored-procedure name and the partition
+footprint that the parameter mappings resolve from the request's input
+parameters.  Two requests of the same procedure whose parameters map to the
+same single partition traverse exactly the same states in the Markov model,
+so the expensive path walk can be reused; the cache only ever admits
+estimates that are safe to reuse (single-partition, terminal, effectively
+non-abortable), and it is flushed whenever model maintenance recomputes the
+probabilities.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..types import PartitionId, ProcedureRequest
+from .config import HoudiniConfig
+from .estimate import PathEstimate
+from .optimizations import OptimizationDecision
+
+#: Cache key: (procedure name, resolved partition footprint).
+CacheKey = tuple[str, frozenset[PartitionId]]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    rejected: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class CachedEstimate:
+    """One reusable estimate plus the optimization decision derived from it."""
+
+    estimate: PathEstimate
+    decision: OptimizationDecision
+    uses: int = 0
+
+
+class EstimateCache:
+    """LRU cache of path estimates for cache-eligible procedures."""
+
+    def __init__(self, config: HoudiniConfig | None = None, *, max_entries: int | None = None) -> None:
+        self.config = config or HoudiniConfig()
+        self.max_entries = max_entries or self.config.estimate_cache_max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[CacheKey, CachedEstimate] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_for(
+        request: ProcedureRequest, footprint: frozenset[PartitionId] | None
+    ) -> CacheKey | None:
+        """Cache key for a request, or ``None`` when it cannot be cached.
+
+        Only requests whose parameter mappings resolve to exactly one
+        partition are cacheable: the footprint then fully determines which
+        Markov-model states the transaction can reach, so the cached walk is
+        guaranteed to match.
+        """
+        if footprint is None or len(footprint) != 1:
+            return None
+        return (request.procedure, frozenset(footprint))
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: CacheKey | None) -> CachedEstimate | None:
+        """Return the cached entry for ``key`` (LRU-refreshing it), if any."""
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.uses += 1
+        self.stats.hits += 1
+        return entry
+
+    def store(
+        self,
+        key: CacheKey | None,
+        estimate: PathEstimate,
+        decision: OptimizationDecision,
+    ) -> bool:
+        """Admit an estimate if it is safe to reuse; returns True if stored."""
+        if key is None or not self._eligible(estimate, decision):
+            self.stats.rejected += 1
+            return False
+        self._entries[key] = CachedEstimate(estimate=estimate, decision=decision)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        self.stats.stores += 1
+        return True
+
+    def _eligible(self, estimate: PathEstimate, decision: OptimizationDecision) -> bool:
+        """Only non-abortable, always-single-partition estimates are reusable."""
+        if estimate.degenerate or not estimate.reached_terminal:
+            return False
+        if estimate.predicted_abort:
+            return False
+        if not decision.predicted_single_partition:
+            return False
+        if estimate.abort_probability > self.config.abort_tolerance:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every entry (called when models are recomputed)."""
+        if self._entries:
+            self.stats.invalidations += 1
+        self._entries.clear()
+
+    def invalidate_procedure(self, procedure: str) -> int:
+        """Drop entries for one procedure; returns how many were removed."""
+        doomed = [key for key in self._entries if key[0] == procedure]
+        for key in doomed:
+            del self._entries[key]
+        if doomed:
+            self.stats.invalidations += 1
+        return len(doomed)
+
+    def describe(self) -> str:
+        return (
+            f"EstimateCache(entries={len(self)}, hits={self.stats.hits}, "
+            f"misses={self.stats.misses}, hit_rate={self.stats.hit_rate:.2%})"
+        )

@@ -1,0 +1,122 @@
+"""Initial execution-path estimates (paper §4.2-4.3).
+
+A :class:`PathEstimate` is what Houdini produces for a new transaction
+request before it starts: the most likely sequence of execution states, the
+confidence attached to each step, and the derived per-optimization
+predictions (base partition, lock set with per-partition confidence, abort
+probability, per-partition finish points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..markov.vertex import VertexKey, VertexKind
+from ..types import PartitionId
+
+
+@dataclass
+class PartitionPrediction:
+    """Prediction for one partition derived from the estimated path."""
+
+    partition_id: PartitionId
+    #: Confidence that the transaction accesses the partition at all: the
+    #: product of the edge probabilities up to the first state that touches
+    #: it (paper §4.3, OP2).
+    access_confidence: float
+    #: Index (into the estimated query sequence) of the last state predicted
+    #: to touch the partition; used for OP4 / early prepare.
+    last_access_index: int
+    #: Whether any predicted access is a write.
+    written: bool = False
+
+
+@dataclass
+class PathEstimate:
+    """Houdini's initial estimate for one transaction request."""
+
+    procedure: str
+    #: Estimated vertex sequence (begin ... terminal); may end early when the
+    #: walk hits the path-length ceiling or a dead end.
+    vertices: list[VertexKey] = field(default_factory=list)
+    #: Probability of each traversed edge, aligned with ``vertices[1:]``.
+    edge_probabilities: list[float] = field(default_factory=list)
+    #: Per-partition predictions derived from the path.
+    partitions: dict[PartitionId, PartitionPrediction] = field(default_factory=dict)
+    #: Greatest abort probability found in the probability tables along the
+    #: path (the conservative OP3 input, §4.3).
+    abort_probability: float = 0.0
+    #: Whether the estimated path itself terminates at the abort state.
+    predicted_abort: bool = False
+    #: Number of candidate-state evaluations the estimator performed
+    #: (proxy for the estimation cost charged by the simulator).
+    work_units: int = 0
+    #: Wall-clock milliseconds spent computing the estimate.
+    estimation_ms: float = 0.0
+    #: True when the estimate was produced by a degenerate/disabled path
+    #: (e.g. Houdini disabled for the procedure or no model available).
+    degenerate: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def confidence(self) -> float:
+        """Overall confidence: the product of the traversed edge probabilities."""
+        value = 1.0
+        for probability in self.edge_probabilities:
+            value *= probability
+        return value
+
+    @property
+    def query_vertices(self) -> list[VertexKey]:
+        return [v for v in self.vertices if v.kind is VertexKind.QUERY]
+
+    @property
+    def query_count(self) -> int:
+        return len(self.query_vertices)
+
+    @property
+    def reached_terminal(self) -> bool:
+        return bool(self.vertices) and self.vertices[-1].kind in (
+            VertexKind.COMMIT, VertexKind.ABORT
+        )
+
+    def touched_partitions(self) -> list[PartitionId]:
+        return sorted(self.partitions)
+
+    def predicted_single_partition(self) -> bool:
+        return len(self.partitions) <= 1
+
+    def base_partition(self) -> PartitionId | None:
+        """OP1: the partition accessed by the most predicted queries."""
+        counts: dict[PartitionId, int] = {}
+        for vertex in self.query_vertices:
+            for partition_id in vertex.partitions:
+                counts[partition_id] = counts.get(partition_id, 0) + 1
+        if not counts:
+            return None
+        # Deterministic tie-break on the partition id keeps runs reproducible.
+        return min(counts, key=lambda p: (-counts[p], p))
+
+    def partitions_with_confidence(self, threshold: float) -> list[PartitionId]:
+        """OP2: partitions whose access confidence meets the threshold."""
+        return sorted(
+            prediction.partition_id
+            for prediction in self.partitions.values()
+            if prediction.access_confidence >= threshold
+        )
+
+    def finish_points(self) -> dict[PartitionId, int]:
+        """OP4: per-partition index of the last predicted access."""
+        return {
+            prediction.partition_id: prediction.last_access_index
+            for prediction in self.partitions.values()
+        }
+
+    def describe(self) -> str:
+        """Readable multi-line summary used by examples."""
+        lines = [f"Path estimate for {self.procedure!r} "
+                 f"(confidence {self.confidence:.3f}, abort {self.abort_probability:.3f})"]
+        for index, vertex in enumerate(self.vertices):
+            probability = self.edge_probabilities[index - 1] if index >= 1 else 1.0
+            lines.append(f"  [{index}] p={probability:.2f} {vertex}")
+        return "\n".join(lines)

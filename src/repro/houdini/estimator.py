@@ -1,0 +1,293 @@
+"""Initial execution-path estimation (paper §4.2).
+
+Starting from the ``begin`` state of the procedure's Markov model, the
+estimator repeatedly:
+
+1. enumerates the successor states (the candidate queries),
+2. uses the parameter mapping to predict the partitions each candidate query
+   would access from the procedure's input parameters,
+3. keeps the candidates that are *valid* — their partition set matches the
+   prediction and their previously-accessed set matches the transaction's
+   history so far,
+4. follows the valid transition with the greatest edge probability (falling
+   back to the greatest-probability structurally-consistent edge when the
+   partitions cannot be resolved, as the paper does for conditional
+   branches),
+
+until it reaches the commit or abort state or exhausts the configured path
+length.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from ..catalog.procedure import StoredProcedure
+from ..catalog.schema import Catalog
+from ..catalog.statement import Operation, Statement
+from ..mapping.parameter_mapping import ParameterMapping, ParameterMappingSet
+from ..markov.model import MarkovModel
+from ..markov.vertex import VertexKey, VertexKind
+from ..types import PartitionId, PartitionSet, ProcedureRequest
+from .config import HoudiniConfig
+from .estimate import PartitionPrediction, PathEstimate
+from .providers import ModelProvider
+
+
+class PathEstimator:
+    """Builds initial path estimates from Markov models + parameter mappings."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        provider: ModelProvider,
+        mappings: ParameterMappingSet,
+        config: HoudiniConfig | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.provider = provider
+        self.mappings = mappings
+        self.config = config or HoudiniConfig()
+
+    # ------------------------------------------------------------------
+    def estimate(self, request: ProcedureRequest) -> PathEstimate:
+        """Produce the initial path estimate for one request."""
+        started = time.perf_counter()
+        estimate = PathEstimate(procedure=request.procedure)
+        if request.procedure in self.config.disabled_procedures:
+            estimate.degenerate = True
+            estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
+            return estimate
+        model = self.provider.model_for(request)
+        if model is None or not model.processed:
+            estimate.degenerate = True
+            estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
+            return estimate
+        procedure = self.catalog.procedure(request.procedure)
+        mapping = self.mappings.get(request.procedure)
+        self._walk(estimate, model, procedure, mapping, request.parameters)
+        estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
+        return estimate
+
+    # ------------------------------------------------------------------
+    def predicted_footprint(self, request: ProcedureRequest) -> frozenset[PartitionId] | None:
+        """Partitions the parameter mappings alone say the request may touch.
+
+        This ignores the Markov model entirely: for every statement of the
+        procedure and every plausible invocation counter (bounded by the
+        longest array parameter), the partitioning parameter is resolved
+        through the mapping.  Statements whose partitioning parameter cannot
+        be resolved, and broadcast statements, contribute *every* partition.
+
+        Houdini's run-time monitor uses this as a guard for the early-prepare
+        optimization: a partition that the mappings say may still be needed
+        is never declared finished prematurely.
+        Returns ``None`` when no mapping exists for the procedure.
+        """
+        mapping = self.mappings.get(request.procedure)
+        if mapping is None:
+            return None
+        procedure = self.catalog.procedure(request.procedure)
+        scheme = self.catalog.scheme
+        max_counter = 1
+        for value in request.parameters:
+            if isinstance(value, (list, tuple)):
+                max_counter = max(max_counter, len(value))
+        max_counter = min(max_counter, 128)
+        footprint: set[PartitionId] = set()
+        for statement in procedure.statements.values():
+            table = self.catalog.schema.table(statement.table)
+            if table.replicated:
+                if statement.operation is not Operation.SELECT:
+                    return frozenset(range(scheme.num_partitions))
+                continue
+            partition_column = table.partition_column
+            if partition_column is None:
+                footprint.add(0)
+                continue
+            literal = statement.partitioning_literal(partition_column)
+            if literal is not None:
+                footprint.add(scheme.partition_for_value(literal))
+                continue
+            index = statement.partitioning_parameter_index(partition_column)
+            if index is None:
+                return frozenset(range(scheme.num_partitions))
+            entry = mapping.entry_for(statement.name, index)
+            if entry is None:
+                return frozenset(range(scheme.num_partitions))
+            for counter in range(max_counter):
+                value = mapping.resolve(statement.name, index, counter, request.parameters)
+                if value is not None:
+                    footprint.add(scheme.partition_for_value(value))
+        return frozenset(footprint)
+
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        estimate: PathEstimate,
+        model: MarkovModel,
+        procedure: StoredProcedure,
+        mapping: ParameterMapping | None,
+        parameters: Sequence[Any],
+    ) -> None:
+        current = model.begin
+        estimate.vertices.append(current)
+        accumulated = PartitionSet.of([])
+        counters: dict[str, int] = {}
+        confidence = 1.0
+        query_index = 0
+        for _ in range(self.config.max_path_length):
+            successors = model.successors(current)
+            if not successors:
+                break
+            chosen, probability = self._choose(
+                successors, model, procedure, mapping, parameters,
+                accumulated, counters, estimate,
+            )
+            if chosen is None:
+                break
+            estimate.vertices.append(chosen)
+            estimate.edge_probabilities.append(probability)
+            confidence *= probability
+            confidence = min(confidence, 1.0)
+            if chosen.kind is VertexKind.QUERY:
+                self._account_for_vertex(
+                    estimate, model, chosen, confidence, query_index
+                )
+                counters[chosen.name] = chosen.counter + 1
+                accumulated = accumulated.union(chosen.partitions)
+                query_index += 1
+            current = chosen
+            if current.kind in (VertexKind.COMMIT, VertexKind.ABORT):
+                estimate.predicted_abort = current.kind is VertexKind.ABORT
+                break
+
+    def _choose(
+        self,
+        successors: list[tuple[VertexKey, float]],
+        model: MarkovModel,
+        procedure: StoredProcedure,
+        mapping: ParameterMapping | None,
+        parameters: Sequence[Any],
+        accumulated: PartitionSet,
+        counters: dict[str, int],
+        estimate: PathEstimate,
+    ) -> tuple[VertexKey | None, float]:
+        """Pick the next state among a vertex's successors.
+
+        The returned probability is the chosen edge's weight *renormalized
+        over the candidate pool it was chosen from*.  A transition that the
+        parameter mapping resolved unambiguously (only one valid candidate)
+        therefore contributes a confidence of 1.0 — knowing the parameters
+        removes the uncertainty the raw edge weight encodes — while genuine
+        control-flow choices (several valid candidates, or the edge-weight
+        fallback of §4.2) contribute their relative likelihood, which is what
+        the confidence-threshold pruning of §4.3 acts on.
+        """
+        valid: list[tuple[VertexKey, float]] = []
+        consistent: list[tuple[VertexKey, float]] = []
+        partition_cache: dict[tuple[str, int], PartitionSet | None] = {}
+        for key, probability in successors:
+            estimate.work_units += 1
+            if key.kind in (VertexKind.COMMIT, VertexKind.ABORT):
+                valid.append((key, probability))
+                continue
+            expected_counter = counters.get(key.name, 0)
+            if key.counter != expected_counter:
+                continue
+            if key.previous != accumulated:
+                continue
+            consistent.append((key, probability))
+            cache_key = (key.name, expected_counter)
+            if cache_key not in partition_cache:
+                partition_cache[cache_key] = self._predict_partitions(
+                    procedure, mapping, key.name, expected_counter, parameters, accumulated
+                )
+            predicted = partition_cache[cache_key]
+            if predicted is not None and key.partitions == predicted:
+                valid.append((key, probability))
+        pool = valid or consistent or successors
+        best = max(pool, key=lambda pair: (pair[1], -len(pair[0].partitions)))
+        total = sum(probability for _, probability in pool)
+        if total <= 0:
+            return best[0], 0.0
+        return best[0], best[1] / total
+
+    # ------------------------------------------------------------------
+    def _predict_partitions(
+        self,
+        procedure: StoredProcedure,
+        mapping: ParameterMapping | None,
+        statement_name: str,
+        counter: int,
+        parameters: Sequence[Any],
+        accumulated: PartitionSet,
+    ) -> PartitionSet | None:
+        """Predict the partitions a candidate query would touch.
+
+        Returns ``None`` when the prediction cannot be made — the candidate
+        is then treated as "uncertain" and only structural checks apply.
+        """
+        statement = procedure.statement(statement_name)
+        table = self.catalog.schema.table(statement.table)
+        scheme = self.catalog.scheme
+        if table.replicated:
+            if statement.operation is Operation.SELECT:
+                # Replicated reads are local to wherever the control code runs;
+                # the best guess before execution is the partition the
+                # transaction has used so far.
+                base = self._dominant_partition(accumulated)
+                if base is None:
+                    return None
+                return PartitionSet.of([base])
+            return scheme.all_partitions()
+        partition_column = table.partition_column
+        if partition_column is None:
+            return PartitionSet.of([0])
+        literal = statement.partitioning_literal(partition_column)
+        if literal is not None:
+            return PartitionSet.of([scheme.partition_for_value(literal)])
+        index = statement.partitioning_parameter_index(partition_column)
+        if index is None:
+            return scheme.all_partitions()
+        if mapping is None:
+            return None
+        value = mapping.resolve(statement_name, index, counter, parameters)
+        if value is None:
+            return None
+        return PartitionSet.of([scheme.partition_for_value(value)])
+
+    @staticmethod
+    def _dominant_partition(accumulated: PartitionSet) -> PartitionId | None:
+        if len(accumulated) == 1:
+            return accumulated.partitions[0]
+        if len(accumulated) > 1:
+            return accumulated.partitions[0]
+        return None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _account_for_vertex(
+        estimate: PathEstimate,
+        model: MarkovModel,
+        key: VertexKey,
+        confidence: float,
+        query_index: int,
+    ) -> None:
+        vertex = model.vertex(key)
+        if vertex.table is not None:
+            estimate.abort_probability = max(estimate.abort_probability, vertex.table.abort)
+        is_write = vertex.query_type is not None and vertex.query_type.is_write
+        for partition_id in key.partitions:
+            prediction = estimate.partitions.get(partition_id)
+            if prediction is None:
+                estimate.partitions[partition_id] = PartitionPrediction(
+                    partition_id=partition_id,
+                    access_confidence=confidence,
+                    last_access_index=query_index,
+                    written=is_write,
+                )
+            else:
+                prediction.last_access_index = query_index
+                prediction.written = prediction.written or is_write

@@ -1,0 +1,253 @@
+"""The Houdini facade (paper §4, Fig. 6).
+
+``Houdini`` ties the pieces together: given the off-line artifacts (Markov
+models behind a :class:`~repro.houdini.providers.ModelProvider`, parameter
+mappings) it produces, for each incoming request, an execution plan plus a
+run-time monitor, and afterwards feeds what actually happened back into model
+maintenance and the per-procedure statistics that Table 4 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.schema import Catalog
+from ..engine.engine import AttemptResult
+from ..mapping.parameter_mapping import ParameterMappingSet
+from ..txn.plan import ExecutionPlan
+from ..types import ProcedureRequest
+from .cache import EstimateCache
+from .config import HoudiniConfig
+from .estimate import PathEstimate
+from .estimator import PathEstimator
+from .maintenance import MaintenanceRegistry
+from .optimizations import OptimizationDecision, OptimizationSelector
+from .providers import ModelProvider
+from .runtime import HoudiniRuntime
+from .stats import HoudiniStats
+
+
+@dataclass
+class HoudiniPlan:
+    """Everything Houdini produced for one transaction attempt."""
+
+    plan: ExecutionPlan
+    runtime: HoudiniRuntime
+    estimate: PathEstimate
+    decision: OptimizationDecision
+
+
+class Houdini:
+    """On-line prediction framework wrapping estimator + selector + runtime."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        provider: ModelProvider,
+        mappings: ParameterMappingSet,
+        config: HoudiniConfig | None = None,
+        *,
+        learning: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.provider = provider
+        self.mappings = mappings
+        self.config = config or HoudiniConfig()
+        self.estimator = PathEstimator(catalog, provider, mappings, self.config)
+        self.selector = OptimizationSelector(
+            self.config,
+            catalog.num_partitions,
+            catalog.scheme.partitions_per_node,
+        )
+        self.maintenance = MaintenanceRegistry(self.config)
+        #: Optional estimate cache for always-single-partition procedures
+        #: (§6.3); ``None`` unless enabled in the configuration.
+        self.estimate_cache: EstimateCache | None = (
+            EstimateCache(self.config) if self.config.enable_estimate_caching else None
+        )
+        self.stats = HoudiniStats()
+        #: Whether run-time execution paths update the models (§4.4/§4.5).
+        #: The off-line accuracy evaluation (Table 3) turns this off.
+        self.learning = learning
+        self._maintenance_interval = 200
+        self._since_maintenance = 0
+
+    # ------------------------------------------------------------------
+    def estimate(self, request: ProcedureRequest) -> PathEstimate:
+        """Produce (only) the initial path estimate for a request."""
+        return self.estimator.estimate(request)
+
+    def plan(self, request: ProcedureRequest) -> HoudiniPlan:
+        """Produce the execution plan and run-time monitor for a request."""
+        footprint = self.estimator.predicted_footprint(request)
+        cache_key = None
+        cached = None
+        if self.estimate_cache is not None:
+            cache_key = EstimateCache.key_for(request, footprint)
+            cached = self.estimate_cache.lookup(cache_key)
+        if cached is not None:
+            # §6.3: reuse the path walk of an earlier identical-footprint
+            # request; only a dictionary lookup is charged.
+            estimate = cached.estimate
+            decision = cached.decision
+            model = None if estimate.degenerate else self.provider.model_for(request)
+            charged_ms = self.config.estimation_cache_hit_ms
+            source = "houdini:cached"
+        else:
+            estimate = self.estimator.estimate(request)
+            model = None if estimate.degenerate else self.provider.model_for(request)
+            decision = self.selector.decide(request, estimate, model)
+            # The simulator charges a modelled (deterministic) estimation
+            # cost; the measured wall-clock time stays on the estimate.
+            charged_ms = self.config.estimation_cost_ms(
+                estimate.work_units, estimate.query_count
+            )
+            source = "houdini"
+            if self.estimate_cache is not None:
+                self.estimate_cache.store(cache_key, estimate, decision)
+        plan = decision.as_plan(charged_ms, source=source)
+        runtime = HoudiniRuntime(
+            model,
+            estimate,
+            self.config,
+            predicted_single_partition=decision.predicted_single_partition,
+            undo_initially_disabled=decision.disable_undo,
+            learn=self.learning,
+            footprint=footprint,
+        )
+        self._record_plan_stats(request, estimate, decision)
+        return HoudiniPlan(plan=plan, runtime=runtime, estimate=estimate, decision=decision)
+
+    def plan_restart(
+        self,
+        request: ProcedureRequest,
+        base_partition: int,
+        *,
+        attempt_number: int = 1,
+        never_finish: frozenset[int] = frozenset(),
+    ) -> HoudiniPlan:
+        """Plan a conservative restart after a misprediction.
+
+        Per the paper's evaluation, a mispredicted transaction is restarted
+        as a multi-partition transaction that locks every partition with undo
+        logging enabled.  Houdini still monitors the restarted attempt so
+        that the early-prepare optimization (OP4) releases the partitions the
+        transaction does not actually need — but restarts become
+        progressively more conservative so the retry loop always converges:
+        partitions in ``never_finish`` (they caused an early-prepare
+        misprediction earlier in this transaction) are never released again,
+        and when :attr:`HoudiniConfig.conservative_restarts` is set the
+        early-prepare optimization is switched off entirely from the second
+        restart onward.
+        """
+        estimate = self.estimator.estimate(request)
+        model = None if estimate.degenerate else self.provider.model_for(request)
+        charged_ms = self.config.estimation_cost_ms(
+            estimate.work_units, estimate.query_count
+        )
+        plan = ExecutionPlan(
+            base_partition=base_partition,
+            locked_partitions=None,
+            undo_logging=True,
+            estimation_ms=charged_ms,
+            source="houdini:restart",
+        )
+        allow_early_prepare = True
+        if self.config.conservative_restarts and attempt_number >= 2:
+            allow_early_prepare = False
+        runtime = HoudiniRuntime(
+            model,
+            estimate,
+            self.config,
+            predicted_single_partition=False,
+            undo_initially_disabled=False,
+            learn=self.learning,
+            footprint=self.estimator.predicted_footprint(request),
+            allow_early_prepare=allow_early_prepare,
+            never_finish=never_finish,
+        )
+        decision = OptimizationDecision(
+            base_partition=base_partition,
+            locked_partitions=self.catalog.scheme.all_partitions(),
+            predicted_single_partition=False,
+            disable_undo=False,
+            abort_probability=estimate.abort_probability,
+            confidence=estimate.confidence,
+        )
+        return HoudiniPlan(plan=plan, runtime=runtime, estimate=estimate, decision=decision)
+
+    # ------------------------------------------------------------------
+    def after_attempt(
+        self,
+        request: ProcedureRequest,
+        houdini_plan: HoudiniPlan,
+        attempt: AttemptResult,
+    ) -> None:
+        """Feed the attempt's outcome back into maintenance and statistics."""
+        runtime = houdini_plan.runtime
+        runtime.finish(attempt.committed)
+        model = self.provider.model_for(request)
+        if model is not None and self.learning:
+            maintenance = self.maintenance.for_model(model)
+            maintenance.record_transitions(runtime.stats.transitions)
+            self._since_maintenance += 1
+            if self._since_maintenance >= self._maintenance_interval:
+                self._since_maintenance = 0
+                recomputed = self.maintenance.check_all()
+                if recomputed and self.estimate_cache is not None:
+                    # Recomputed probabilities can change decisions, so every
+                    # cached estimate is stale.
+                    self.estimate_cache.invalidate()
+        self._record_outcome_stats(request, houdini_plan, attempt)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _record_plan_stats(
+        self,
+        request: ProcedureRequest,
+        estimate: PathEstimate,
+        decision: OptimizationDecision,
+    ) -> None:
+        stats = self.stats.for_procedure(request.procedure)
+        stats.transactions += 1
+        stats.estimates += 1
+        stats.estimation_ms_total += estimate.estimation_ms
+        if decision.op1_selected:
+            stats.op1_enabled += 1
+        if decision.op2_selected:
+            stats.op2_enabled += 1
+        if decision.disable_undo:
+            stats.op3_enabled += 1
+
+    def _record_outcome_stats(
+        self,
+        request: ProcedureRequest,
+        houdini_plan: HoudiniPlan,
+        attempt: AttemptResult,
+    ) -> None:
+        stats = self.stats.for_procedure(request.procedure)
+        runtime_stats = houdini_plan.runtime.stats
+        decision = houdini_plan.decision
+        mispredicted = attempt.mispredicted_partition is not None
+        if mispredicted:
+            stats.mispredicted_restarts += 1
+        if decision.op1_selected and not mispredicted:
+            touched = attempt.touched_partitions.as_frozenset()
+            if not touched or decision.base_partition in touched or attempt.committed:
+                stats.op1_correct += 1
+        if decision.op2_selected and not mispredicted:
+            stats.op2_correct += 1
+        if runtime_stats.undo_disabled_at_query is not None and attempt.committed:
+            # Undo logging was switched off at run time (§4.4 OP3 update).
+            stats.op3_enabled += 0 if decision.disable_undo else 1
+        if runtime_stats.finished_partitions and not runtime_stats.finish_mispredicted:
+            stats.op4_enabled += 1
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        return (
+            f"Houdini(threshold={self.config.confidence_threshold}, "
+            f"models={len(list(self.provider.models()))}, "
+            f"procedures={len(self.mappings)})"
+        )

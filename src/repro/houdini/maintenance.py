@@ -1,0 +1,140 @@
+"""Model maintenance (paper §4.5).
+
+As transactions execute, Houdini counts how often they take each outgoing
+edge of every vertex they visit.  When the observed transition distribution
+of a vertex drifts too far from the probabilities stored in the model —
+accuracy below a threshold (75% in the paper) — the model's edge and vertex
+probabilities are recomputed from the accumulated counters.  This happens
+on-line and is cheap (the paper quotes ≤ 5 ms); full model regeneration is
+only needed when the partitioning scheme or the procedure code changes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from ..markov.model import MarkovModel
+from ..markov.vertex import VertexKey
+from .config import HoudiniConfig
+
+
+@dataclass
+class MaintenanceStats:
+    """Counters describing maintenance activity for one model."""
+
+    transitions_observed: int = 0
+    accuracy_checks: int = 0
+    recomputations: int = 0
+    last_accuracy: float = 1.0
+
+
+class ModelMaintenance:
+    """Tracks observed transitions and recomputes drifting models."""
+
+    def __init__(self, model: MarkovModel, config: HoudiniConfig | None = None) -> None:
+        self.model = model
+        self.config = config or HoudiniConfig()
+        self.stats = MaintenanceStats()
+        self._observed: dict[VertexKey, dict[VertexKey, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        #: Recent transitions, oldest first, when a sliding window is
+        #: configured (§4.5 future work: "a sliding window that only
+        #: includes recent transactions for fast changing workloads").
+        self._window: deque[tuple[VertexKey, VertexKey]] | None = (
+            deque() if self.config.maintenance_window else None
+        )
+
+    # ------------------------------------------------------------------
+    def record_transitions(self, transitions) -> None:
+        """Record the (source, target) pairs one transaction visited."""
+        for source, target in transitions:
+            self._observed[source][target] += 1
+            self.stats.transitions_observed += 1
+            if self._window is not None:
+                self._window.append((source, target))
+                if len(self._window) > self.config.maintenance_window:
+                    self._evict(*self._window.popleft())
+
+    def _evict(self, source: VertexKey, target: VertexKey) -> None:
+        """Forget one windowed-out transition."""
+        counts = self._observed.get(source)
+        if counts is None:
+            return
+        counts[target] -= 1
+        if counts[target] <= 0:
+            del counts[target]
+        if not counts:
+            del self._observed[source]
+
+    # ------------------------------------------------------------------
+    def vertex_accuracy(self, source: VertexKey) -> float:
+        """How well the model's distribution matches the observed one.
+
+        Accuracy is the overlap of the two distributions
+        (``sum(min(p_model, p_observed))``): 1.0 when they agree exactly and
+        0.0 when they are disjoint.
+        """
+        observed = self._observed.get(source)
+        if not observed:
+            return 1.0
+        total = sum(observed.values())
+        if total == 0:
+            return 1.0
+        model_distribution = self.model.edge_distribution(source)
+        overlap = 0.0
+        for target, count in observed.items():
+            observed_probability = count / total
+            overlap += min(observed_probability, model_distribution.get(target, 0.0))
+        return overlap
+
+    def check(self) -> bool:
+        """Evaluate drift; recompute probabilities if accuracy is too low.
+
+        Returns True when a recomputation happened.
+        """
+        self.stats.accuracy_checks += 1
+        worst = 1.0
+        for source, observed in self._observed.items():
+            if sum(observed.values()) < self.config.maintenance_min_observations:
+                continue
+            worst = min(worst, self.vertex_accuracy(source))
+        self.stats.last_accuracy = worst
+        if worst < self.config.maintenance_accuracy_threshold:
+            self.recompute()
+            return True
+        return False
+
+    def recompute(self) -> None:
+        """Recompute the model's probabilities from its visit counters."""
+        self.model.recompute_probabilities(
+            precompute_tables=self.config.precompute_tables
+        )
+        self.stats.recomputations += 1
+        self._observed.clear()
+        if self._window is not None:
+            self._window.clear()
+
+
+class MaintenanceRegistry:
+    """Maintenance state for every model a provider manages."""
+
+    def __init__(self, config: HoudiniConfig | None = None) -> None:
+        self.config = config or HoudiniConfig()
+        self._by_model: dict[int, ModelMaintenance] = {}
+
+    def for_model(self, model: MarkovModel) -> ModelMaintenance:
+        key = id(model)
+        maintenance = self._by_model.get(key)
+        if maintenance is None:
+            maintenance = ModelMaintenance(model, self.config)
+            self._by_model[key] = maintenance
+        return maintenance
+
+    def check_all(self) -> int:
+        """Run drift checks on every tracked model; return recompute count."""
+        return sum(1 for maintenance in self._by_model.values() if maintenance.check())
+
+    def maintenances(self):
+        return list(self._by_model.values())

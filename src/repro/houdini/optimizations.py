@@ -1,0 +1,218 @@
+"""Optimization selection from an initial path estimate (paper §4.3).
+
+Turns a :class:`~repro.houdini.estimate.PathEstimate` into the concrete
+:class:`~repro.txn.plan.ExecutionPlan` the transaction coordinator consumes:
+
+* **OP1** — the base partition is the one the estimated path accesses most.
+* **OP2** — a partition is locked when its predicted access probability
+  (path confidence, or the begin-state probability table for partitions not
+  on the path) meets the confidence threshold.  A threshold of zero therefore
+  locks every partition, reproducing the left edge of Fig. 13.
+* **OP3** — undo logging is disabled only for transactions predicted to be
+  single-partitioned whose greatest abort probability along the path is
+  negligible *and* whose "will not abort" confidence clears the threshold.
+* **OP4** — per-partition finish points from the estimate, used by the
+  simulator to early-prepare / release partitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..markov.model import MarkovModel
+from ..txn.plan import ExecutionPlan
+from ..types import PartitionId, PartitionSet, ProcedureRequest
+from .config import HoudiniConfig
+from .estimate import PathEstimate
+
+
+@dataclass
+class OptimizationDecision:
+    """Which of the four optimizations were selected for a transaction."""
+
+    base_partition: PartitionId
+    locked_partitions: PartitionSet
+    predicted_single_partition: bool
+    disable_undo: bool
+    finish_after_query: dict[PartitionId, int] = field(default_factory=dict)
+    abort_probability: float = 0.0
+    confidence: float = 1.0
+    #: True when OP1 actually came from the estimate (vs. an arrival-node fallback).
+    op1_selected: bool = False
+    #: True when OP2 produced a proper subset of the cluster's partitions.
+    op2_selected: bool = False
+
+    def as_plan(self, estimation_ms: float, source: str) -> ExecutionPlan:
+        return ExecutionPlan(
+            base_partition=self.base_partition,
+            locked_partitions=self.locked_partitions,
+            undo_logging=not self.disable_undo,
+            finish_after_query=dict(self.finish_after_query),
+            estimation_ms=estimation_ms,
+            source=source,
+            predicted_single_partition=self.predicted_single_partition,
+            predicted_abort_probability=self.abort_probability,
+        )
+
+
+class OptimizationSelector:
+    """Selects OP1-OP4 for each request based on its path estimate."""
+
+    def __init__(self, config: HoudiniConfig, num_partitions: int, partitions_per_node: int = 2) -> None:
+        self.config = config
+        self.num_partitions = num_partitions
+        self.partitions_per_node = partitions_per_node
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        request: ProcedureRequest,
+        estimate: PathEstimate,
+        model: MarkovModel | None,
+    ) -> OptimizationDecision:
+        threshold = self.config.confidence_threshold
+        if estimate.degenerate or not estimate.vertices:
+            return self._fallback_decision(request)
+
+        # OP1 -----------------------------------------------------------
+        base = estimate.base_partition()
+        op1_selected = base is not None
+        if base is None:
+            base = self._arrival_partition(request)
+
+        # OP2 -----------------------------------------------------------
+        # A partition is locked when its predicted access probability clears
+        # the confidence threshold.  Partitions on the estimated path use the
+        # path confidence; partitions the path does not visit use the
+        # probability table of the first estimated state (which conditions on
+        # the home partition), so a threshold of zero locks everything and
+        # conditional-branch partitions are locked exactly when the threshold
+        # is below their branch probability (the Fig. 13 behaviour).
+        locked: set[PartitionId] = {base}
+        for prediction in estimate.partitions.values():
+            if prediction.access_confidence >= threshold:
+                locked.add(prediction.partition_id)
+        reference_table = self._reference_table(estimate, model)
+        if reference_table is not None:
+            for partition_id in range(self.num_partitions):
+                if partition_id in locked:
+                    continue
+                if reference_table.access_probability(partition_id) >= threshold:
+                    locked.add(partition_id)
+        locked_set = PartitionSet.of(locked)
+        op2_selected = len(locked_set) < self.num_partitions
+        predicted_single = len(locked_set) <= 1
+
+        # OP3 -----------------------------------------------------------
+        abort_probability = estimate.abort_probability
+        if estimate.predicted_abort:
+            abort_probability = max(abort_probability, 1.0)
+        # A rollback without an undo buffer is unrecoverable, so undo logging
+        # is only disabled up front when the model sees *no* chance of the
+        # transaction aborting or escaping its lock set (an OP2 misprediction
+        # would force a rollback too).  Less certain transactions still get
+        # the optimization later via the run-time update (§4.4).
+        escape_probability = self._escape_probability(estimate, model, locked_set)
+        # Guard against thinly-supported models: with n observed transactions
+        # an unobserved abort could still occur with probability ~1/(n+2)
+        # (Laplace), so the support must be large enough for "no abort seen"
+        # to actually mean "abort probability below tolerance".
+        support = self._estimate_support(estimate, model)
+        sampling_risk = 1.0 / (support + 2.0)
+        disable_undo = (
+            predicted_single
+            and abort_probability <= self.config.abort_tolerance
+            and sampling_risk <= self.config.abort_tolerance
+            and (1.0 - abort_probability) >= threshold
+            and escape_probability <= 0.0
+        )
+
+        # OP4 -----------------------------------------------------------
+        finish_after = {
+            partition_id: index
+            for partition_id, index in estimate.finish_points().items()
+            if partition_id in locked_set.as_frozenset()
+        }
+
+        return OptimizationDecision(
+            base_partition=base,
+            locked_partitions=locked_set,
+            predicted_single_partition=predicted_single,
+            disable_undo=disable_undo,
+            finish_after_query=finish_after,
+            abort_probability=abort_probability,
+            confidence=estimate.confidence,
+            op1_selected=op1_selected,
+            op2_selected=op2_selected,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reference_table(estimate: PathEstimate, model: MarkovModel | None):
+        """Probability table used for off-path partitions in OP2.
+
+        Prefer the first estimated query state (it conditions on the home
+        partition, removing the "which home?" uncertainty the begin state
+        mixes in); fall back to the begin state when the path is empty.
+        """
+        if model is None or not model.processed:
+            return None
+        for key in estimate.query_vertices:
+            if model.has_vertex(key):
+                table = model.vertex(key).table
+                if table is not None:
+                    return table
+            break
+        return model.probability_table(model.begin)
+
+    @staticmethod
+    def _estimate_support(estimate: PathEstimate, model: MarkovModel | None) -> int:
+        """How many observed transactions back the estimate's first step."""
+        if model is None or not model.processed:
+            return 0
+        for key in estimate.query_vertices:
+            if model.has_vertex(key):
+                return model.vertex(key).hits
+            break
+        return model.transactions_observed
+
+    def _escape_probability(
+        self,
+        estimate: PathEstimate,
+        model: MarkovModel | None,
+        locked_set: PartitionSet,
+    ) -> float:
+        """Largest modelled probability of touching an unlocked partition."""
+        if model is None or not model.processed:
+            return 1.0
+        locked = locked_set.as_frozenset()
+        worst = 0.0
+        for key in estimate.query_vertices:
+            if not model.has_vertex(key):
+                return 1.0
+            table = model.vertex(key).table
+            if table is None:
+                return 1.0
+            for partition_id in range(self.num_partitions):
+                if partition_id in locked:
+                    continue
+                worst = max(worst, table.access_probability(partition_id))
+                if worst > 0.0:
+                    return worst
+        return worst
+
+    def _fallback_decision(self, request: ProcedureRequest) -> OptimizationDecision:
+        """No usable estimate: run as a fully distributed transaction."""
+        base = self._arrival_partition(request)
+        return OptimizationDecision(
+            base_partition=base,
+            locked_partitions=PartitionSet.of(range(self.num_partitions)),
+            predicted_single_partition=self.num_partitions == 1,
+            disable_undo=False,
+            abort_probability=1.0,
+        )
+
+    def _arrival_partition(self, request: ProcedureRequest) -> PartitionId:
+        """First partition of the node the request arrived at."""
+        partition = request.arrival_node * self.partitions_per_node
+        return partition % self.num_partitions

@@ -1,0 +1,206 @@
+"""Query prefetching and batching analysis (paper §8, future work).
+
+The paper suggests two further uses of the relationship between procedure
+parameters and query parameters:
+
+* queries whose parameters are fully determined by the procedure's inputs
+  could be **pre-fetched** — dispatched as soon as the request arrives (or as
+  soon as the transaction enters a "trigger" state) instead of waiting for
+  the control code to reach them;
+* runs of such queries that target the same partitions are **batchable** —
+  the DBMS could rewrite them into a single round trip.
+
+This module performs that analysis off-line from a procedure's Markov model
+and parameter mapping and reports the opportunities it finds.  It is
+advisory: the execution engine does not act on it, but the analysis shows
+how much of each workload the technique could cover, which is the question
+the future-work section raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catalog.procedure import StoredProcedure
+from ..catalog.schema import Catalog
+from ..mapping.parameter_mapping import ParameterMapping, ParameterMappingSet
+from ..markov.model import MarkovModel
+from ..markov.vertex import VertexKey, VertexKind
+
+
+@dataclass(frozen=True)
+class PrefetchCandidate:
+    """One query invocation whose parameters are known before it executes."""
+
+    statement: str
+    counter: int
+    #: The state after which the query's parameters are fully known.  The
+    #: begin state means the query could be dispatched with the request
+    #: itself; a later state is a "trigger" state in the paper's sense.
+    trigger: VertexKey
+    #: Probability (along the model) that the transaction actually executes
+    #: this query once it has passed the trigger state.
+    probability: float
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """A run of consecutive prefetchable queries that share a partition set."""
+
+    statements: tuple[tuple[str, int], ...]
+    partitions: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.statements)
+
+
+@dataclass
+class PrefetchPlan:
+    """Everything the advisor found for one stored procedure."""
+
+    procedure: str
+    candidates: list[PrefetchCandidate] = field(default_factory=list)
+    batch_groups: list[BatchGroup] = field(default_factory=list)
+    #: Query invocations on the dominant path that are *not* prefetchable.
+    unresolved: list[tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def prefetchable_at_begin(self) -> list[PrefetchCandidate]:
+        """Candidates dispatchable together with the request itself."""
+        return [c for c in self.candidates if c.trigger.kind is VertexKind.BEGIN]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of dominant-path queries that are prefetchable."""
+        total = len(self.candidates) + len(self.unresolved)
+        if total == 0:
+            return 0.0
+        return len(self.candidates) / total
+
+    def describe(self) -> str:
+        lines = [
+            f"Prefetch plan for {self.procedure!r}: "
+            f"{len(self.candidates)} prefetchable, {len(self.unresolved)} unresolved "
+            f"({self.coverage:.0%} coverage)"
+        ]
+        for candidate in self.candidates:
+            where = "with the request" if candidate.trigger.kind is VertexKind.BEGIN else (
+                f"after {candidate.trigger.name}#{candidate.trigger.counter}"
+            )
+            lines.append(
+                f"  prefetch {candidate.statement}#{candidate.counter} {where} "
+                f"(p={candidate.probability:.2f})"
+            )
+        for group in self.batch_groups:
+            names = ", ".join(f"{name}#{counter}" for name, counter in group.statements)
+            lines.append(f"  batch [{names}] on partitions {list(group.partitions)}")
+        return "\n".join(lines)
+
+
+class PrefetchAdvisor:
+    """Finds prefetchable and batchable queries for stored procedures."""
+
+    def __init__(self, catalog: Catalog, mappings: ParameterMappingSet) -> None:
+        self.catalog = catalog
+        self.mappings = mappings
+
+    # ------------------------------------------------------------------
+    def analyze(self, model: MarkovModel) -> PrefetchPlan:
+        """Analyze one procedure's model along its most likely path."""
+        procedure = self.catalog.procedure(model.procedure)
+        mapping = self.mappings.get(model.procedure)
+        plan = PrefetchPlan(procedure=model.procedure)
+        path = self._dominant_path(model)
+        cumulative = 1.0
+        last_resolved_trigger: VertexKey = model.begin
+        for key, probability in path:
+            cumulative *= probability
+            if key.kind is not VertexKind.QUERY:
+                continue
+            if self._fully_determined(procedure, mapping, key.name):
+                plan.candidates.append(
+                    PrefetchCandidate(
+                        statement=key.name,
+                        counter=key.counter,
+                        trigger=last_resolved_trigger,
+                        probability=cumulative,
+                    )
+                )
+            else:
+                plan.unresolved.append((key.name, key.counter))
+                # Later prefetchable queries can only be dispatched once the
+                # transaction has passed this (data-dependent) state.
+                last_resolved_trigger = key
+        plan.batch_groups = self._batch_groups(plan, path)
+        return plan
+
+    def analyze_all(self, models: dict[str, MarkovModel]) -> dict[str, PrefetchPlan]:
+        """Analyze every procedure's model."""
+        return {name: self.analyze(model) for name, model in sorted(models.items())}
+
+    # ------------------------------------------------------------------
+    def _dominant_path(self, model: MarkovModel) -> list[tuple[VertexKey, float]]:
+        """Most likely begin→terminal path (greedy, cycle-safe)."""
+        path: list[tuple[VertexKey, float]] = []
+        current = model.begin
+        seen = {current}
+        for _ in range(1000):
+            successors = model.successors(current)
+            successors = [(key, p) for key, p in successors if key not in seen]
+            if not successors:
+                break
+            key, probability = successors[0]
+            path.append((key, probability))
+            if key.kind in (VertexKind.COMMIT, VertexKind.ABORT):
+                break
+            seen.add(key)
+            current = key
+        return path
+
+    def _fully_determined(
+        self,
+        procedure: StoredProcedure,
+        mapping: ParameterMapping | None,
+        statement_name: str,
+    ) -> bool:
+        """Whether every parameter of a statement maps to a procedure input."""
+        if mapping is None:
+            return False
+        statement = procedure.statement(statement_name)
+        count = statement.parameter_count()
+        if count == 0:
+            return True
+        return all(mapping.is_mapped(statement_name, index) for index in range(count))
+
+    @staticmethod
+    def _batch_groups(
+        plan: PrefetchPlan, path: list[tuple[VertexKey, float]]
+    ) -> list[BatchGroup]:
+        """Group consecutive prefetchable path queries by partition set."""
+        prefetchable = {(c.statement, c.counter) for c in plan.candidates}
+        groups: list[BatchGroup] = []
+        run: list[tuple[str, int]] = []
+        run_partitions: tuple[int, ...] | None = None
+        for key, _ in path:
+            if key.kind is not VertexKind.QUERY:
+                continue
+            identity = (key.name, key.counter)
+            partitions = tuple(key.partitions)
+            if identity in prefetchable and (
+                run_partitions is None or partitions == run_partitions
+            ):
+                run.append(identity)
+                run_partitions = partitions
+                continue
+            if len(run) > 1 and run_partitions is not None:
+                groups.append(BatchGroup(statements=tuple(run), partitions=run_partitions))
+            if identity in prefetchable:
+                run = [identity]
+                run_partitions = partitions
+            else:
+                run = []
+                run_partitions = None
+        if len(run) > 1 and run_partitions is not None:
+            groups.append(BatchGroup(statements=tuple(run), partitions=run_partitions))
+        return groups

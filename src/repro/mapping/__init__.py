@@ -1,0 +1,34 @@
+"""Parameter mappings between procedure inputs and query inputs (paper §4.1)."""
+
+from .mapping_builder import ParameterMappingBuilder, build_parameter_mappings
+from .serialization import (
+    load_mappings,
+    mapping_from_dict,
+    mapping_set_from_dict,
+    mapping_set_to_dict,
+    mapping_to_dict,
+    save_mappings,
+)
+from .parameter_mapping import (
+    DEFAULT_COEFFICIENT_THRESHOLD,
+    MappingEntry,
+    ParameterMapping,
+    ParameterMappingSet,
+    geometric_mean,
+)
+
+__all__ = [
+    "ParameterMapping",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "mapping_set_to_dict",
+    "mapping_set_from_dict",
+    "save_mappings",
+    "load_mappings",
+    "ParameterMappingSet",
+    "MappingEntry",
+    "ParameterMappingBuilder",
+    "build_parameter_mappings",
+    "geometric_mean",
+    "DEFAULT_COEFFICIENT_THRESHOLD",
+]

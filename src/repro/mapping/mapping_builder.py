@@ -1,0 +1,149 @@
+"""Derives parameter mappings from workload traces by dynamic analysis.
+
+For every (query parameter slot, procedure parameter) pair the builder counts
+how often the two carried the same value across the trace, computes the match
+ratio per invocation counter / array position, and folds those per-position
+ratios into a single coefficient with a geometric mean (paper §4.1).  Pairs
+below the pruning threshold are dropped as coincidences.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..catalog.procedure import StoredProcedure
+from ..catalog.schema import Catalog
+from ..workload.trace import TransactionTraceRecord, WorkloadTrace
+from .parameter_mapping import (
+    DEFAULT_COEFFICIENT_THRESHOLD,
+    MappingEntry,
+    ParameterMapping,
+    ParameterMappingSet,
+    geometric_mean,
+)
+
+
+@dataclass
+class _PairCounter:
+    """Match counts per alignment position for one candidate pair."""
+
+    matches: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    comparisons: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, position: int, matched: bool) -> None:
+        self.comparisons[position] += 1
+        if matched:
+            self.matches[position] += 1
+
+    def coefficient(self) -> float:
+        ratios = []
+        for position, total in self.comparisons.items():
+            if total <= 0:
+                continue
+            ratios.append(self.matches[position] / total)
+        return geometric_mean(ratios)
+
+    def total_comparisons(self) -> int:
+        return sum(self.comparisons.values())
+
+
+class ParameterMappingBuilder:
+    """Builds :class:`ParameterMapping` objects from traces."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        threshold: float = DEFAULT_COEFFICIENT_THRESHOLD,
+        min_comparisons: int = 3,
+    ) -> None:
+        self.catalog = catalog
+        self.threshold = threshold
+        #: Pairs observed fewer times than this are ignored: a single lucky
+        #: match should not create a mapping.
+        self.min_comparisons = min_comparisons
+
+    # ------------------------------------------------------------------
+    def build_all(self, trace: WorkloadTrace) -> ParameterMappingSet:
+        """Build mappings for every procedure appearing in ``trace``."""
+        mapping_set = ParameterMappingSet()
+        for procedure_name in trace.procedures:
+            mapping_set.add(self.build(trace, procedure_name))
+        return mapping_set
+
+    def build(self, trace: WorkloadTrace, procedure_name: str) -> ParameterMapping:
+        """Build the mapping for one procedure from its trace records."""
+        procedure = self.catalog.procedure(procedure_name)
+        scalar_pairs: dict[tuple[str, int, int], _PairCounter] = defaultdict(_PairCounter)
+        array_pairs: dict[tuple[str, int, int], _PairCounter] = defaultdict(_PairCounter)
+        for record in trace:
+            if record.procedure != procedure_name:
+                continue
+            self._scan_record(procedure, record, scalar_pairs, array_pairs)
+        mapping = ParameterMapping(procedure_name, threshold=self.threshold)
+        self._emit_entries(mapping, scalar_pairs, array_aligned=False)
+        self._emit_entries(mapping, array_pairs, array_aligned=True)
+        return mapping
+
+    # ------------------------------------------------------------------
+    def _scan_record(
+        self,
+        procedure: StoredProcedure,
+        record: TransactionTraceRecord,
+        scalar_pairs,
+        array_pairs,
+    ) -> None:
+        counters: dict[str, int] = defaultdict(int)
+        for query in record.queries:
+            counter = counters[query.statement]
+            counters[query.statement] += 1
+            for query_index, query_value in enumerate(query.parameters):
+                if isinstance(query_value, (list, tuple)):
+                    continue
+                for proc_index, proc_value in enumerate(record.parameters):
+                    key = (query.statement, query_index, proc_index)
+                    if isinstance(proc_value, (list, tuple)):
+                        # Array procedure parameter: compare this invocation's
+                        # value against the element aligned with its counter.
+                        if counter < len(proc_value):
+                            array_pairs[key].record(
+                                counter, _values_equal(proc_value[counter], query_value)
+                            )
+                    else:
+                        scalar_pairs[key].record(
+                            counter, _values_equal(proc_value, query_value)
+                        )
+
+    def _emit_entries(self, mapping: ParameterMapping, pairs, *, array_aligned: bool) -> None:
+        for (statement, query_index, proc_index), counter in pairs.items():
+            if counter.total_comparisons() < self.min_comparisons:
+                continue
+            coefficient = counter.coefficient()
+            if coefficient < self.threshold:
+                continue
+            mapping.add(MappingEntry(
+                statement=statement,
+                query_param_index=query_index,
+                procedure_param_index=proc_index,
+                array_aligned=array_aligned,
+                coefficient=coefficient,
+            ))
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    """Value equality that never treats booleans and integers as equal."""
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    return left == right
+
+
+def build_parameter_mappings(
+    catalog: Catalog,
+    trace: WorkloadTrace,
+    *,
+    threshold: float = DEFAULT_COEFFICIENT_THRESHOLD,
+) -> ParameterMappingSet:
+    """Convenience wrapper mirroring :func:`build_models_from_trace`."""
+    return ParameterMappingBuilder(catalog, threshold=threshold).build_all(trace)

@@ -1,0 +1,103 @@
+"""JSON (de)serialization of parameter mappings.
+
+Parameter mappings (paper §4.1) are the second off-line artifact Houdini
+needs at run time (Fig. 6).  Like the Markov models they are derived from a
+workload trace, so deployments want to train them once and ship them to
+every node; this module provides the durable representation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import EstimationError
+from .parameter_mapping import MappingEntry, ParameterMapping, ParameterMappingSet
+
+#: Format version written into every document.
+FORMAT_VERSION = 1
+
+
+def mapping_to_dict(mapping: ParameterMapping) -> dict[str, Any]:
+    """Encode one procedure's parameter mapping."""
+    return {
+        "procedure": mapping.procedure,
+        "threshold": mapping.threshold,
+        "entries": [
+            {
+                "statement": entry.statement,
+                "query_param_index": entry.query_param_index,
+                "procedure_param_index": entry.procedure_param_index,
+                "array_aligned": entry.array_aligned,
+                "coefficient": entry.coefficient,
+            }
+            for entry in sorted(
+                mapping.entries,
+                key=lambda e: (e.statement, e.query_param_index, e.procedure_param_index),
+            )
+        ],
+    }
+
+
+def mapping_from_dict(data: Mapping[str, Any]) -> ParameterMapping:
+    """Decode one procedure's mapping from :func:`mapping_to_dict` output."""
+    try:
+        entries = [
+            MappingEntry(
+                statement=entry["statement"],
+                query_param_index=int(entry["query_param_index"]),
+                procedure_param_index=int(entry["procedure_param_index"]),
+                array_aligned=bool(entry["array_aligned"]),
+                coefficient=float(entry["coefficient"]),
+            )
+            for entry in data.get("entries", [])
+        ]
+        return ParameterMapping(
+            procedure=data["procedure"],
+            entries=entries,
+            threshold=float(data.get("threshold", 0.9)),
+        )
+    except KeyError as exc:
+        raise EstimationError(f"malformed parameter-mapping document: missing {exc}") from exc
+
+
+def mapping_set_to_dict(mappings: ParameterMappingSet) -> dict[str, Any]:
+    """Encode a whole application's mappings."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "mappings": {
+            name: mapping_to_dict(mapping) for name, mapping in sorted(mappings.mappings.items())
+        },
+    }
+
+
+def mapping_set_from_dict(data: Mapping[str, Any]) -> ParameterMappingSet:
+    """Decode a bundle produced by :func:`mapping_set_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise EstimationError(
+            f"unsupported parameter-mapping format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    result = ParameterMappingSet()
+    for entry in data.get("mappings", {}).values():
+        result.add(mapping_from_dict(entry))
+    return result
+
+
+def save_mappings(mappings: ParameterMappingSet, path: str | Path) -> Path:
+    """Write a mapping bundle to ``path`` as JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(mapping_set_to_dict(mappings), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_mappings(path: str | Path) -> ParameterMappingSet:
+    """Load a mapping bundle previously written by :func:`save_mappings`."""
+    text = Path(path).read_text(encoding="utf-8")
+    return mapping_set_from_dict(json.loads(text))

@@ -1,0 +1,52 @@
+"""Transaction Markov models (the paper's Section 3)."""
+
+from .builder import (
+    MarkovModelBuilder,
+    build_models_from_trace,
+    models_summary,
+    steps_from_invocations,
+    steps_from_queries,
+)
+from .dot import save_dot, to_dot
+from .model import MarkovModel, PathStep
+from .serialization import (
+    load_models,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_json,
+    models_from_dict,
+    models_to_dict,
+    save_models,
+)
+from .probability_table import PartitionProbabilities, ProbabilityTable
+from .vertex import ABORT_KEY, BEGIN_KEY, COMMIT_KEY, Edge, Vertex, VertexKey, VertexKind
+
+__all__ = [
+    "MarkovModel",
+    "model_to_dict",
+    "model_from_dict",
+    "model_to_json",
+    "model_from_json",
+    "models_to_dict",
+    "models_from_dict",
+    "save_models",
+    "load_models",
+    "PathStep",
+    "MarkovModelBuilder",
+    "build_models_from_trace",
+    "models_summary",
+    "steps_from_queries",
+    "steps_from_invocations",
+    "ProbabilityTable",
+    "PartitionProbabilities",
+    "Vertex",
+    "VertexKey",
+    "VertexKind",
+    "Edge",
+    "BEGIN_KEY",
+    "COMMIT_KEY",
+    "ABORT_KEY",
+    "to_dot",
+    "save_dot",
+]

@@ -1,0 +1,340 @@
+"""The transaction Markov model (paper Section 3).
+
+A :class:`MarkovModel` is a directed graph of execution states for one stored
+procedure.  It is built in two phases:
+
+* **construction** — execution paths (from a workload trace or from live
+  transactions) are folded into the graph, creating vertices and counting
+  edge visits;
+* **processing** — edge probabilities are computed from the visit counts, and
+  every vertex's probability table (Fig. 5) is pre-computed by walking the
+  graph from the terminal states backwards.
+
+Models can keep learning at run time: unknown states become placeholder
+vertices, visit counters keep accumulating, and
+:meth:`MarkovModel.recompute_probabilities` refreshes the probabilities from
+the counters without rebuilding the graph (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import ModelError
+from ..types import PartitionSet, QueryType
+from .probability_table import ProbabilityTable
+from .vertex import ABORT_KEY, BEGIN_KEY, COMMIT_KEY, Edge, Vertex, VertexKey, VertexKind
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One step of an execution path handed to the construction phase."""
+
+    statement: str
+    query_type: QueryType
+    partitions: PartitionSet
+    previous: PartitionSet
+    counter: int
+
+    def key(self) -> VertexKey:
+        return VertexKey.query(self.statement, self.counter, self.partitions, self.previous)
+
+
+class MarkovModel:
+    """Execution-state graph for a single stored procedure."""
+
+    def __init__(self, procedure: str, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ModelError("model needs at least one partition")
+        self.procedure = procedure
+        self.num_partitions = num_partitions
+        self._vertices: dict[VertexKey, Vertex] = {}
+        self._edges: dict[VertexKey, dict[VertexKey, Edge]] = {}
+        self._reverse: dict[VertexKey, set[VertexKey]] = {}
+        for key in (BEGIN_KEY, COMMIT_KEY, ABORT_KEY):
+            self._add_vertex(key, None)
+        self.transactions_observed = 0
+        self._processed = False
+        self._stale = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def begin(self) -> VertexKey:
+        return BEGIN_KEY
+
+    @property
+    def commit(self) -> VertexKey:
+        return COMMIT_KEY
+
+    @property
+    def abort(self) -> VertexKey:
+        return ABORT_KEY
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def stale(self) -> bool:
+        """True when run-time learning added counts not yet reflected in the
+        probabilities (the trigger examined by model maintenance, §4.5)."""
+        return self._stale
+
+    def vertex_count(self) -> int:
+        return len(self._vertices)
+
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._edges.values())
+
+    def has_vertex(self, key: VertexKey) -> bool:
+        return key in self._vertices
+
+    def vertex(self, key: VertexKey) -> Vertex:
+        try:
+            return self._vertices[key]
+        except KeyError:
+            raise ModelError(f"unknown vertex {key}") from None
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices.values())
+
+    def query_vertices(self) -> Iterator[Vertex]:
+        return (v for v in self._vertices.values() if v.is_query)
+
+    def edges_from(self, key: VertexKey) -> list[Edge]:
+        return list(self._edges.get(key, {}).values())
+
+    def successors(self, key: VertexKey) -> list[tuple[VertexKey, float]]:
+        """Outgoing (target, probability) pairs sorted by descending probability."""
+        edges = self._edges.get(key, {})
+        pairs = [(edge.target, edge.probability) for edge in edges.values()]
+        pairs.sort(key=lambda pair: (-pair[1], str(pair[0])))
+        return pairs
+
+    def edge(self, source: VertexKey, target: VertexKey) -> Edge | None:
+        return self._edges.get(source, {}).get(target)
+
+    def edge_probability(self, source: VertexKey, target: VertexKey) -> float:
+        edge = self.edge(source, target)
+        return edge.probability if edge else 0.0
+
+    def probability_table(self, key: VertexKey) -> ProbabilityTable:
+        vertex = self.vertex(key)
+        if vertex.table is None:
+            raise ModelError(
+                f"vertex {key} has no probability table; call process() first"
+            )
+        return vertex.table
+
+    # ------------------------------------------------------------------
+    # Construction phase
+    # ------------------------------------------------------------------
+    def _add_vertex(self, key: VertexKey, query_type: QueryType | None) -> Vertex:
+        vertex = self._vertices.get(key)
+        if vertex is None:
+            vertex = Vertex(key=key, query_type=query_type)
+            self._vertices[key] = vertex
+            self._edges.setdefault(key, {})
+            self._reverse.setdefault(key, set())
+        elif query_type is not None and vertex.query_type is None:
+            vertex.query_type = query_type
+        return vertex
+
+    def _add_edge_visit(self, source: VertexKey, target: VertexKey, count: int = 1) -> Edge:
+        targets = self._edges.setdefault(source, {})
+        edge = targets.get(target)
+        if edge is None:
+            edge = Edge(source=source, target=target)
+            targets[target] = edge
+            self._reverse.setdefault(target, set()).add(source)
+        edge.record_visit(count)
+        return edge
+
+    def add_path(self, steps: Sequence[PathStep], aborted: bool) -> list[VertexKey]:
+        """Fold one transaction's execution path into the model.
+
+        Returns the list of vertex keys visited (begin ... terminal), which
+        callers can reuse for accuracy bookkeeping.
+        """
+        current = BEGIN_KEY
+        self._vertices[current].hits += 1
+        visited = [current]
+        for step in steps:
+            key = step.key()
+            vertex = self._add_vertex(key, step.query_type)
+            vertex.hits += 1
+            self._add_edge_visit(current, key)
+            visited.append(key)
+            current = key
+        terminal = ABORT_KEY if aborted else COMMIT_KEY
+        self._vertices[terminal].hits += 1
+        self._add_edge_visit(current, terminal)
+        visited.append(terminal)
+        self.transactions_observed += 1
+        self._processed = False
+        return visited
+
+    def add_placeholder(self, key: VertexKey, query_type: QueryType | None = None) -> Vertex:
+        """Add a vertex for a state seen at run time but absent from the model.
+
+        The paper (Section 4.4): "If the transaction reaches a state that does
+        not exist in the model, then a new vertex is added as a placeholder;
+        no further information can be derived about that state until Houdini
+        recomputes the model's probabilities."
+        """
+        vertex = self._add_vertex(key, query_type)
+        self._stale = True
+        return vertex
+
+    def record_transition(self, source: VertexKey, target: VertexKey, count: int = 1) -> None:
+        """Record a run-time transition (used by model maintenance)."""
+        if source not in self._vertices:
+            self.add_placeholder(source)
+        if target not in self._vertices:
+            self.add_placeholder(target)
+        self._vertices[target].hits += count
+        self._add_edge_visit(source, target, count)
+        self._stale = True
+
+    # ------------------------------------------------------------------
+    # Processing phase
+    # ------------------------------------------------------------------
+    def process(self, *, precompute_tables: bool = True) -> None:
+        """Compute edge probabilities and (optionally) probability tables."""
+        self._compute_edge_probabilities()
+        if precompute_tables:
+            self._compute_probability_tables()
+            self._compute_remaining_queries()
+        self._processed = True
+        self._stale = False
+
+    # Alias matching the paper's terminology.
+    recompute_probabilities = process
+
+    def _compute_edge_probabilities(self) -> None:
+        for source, targets in self._edges.items():
+            total = sum(edge.hits for edge in targets.values())
+            for edge in targets.values():
+                edge.probability = edge.hits / total if total > 0 else 0.0
+
+    def _topological_order(self) -> list[VertexKey]:
+        """Vertices ordered so every child precedes its parents.
+
+        The paper's models are acyclic, so a reverse topological order exists
+        and guarantees a vertex's table is computed only after all of its
+        children's (Section 3.2).  If run-time placeholder edges introduced a
+        cycle, the affected vertices are appended at the end and handled by a
+        bounded fixed-point pass instead.
+        """
+        out_degree = {key: len(self._edges.get(key, {})) for key in self._vertices}
+        ready = deque(key for key, degree in out_degree.items() if degree == 0)
+        order: list[VertexKey] = []
+        seen: set[VertexKey] = set()
+        while ready:
+            key = ready.popleft()
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append(key)
+            for parent in self._reverse.get(key, ()):  # parents now have one fewer child
+                out_degree[parent] -= 1
+                if out_degree[parent] == 0:
+                    ready.append(parent)
+        leftovers = [key for key in self._vertices if key not in seen]
+        return order + leftovers
+
+    def _compute_probability_tables(self, fixed_point_rounds: int = 4) -> None:
+        order = self._topological_order()
+        for _ in range(fixed_point_rounds):
+            changed = False
+            for key in order:
+                new_table = self._table_for(key)
+                vertex = self._vertices[key]
+                if vertex.table is None or not vertex.table.approx_equal(new_table):
+                    vertex.table = new_table
+                    changed = True
+            if not changed:
+                break
+
+    def _table_for(self, key: VertexKey) -> ProbabilityTable:
+        if key == COMMIT_KEY:
+            return ProbabilityTable.for_commit(self.num_partitions)
+        if key == ABORT_KEY:
+            return ProbabilityTable.for_abort(self.num_partitions)
+        children: list[tuple[float, ProbabilityTable]] = []
+        for edge in self._edges.get(key, {}).values():
+            child = self._vertices[edge.target]
+            child_table = child.table
+            if child_table is None:
+                child_table = ProbabilityTable(self.num_partitions)
+            children.append((edge.probability, child_table))
+        table = ProbabilityTable.weighted_sum(self.num_partitions, children)
+        vertex = self._vertices[key]
+        if key.is_query:
+            accessed = key.accessed_partitions()
+            if len(accessed) > 1:
+                table.single_partition = 0.0
+            for partition_id in key.partitions:
+                entry = table.partition(partition_id)
+                if vertex.query_type is QueryType.WRITE:
+                    entry.write = 1.0
+                else:
+                    entry.read = 1.0
+                entry.finish = 0.0
+        return table
+
+    def _compute_remaining_queries(self) -> None:
+        """Annotate vertices with the expected number of remaining queries.
+
+        This is the "expected remaining run time" extension sketched in the
+        paper's future-work section; the cost model converts query counts to
+        time when it is used for scheduling.
+        """
+        order = self._topological_order()
+        remaining: dict[VertexKey, float] = {}
+        for key in order:
+            if key.is_terminal:
+                remaining[key] = 0.0
+                continue
+            edges = self._edges.get(key, {})
+            expectation = 0.0
+            for edge in edges.values():
+                child_cost = 1.0 if edge.target.is_query else 0.0
+                expectation += edge.probability * (child_cost + remaining.get(edge.target, 0.0))
+            remaining[key] = expectation
+            self._vertices[key].expected_remaining_queries = expectation
+
+    # ------------------------------------------------------------------
+    # Maintenance support
+    # ------------------------------------------------------------------
+    def edge_distribution(self, source: VertexKey) -> dict[VertexKey, float]:
+        """Current probability distribution of a vertex's outgoing edges."""
+        return {
+            edge.target: edge.probability for edge in self._edges.get(source, {}).values()
+        }
+
+    def merge_counts(self, other: "MarkovModel") -> None:
+        """Fold another model's visit counts into this one (same procedure)."""
+        if other.procedure != self.procedure:
+            raise ModelError("cannot merge models of different procedures")
+        if other.num_partitions != self.num_partitions:
+            raise ModelError("cannot merge models with different partition counts")
+        for vertex in other.vertices():
+            mine = self._add_vertex(vertex.key, vertex.query_type)
+            mine.hits += vertex.hits
+        for source, targets in other._edges.items():
+            for edge in targets.values():
+                self._add_edge_visit(source, edge.target, edge.hits)
+        self.transactions_observed += other.transactions_observed
+        self._processed = False
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MarkovModel {self.procedure!r} vertices={self.vertex_count()} "
+            f"edges={self.edge_count()} txns={self.transactions_observed}>"
+        )

@@ -1,0 +1,157 @@
+"""Pre-computed per-vertex probability tables (paper Fig. 5, §3.2).
+
+Each vertex carries a table of estimates about what happens *after* a
+transaction reaches that state:
+
+* ``single_partition`` — probability that every future query executes on the
+  same partition where the control code is running (OP1),
+* ``abort`` — probability the transaction eventually aborts (OP3),
+* per partition: the probability that a future query **reads** or **writes**
+  data there (OP2), and conversely the probability that the transaction is
+  **finished** with that partition (OP4).
+
+Pre-computing these tables avoids an expensive traversal of the model per
+transaction; the paper measures that optimization as saving ~24% of the
+on-line computation time, and the ablation bench
+``benchmarks/bench_ablation_precompute.py`` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+
+
+@dataclass
+class PartitionProbabilities:
+    """Future read/write/finish probabilities for one partition."""
+
+    read: float = 0.0
+    write: float = 0.0
+    finish: float = 1.0
+
+    def access(self) -> float:
+        """Probability of any future access (read or write)."""
+        return max(self.read, self.write)
+
+
+@dataclass
+class ProbabilityTable:
+    """The full probability table of one vertex."""
+
+    num_partitions: int
+    single_partition: float = 0.0
+    abort: float = 0.0
+    partitions: list[PartitionProbabilities] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_partitions < 1:
+            raise ModelError("probability table needs at least one partition")
+        if not self.partitions:
+            self.partitions = [PartitionProbabilities() for _ in range(self.num_partitions)]
+        elif len(self.partitions) != self.num_partitions:
+            raise ModelError("partition probability list has the wrong length")
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def partition(self, partition_id: int) -> PartitionProbabilities:
+        if not 0 <= partition_id < self.num_partitions:
+            raise ModelError(f"partition {partition_id} out of range")
+        return self.partitions[partition_id]
+
+    def read_probability(self, partition_id: int) -> float:
+        return self.partition(partition_id).read
+
+    def write_probability(self, partition_id: int) -> float:
+        return self.partition(partition_id).write
+
+    def finish_probability(self, partition_id: int) -> float:
+        return self.partition(partition_id).finish
+
+    def access_probability(self, partition_id: int) -> float:
+        return self.partition(partition_id).access()
+
+    def accessed_partitions(self, threshold: float) -> list[int]:
+        """Partitions whose future access probability meets ``threshold``."""
+        return [
+            p for p in range(self.num_partitions)
+            if self.partitions[p].access() >= threshold
+        ]
+
+    def finished_partitions(self, threshold: float) -> list[int]:
+        """Partitions whose finish probability meets ``threshold``."""
+        return [
+            p for p in range(self.num_partitions)
+            if self.partitions[p].finish >= threshold
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction helpers used by the processing phase
+    # ------------------------------------------------------------------
+    @staticmethod
+    def for_commit(num_partitions: int) -> "ProbabilityTable":
+        """Terminal table for the commit state: finished with everything."""
+        table = ProbabilityTable(num_partitions, single_partition=1.0, abort=0.0)
+        for entry in table.partitions:
+            entry.read = 0.0
+            entry.write = 0.0
+            entry.finish = 1.0
+        return table
+
+    @staticmethod
+    def for_abort(num_partitions: int) -> "ProbabilityTable":
+        """Terminal table for the abort state: abort probability one."""
+        table = ProbabilityTable(num_partitions, single_partition=1.0, abort=1.0)
+        for entry in table.partitions:
+            entry.read = 0.0
+            entry.write = 0.0
+            entry.finish = 1.0
+        return table
+
+    @staticmethod
+    def weighted_sum(
+        num_partitions: int,
+        children: list[tuple[float, "ProbabilityTable"]],
+    ) -> "ProbabilityTable":
+        """Combine children tables weighted by their edge probabilities."""
+        table = ProbabilityTable(num_partitions)
+        if not children:
+            return table
+        total_weight = sum(weight for weight, _ in children)
+        if total_weight <= 0:
+            return table
+        table.single_partition = sum(w * t.single_partition for w, t in children) / total_weight
+        table.abort = sum(w * t.abort for w, t in children) / total_weight
+        for partition_id in range(num_partitions):
+            entry = table.partitions[partition_id]
+            entry.read = sum(w * t.partitions[partition_id].read for w, t in children) / total_weight
+            entry.write = sum(w * t.partitions[partition_id].write for w, t in children) / total_weight
+            entry.finish = sum(w * t.partitions[partition_id].finish for w, t in children) / total_weight
+        return table
+
+    def copy(self) -> "ProbabilityTable":
+        clone = ProbabilityTable(self.num_partitions, self.single_partition, self.abort)
+        for mine, theirs in zip(clone.partitions, self.partitions):
+            mine.read = theirs.read
+            mine.write = theirs.write
+            mine.finish = theirs.finish
+        return clone
+
+    def approx_equal(self, other: "ProbabilityTable", tolerance: float = 1e-9) -> bool:
+        """Structural comparison used by convergence checks and tests."""
+        if self.num_partitions != other.num_partitions:
+            return False
+        if abs(self.single_partition - other.single_partition) > tolerance:
+            return False
+        if abs(self.abort - other.abort) > tolerance:
+            return False
+        for mine, theirs in zip(self.partitions, other.partitions):
+            if (
+                abs(mine.read - theirs.read) > tolerance
+                or abs(mine.write - theirs.write) > tolerance
+                or abs(mine.finish - theirs.finish) > tolerance
+            ):
+                return False
+        return True

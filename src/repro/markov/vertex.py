@@ -1,0 +1,123 @@
+"""Markov-model vertices.
+
+An execution state (Section 3.1) is identified by four things: the query's
+name, how many times that query has already been executed by the same
+transaction (``counter``), the set of partitions the query accesses, and the
+set of partitions the transaction accessed previously.  Three special states
+— ``begin``, ``commit`` and ``abort`` — bracket every execution path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..types import EMPTY_PARTITION_SET, PartitionSet, QueryType
+
+
+class VertexKind(Enum):
+    """Kind of vertex in a transaction Markov model."""
+
+    BEGIN = "begin"
+    COMMIT = "commit"
+    ABORT = "abort"
+    QUERY = "query"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (VertexKind.COMMIT, VertexKind.ABORT)
+
+
+@dataclass(frozen=True)
+class VertexKey:
+    """Hashable identity of an execution state."""
+
+    kind: VertexKind
+    name: str = ""
+    counter: int = 0
+    partitions: PartitionSet = EMPTY_PARTITION_SET
+    previous: PartitionSet = EMPTY_PARTITION_SET
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def query(
+        name: str,
+        counter: int,
+        partitions: PartitionSet,
+        previous: PartitionSet,
+    ) -> "VertexKey":
+        return VertexKey(
+            kind=VertexKind.QUERY,
+            name=name,
+            counter=counter,
+            partitions=partitions,
+            previous=previous,
+        )
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.kind.is_terminal
+
+    @property
+    def is_query(self) -> bool:
+        return self.kind is VertexKind.QUERY
+
+    def accessed_partitions(self) -> PartitionSet:
+        """All partitions the transaction has touched once it leaves this state."""
+        return self.previous.union(self.partitions)
+
+    def label(self) -> str:
+        """Human-readable label used by the DOT exporter."""
+        if self.kind is not VertexKind.QUERY:
+            return self.kind.value
+        return (
+            f"{self.name}\ncounter: {self.counter}\n"
+            f"partitions: {self.partitions}\nprevious: {self.previous}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind is not VertexKind.QUERY:
+            return self.kind.value
+        return f"{self.name}#{self.counter}@{self.partitions}|prev={self.previous}"
+
+
+BEGIN_KEY = VertexKey(kind=VertexKind.BEGIN)
+COMMIT_KEY = VertexKey(kind=VertexKind.COMMIT)
+ABORT_KEY = VertexKey(kind=VertexKind.ABORT)
+
+
+@dataclass
+class Vertex:
+    """A vertex plus the bookkeeping attached to it during construction."""
+
+    key: VertexKey
+    #: READ/WRITE classification of the vertex's query (None for specials).
+    query_type: QueryType | None = None
+    #: Number of times the construction phase reached this state.
+    hits: int = 0
+    #: Pre-computed probability table (filled in by the processing phase).
+    table: "object | None" = field(default=None, repr=False)
+    #: Expected number of queries remaining until commit/abort (a "future
+    #: work" extension the paper suggests for intelligent scheduling).
+    expected_remaining_queries: float = 0.0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.key.is_terminal
+
+    @property
+    def is_query(self) -> bool:
+        return self.key.is_query
+
+
+@dataclass
+class Edge:
+    """A directed edge between two execution states."""
+
+    source: VertexKey
+    target: VertexKey
+    hits: int = 0
+    probability: float = 0.0
+
+    def record_visit(self, count: int = 1) -> None:
+        self.hits += count

@@ -1,0 +1,13 @@
+"""Small machine-learning toolkit replacing the paper's use of WEKA."""
+
+from .decision_tree import DecisionTreeClassifier
+from .em import EMClustering, GaussianMixtureModel
+from .kmeans import KMeans, KMeansResult
+
+__all__ = [
+    "KMeans",
+    "KMeansResult",
+    "EMClustering",
+    "GaussianMixtureModel",
+    "DecisionTreeClassifier",
+]

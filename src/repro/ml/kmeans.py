@@ -1,0 +1,114 @@
+"""Deterministic k-means clustering.
+
+Used to seed the EM mixture model (:mod:`repro.ml.em`) and available on its
+own for tests and ablations.  Implementation notes:
+
+* initial centroids are chosen with a deterministic k-means++ style rule
+  driven by a seeded RNG, so clustering results are reproducible;
+* empty clusters are re-seeded with the point farthest from its centroid;
+* the implementation is NumPy-based and adequate for the feature matrices
+  produced by the model-partitioning pipeline (thousands of rows, a handful
+  of columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means run."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return int(self.centroids.shape[0])
+
+
+class KMeans:
+    """Plain k-means with deterministic k-means++ seeding."""
+
+    def __init__(self, n_clusters: int, *, max_iterations: int = 100, seed: int = 0) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.max_iterations = max_iterations
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        points = np.asarray(data, dtype=float)
+        if points.ndim != 2:
+            raise ValueError("data must be a 2-D array")
+        n_samples = points.shape[0]
+        if n_samples == 0:
+            raise ValueError("cannot cluster an empty data set")
+        k = min(self.n_clusters, n_samples)
+        rng = np.random.default_rng(self.seed)
+        centroids = self._seed_centroids(points, k, rng)
+        assignments = np.zeros(n_samples, dtype=int)
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            distances = self._distances(points, centroids)
+            new_assignments = np.argmin(distances, axis=1)
+            centroids = self._update_centroids(points, new_assignments, centroids, k)
+            if np.array_equal(new_assignments, assignments) and iterations > 1:
+                assignments = new_assignments
+                break
+            assignments = new_assignments
+        inertia = float(
+            np.sum((points - centroids[assignments]) ** 2)
+        )
+        return KMeansResult(
+            centroids=centroids,
+            assignments=assignments,
+            inertia=inertia,
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        return np.linalg.norm(points[:, None, :] - centroids[None, :, :], axis=2)
+
+    def _seed_centroids(self, points: np.ndarray, k: int, rng) -> np.ndarray:
+        """k-means++ seeding: spread the initial centroids apart."""
+        n_samples = points.shape[0]
+        first = int(rng.integers(0, n_samples))
+        centroids = [points[first]]
+        for _ in range(1, k):
+            distances = np.min(
+                np.linalg.norm(points[:, None, :] - np.array(centroids)[None, :, :], axis=2),
+                axis=1,
+            )
+            total = float(np.sum(distances ** 2))
+            if total <= 0:
+                index = int(rng.integers(0, n_samples))
+            else:
+                probabilities = (distances ** 2) / total
+                index = int(rng.choice(n_samples, p=probabilities))
+            centroids.append(points[index])
+        return np.array(centroids, dtype=float)
+
+    @staticmethod
+    def _update_centroids(
+        points: np.ndarray, assignments: np.ndarray, previous: np.ndarray, k: int
+    ) -> np.ndarray:
+        centroids = np.copy(previous)
+        for cluster in range(k):
+            members = points[assignments == cluster]
+            if len(members) == 0:
+                # Re-seed an empty cluster with the point farthest from its
+                # current centroid assignment.
+                distances = np.linalg.norm(points - previous[assignments], axis=1)
+                centroids[cluster] = points[int(np.argmax(distances))]
+            else:
+                centroids[cluster] = members.mean(axis=0)
+        return centroids

@@ -1,0 +1,22 @@
+"""Model partitioning: features, clustering, feed-forward selection (paper §5)."""
+
+from .clustered import ClusteredModels, PartitionedModelProvider
+from .features import (
+    FeatureCategory,
+    FeatureDefinition,
+    FeatureExtractor,
+    encode_matrix,
+)
+from .partitioner import FeatureSearchResult, ModelPartitioner, PartitionerConfig
+
+__all__ = [
+    "FeatureCategory",
+    "FeatureDefinition",
+    "FeatureExtractor",
+    "encode_matrix",
+    "ClusteredModels",
+    "PartitionedModelProvider",
+    "ModelPartitioner",
+    "PartitionerConfig",
+    "FeatureSearchResult",
+]

@@ -1,0 +1,148 @@
+"""Feature extraction from stored-procedure input parameters (paper Table 1).
+
+For every input parameter of a procedure, five feature categories can be
+derived:
+
+* ``NORMALIZEDVALUE(x)`` — the numeric value of a scalar parameter,
+* ``HASHVALUE(x)`` — the partition the parameter's value hashes to,
+* ``ISNULL(x)`` — whether the value is null,
+* ``ARRAYLENGTH(x)`` — the length of an array parameter,
+* ``ARRAYALLSAMEHASH(x)`` — whether every element of an array parameter
+  hashes to the same partition.
+
+A transaction's *feature vector* holds one value per parameter per category;
+entries that do not apply (e.g. ``ARRAYLENGTH`` of a scalar) are ``None``,
+exactly as in the paper's Table 2 example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Sequence
+
+from ..catalog.partitioning import PartitionScheme
+from ..catalog.procedure import StoredProcedure
+
+
+class FeatureCategory(Enum):
+    """The feature categories of Table 1."""
+
+    NORMALIZED_VALUE = "NORMALIZEDVALUE"
+    HASH_VALUE = "HASHVALUE"
+    IS_NULL = "ISNULL"
+    ARRAY_LENGTH = "ARRAYLENGTH"
+    ARRAY_ALL_SAME_HASH = "ARRAYALLSAMEHASH"
+
+
+@dataclass(frozen=True)
+class FeatureDefinition:
+    """One concrete feature: a category applied to one procedure parameter."""
+
+    category: FeatureCategory
+    parameter_index: int
+    parameter_name: str
+
+    @property
+    def name(self) -> str:
+        return f"{self.category.value}({self.parameter_name})"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class FeatureExtractor:
+    """Extracts feature vectors for one stored procedure."""
+
+    def __init__(self, procedure: StoredProcedure, scheme: PartitionScheme) -> None:
+        self.procedure = procedure
+        self.scheme = scheme
+        self._definitions = tuple(
+            FeatureDefinition(category, index, parameter.name)
+            for index, parameter in enumerate(procedure.parameters)
+            for category in FeatureCategory
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def definitions(self) -> tuple[FeatureDefinition, ...]:
+        """Every feature that can be derived for this procedure."""
+        return self._definitions
+
+    def feature_names(self) -> tuple[str, ...]:
+        return tuple(definition.name for definition in self._definitions)
+
+    # ------------------------------------------------------------------
+    def value_of(self, definition: FeatureDefinition, parameters: Sequence[Any]) -> float | None:
+        """Compute one feature value (``None`` when it does not apply)."""
+        if definition.parameter_index >= len(parameters):
+            return None
+        value = parameters[definition.parameter_index]
+        category = definition.category
+        is_array = isinstance(value, (list, tuple))
+        if category is FeatureCategory.IS_NULL:
+            return 1.0 if value is None else 0.0
+        if value is None:
+            return None
+        if category is FeatureCategory.NORMALIZED_VALUE:
+            if is_array or isinstance(value, str):
+                return None
+            if isinstance(value, bool):
+                return float(value)
+            return float(value)
+        if category is FeatureCategory.HASH_VALUE:
+            if is_array:
+                return None
+            return float(self.scheme.partition_for_value(value))
+        if category is FeatureCategory.ARRAY_LENGTH:
+            if not is_array:
+                return None
+            return float(len(value))
+        if category is FeatureCategory.ARRAY_ALL_SAME_HASH:
+            if not is_array or not value:
+                return None
+            hashes = {self.scheme.partition_for_value(element) for element in value}
+            return 1.0 if len(hashes) == 1 else 0.0
+        raise ValueError(f"unhandled feature category {category}")  # pragma: no cover
+
+    def extract(self, parameters: Sequence[Any]) -> dict[str, float | None]:
+        """Full feature dictionary (Table 2 shape) for one parameter vector."""
+        return {
+            definition.name: self.value_of(definition, parameters)
+            for definition in self._definitions
+        }
+
+    def vector(
+        self,
+        parameters: Sequence[Any],
+        selected: Sequence[FeatureDefinition],
+    ) -> list[float | None]:
+        """Feature vector restricted to ``selected`` definitions (in order)."""
+        return [self.value_of(definition, parameters) for definition in selected]
+
+    # ------------------------------------------------------------------
+    def informative_definitions(
+        self, parameter_vectors: Sequence[Sequence[Any]]
+    ) -> list[FeatureDefinition]:
+        """Features that actually vary across a sample of parameter vectors.
+
+        Constant or always-``None`` features cannot influence clustering and
+        are dropped before feed-forward selection to keep the search small.
+        """
+        informative = []
+        for definition in self._definitions:
+            seen: set[float | None] = set()
+            for parameters in parameter_vectors:
+                seen.add(self.value_of(definition, parameters))
+                if len(seen) > 1:
+                    informative.append(definition)
+                    break
+        return informative
+
+
+def encode_matrix(vectors: Sequence[Sequence[float | None]]) -> "list[list[float]]":
+    """Replace ``None`` entries with a sentinel so numeric clustering works."""
+    encoded = []
+    for vector in vectors:
+        encoded.append([-1.0 if value is None else float(value) for value in vector])
+    return encoded

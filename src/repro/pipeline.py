@@ -1,0 +1,226 @@
+"""High-level pipeline helpers.
+
+These functions wire the individual subsystems into the end-to-end flows the
+paper describes (Fig. 6): build a benchmark, record a sample workload trace,
+derive the off-line artifacts (Markov models, parameter mappings, optionally
+partitioned models), assemble a Houdini instance, and run the simulator under
+a chosen execution strategy.  The experiment harness and the examples are all
+thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .benchmarks import BenchmarkInstance, get_benchmark
+from .houdini import GlobalModelProvider, Houdini, HoudiniConfig
+from .houdini.providers import ModelProvider
+from .mapping import ParameterMappingSet, build_parameter_mappings
+from .markov import MarkovModel, build_models_from_trace
+from .modelpart import ModelPartitioner, PartitionedModelProvider, PartitionerConfig
+from .sim import ClusterSimulator, CostModel, SimulationResult, SimulatorConfig
+from .strategies import (
+    AssumeDistributedStrategy,
+    AssumeSinglePartitionStrategy,
+    HoudiniStrategy,
+    OracleStrategy,
+)
+from .txn.strategy import ExecutionStrategy
+from .types import ProcedureRequest
+from .workload import TraceRecorder, WorkloadTrace
+
+
+@dataclass
+class TrainedArtifacts:
+    """Off-line artifacts derived from a sample workload trace."""
+
+    trace: WorkloadTrace
+    models: dict[str, MarkovModel]
+    mappings: ParameterMappingSet
+    benchmark: BenchmarkInstance
+    extras: dict = field(default_factory=dict)
+
+    def global_provider(self) -> GlobalModelProvider:
+        return GlobalModelProvider(self.models)
+
+
+def build_benchmark(
+    name: str,
+    num_partitions: int,
+    *,
+    seed: int = 0,
+    partitions_per_node: int = 2,
+    config_overrides: Mapping | None = None,
+) -> BenchmarkInstance:
+    """Build and populate one benchmark at the given cluster size."""
+    bundle = get_benchmark(name)
+    return bundle.build(
+        num_partitions,
+        partitions_per_node=partitions_per_node,
+        seed=seed,
+        config_overrides=config_overrides,
+    )
+
+
+def record_trace(instance: BenchmarkInstance, transactions: int) -> WorkloadTrace:
+    """Record a sample workload trace by executing real transactions."""
+    recorder = TraceRecorder(
+        instance.catalog,
+        instance.database,
+        base_partition_chooser=instance.generator.home_partition,
+    )
+    return recorder.record(instance.generator.generate(transactions))
+
+
+def train(
+    benchmark_name: str,
+    num_partitions: int,
+    *,
+    trace_transactions: int = 2000,
+    seed: int = 0,
+    partitions_per_node: int = 2,
+    config_overrides: Mapping | None = None,
+) -> TrainedArtifacts:
+    """Build a benchmark and derive its Markov models and parameter mappings.
+
+    The returned benchmark instance's database reflects the trace execution
+    (the paper also trains on a live sample of the running system).
+    """
+    instance = build_benchmark(
+        benchmark_name,
+        num_partitions,
+        seed=seed,
+        partitions_per_node=partitions_per_node,
+        config_overrides=config_overrides,
+    )
+    trace = record_trace(instance, trace_transactions)
+    models = build_models_from_trace(
+        instance.catalog,
+        trace,
+        base_partition_chooser=lambda record: instance.generator.home_partition(
+            ProcedureRequest(record.procedure, record.parameters)
+        ),
+    )
+    mappings = build_parameter_mappings(instance.catalog, trace)
+    return TrainedArtifacts(
+        trace=trace, models=models, mappings=mappings, benchmark=instance
+    )
+
+
+def make_houdini(
+    artifacts: TrainedArtifacts,
+    *,
+    provider: ModelProvider | None = None,
+    config: HoudiniConfig | None = None,
+    learning: bool = True,
+) -> Houdini:
+    """Assemble a Houdini instance from trained artifacts."""
+    instance = artifacts.benchmark
+    houdini_config = config or HoudiniConfig(
+        disabled_procedures=instance.bundle.houdini_disabled_procedures
+    )
+    if houdini_config.disabled_procedures != instance.bundle.houdini_disabled_procedures:
+        houdini_config.disabled_procedures = (
+            houdini_config.disabled_procedures | instance.bundle.houdini_disabled_procedures
+        )
+    return Houdini(
+        instance.catalog,
+        provider or artifacts.global_provider(),
+        artifacts.mappings,
+        houdini_config,
+        learning=learning,
+    )
+
+
+def make_partitioned_provider(
+    artifacts: TrainedArtifacts,
+    *,
+    feature_selection: str = "heuristic",
+    houdini_config: HoudiniConfig | None = None,
+    partitioner_config: PartitionerConfig | None = None,
+) -> PartitionedModelProvider:
+    """Build the Section-5 partitioned models from the recorded trace.
+
+    ``feature_selection='feedforward'`` runs the full paper pipeline (greedy
+    feature search scored by estimate accuracy); the default ``'heuristic'``
+    uses the Fig. 9-style fixed feature set, which is what the large
+    throughput sweeps use to keep their running time reasonable.
+    """
+    instance = artifacts.benchmark
+    config = partitioner_config or PartitionerConfig(feature_selection=feature_selection)
+    if partitioner_config is None:
+        config.feature_selection = feature_selection
+    partitioner = ModelPartitioner(
+        instance.catalog,
+        artifacts.mappings,
+        houdini_config=houdini_config or HoudiniConfig(
+            disabled_procedures=instance.bundle.houdini_disabled_procedures
+        ),
+        config=config,
+        base_partition_chooser=lambda record: instance.generator.home_partition(
+            ProcedureRequest(record.procedure, record.parameters)
+        ),
+    )
+    return partitioner.build_provider(artifacts.trace, dict(artifacts.models))
+
+
+def make_strategy(
+    name: str,
+    artifacts: TrainedArtifacts,
+    *,
+    houdini: Houdini | None = None,
+    seed: int = 0,
+) -> ExecutionStrategy:
+    """Build one of the paper's execution strategies by name."""
+    instance = artifacts.benchmark
+    if name == "assume-distributed":
+        return AssumeDistributedStrategy(instance.catalog, seed=seed)
+    if name == "assume-single-partition":
+        return AssumeSinglePartitionStrategy(instance.catalog, seed=seed)
+    if name == "oracle":
+        return OracleStrategy(instance.catalog, instance.database)
+    if name in ("houdini", "houdini-global"):
+        return HoudiniStrategy(houdini or make_houdini(artifacts), name=name)
+    if name == "houdini-partitioned":
+        provider = artifacts.extras.get("partitioned_provider")
+        if provider is None:
+            provider = make_partitioned_provider(artifacts)
+            artifacts.extras["partitioned_provider"] = provider
+        return HoudiniStrategy(
+            houdini or make_houdini(artifacts, provider=provider), name=name
+        )
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def simulate(
+    artifacts: TrainedArtifacts,
+    strategy: ExecutionStrategy,
+    *,
+    transactions: int = 2000,
+    cost_model: CostModel | None = None,
+    clients_per_partition: int = 4,
+) -> SimulationResult:
+    """Run the closed-loop simulator for one configuration."""
+    instance = artifacts.benchmark
+    simulator = ClusterSimulator(
+        instance.catalog,
+        instance.database,
+        instance.generator,
+        strategy,
+        cost_model=cost_model,
+        config=SimulatorConfig(
+            clients_per_partition=clients_per_partition,
+            total_transactions=transactions,
+        ),
+        benchmark_name=instance.name,
+    )
+    return simulator.run()
+
+
+def _anchor_value(parameters):
+    """First scalar parameter of a request (the benchmark anchor entity)."""
+    for value in parameters:
+        if isinstance(value, (int, str)) and not isinstance(value, bool):
+            return value
+    return 0

@@ -1,0 +1,50 @@
+"""Prediction-driven transaction scheduling and admission control.
+
+The paper's future-work section (§8) sketches two uses of the Markov models
+beyond the four run-time optimizations: *intelligent scheduling* of queued
+transactions based on their predicted execution paths, and *admission
+control* driven by predicted resource usage.  This package implements both
+on top of Houdini's initial path estimates:
+
+* :class:`TransactionScheduler` orders a partition's work queue by a
+  pluggable policy (arrival order, predicted-shortest-job-first,
+  single-partition-first);
+* :class:`AdmissionController` limits how much predicted work and how many
+  distributed transactions are outstanding at once, deferring the rest.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionLimits,
+    AdmissionStats,
+)
+from .policies import (
+    ArrivalOrderPolicy,
+    SchedulingPolicy,
+    ShortestPredictedFirstPolicy,
+    SinglePartitionFirstPolicy,
+    policy_by_name,
+)
+from .scheduler import (
+    PendingTransaction,
+    PredictedCost,
+    SchedulerStats,
+    TransactionScheduler,
+)
+
+__all__ = [
+    "SchedulingPolicy",
+    "ArrivalOrderPolicy",
+    "ShortestPredictedFirstPolicy",
+    "SinglePartitionFirstPolicy",
+    "policy_by_name",
+    "PendingTransaction",
+    "PredictedCost",
+    "TransactionScheduler",
+    "SchedulerStats",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionLimits",
+    "AdmissionStats",
+]

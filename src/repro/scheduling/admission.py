@@ -1,0 +1,149 @@
+"""Prediction-driven admission control (paper §8, future work).
+
+The admission controller sits between the scheduler and the execution
+engine.  Before a transaction is dispatched it checks the predicted resource
+usage against what is already in flight; transactions that would overload
+the node are deferred (pushed back into the queue) and, beyond a configurable
+queueing ceiling, rejected so clients can back off instead of piling up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import SimulationError
+from .scheduler import PendingTransaction
+
+
+class AdmissionDecision(Enum):
+    """What the controller decided for one pending transaction."""
+
+    ADMIT = "admit"
+    DEFER = "defer"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """Capacity limits the controller enforces.
+
+    All limits are optional; ``None`` disables the corresponding check.
+    """
+
+    #: Maximum number of transactions executing at once.
+    max_in_flight: int | None = None
+    #: Maximum number of *distributed* transactions executing at once —
+    #: these are the expensive ones (multi-partition locks + 2PC).
+    max_distributed_in_flight: int | None = None
+    #: Maximum total predicted service time (ms) of in-flight transactions.
+    max_in_flight_ms: float | None = None
+    #: Deferrals after which a transaction is rejected outright instead of
+    #: being requeued forever.
+    max_deferrals: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("max_in_flight", "max_distributed_in_flight"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise SimulationError(f"{name} must be at least 1 when set")
+        if self.max_in_flight_ms is not None and self.max_in_flight_ms <= 0:
+            raise SimulationError("max_in_flight_ms must be positive when set")
+        if self.max_deferrals < 0:
+            raise SimulationError("max_deferrals must be non-negative")
+
+
+@dataclass
+class AdmissionStats:
+    """Counters describing one controller's activity."""
+
+    admitted: int = 0
+    deferred: int = 0
+    rejected: int = 0
+
+    @property
+    def decisions(self) -> int:
+        return self.admitted + self.deferred + self.rejected
+
+
+class AdmissionController:
+    """Admits, defers or rejects transactions based on predicted load."""
+
+    def __init__(self, limits: AdmissionLimits | None = None) -> None:
+        self.limits = limits or AdmissionLimits()
+        self.stats = AdmissionStats()
+        self._in_flight: dict[int, PendingTransaction] = {}
+        self._in_flight_ms = 0.0
+        self._distributed_in_flight = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def in_flight_ms(self) -> float:
+        return self._in_flight_ms
+
+    @property
+    def distributed_in_flight(self) -> int:
+        return self._distributed_in_flight
+
+    # ------------------------------------------------------------------
+    def decide(self, pending: PendingTransaction) -> AdmissionDecision:
+        """Decide whether ``pending`` may start executing now."""
+        if pending.deferrals > self.limits.max_deferrals:
+            self.stats.rejected += 1
+            return AdmissionDecision.REJECT
+        if self._would_overload(pending):
+            self.stats.deferred += 1
+            return AdmissionDecision.DEFER
+        self._admit(pending)
+        return AdmissionDecision.ADMIT
+
+    def _would_overload(self, pending: PendingTransaction) -> bool:
+        limits = self.limits
+        if limits.max_in_flight is not None and self.in_flight >= limits.max_in_flight:
+            return True
+        if (
+            limits.max_distributed_in_flight is not None
+            and not pending.predicted_single_partition
+            and self._distributed_in_flight >= limits.max_distributed_in_flight
+        ):
+            return True
+        if (
+            limits.max_in_flight_ms is not None
+            and self._in_flight
+            and self._in_flight_ms + pending.predicted_cost_ms > limits.max_in_flight_ms
+        ):
+            return True
+        return False
+
+    def _admit(self, pending: PendingTransaction) -> None:
+        self._in_flight[id(pending)] = pending
+        self._in_flight_ms += pending.predicted_cost_ms
+        if not pending.predicted_single_partition:
+            self._distributed_in_flight += 1
+        self.stats.admitted += 1
+
+    # ------------------------------------------------------------------
+    def release(self, pending: PendingTransaction) -> None:
+        """Mark an admitted transaction as finished, freeing its capacity."""
+        stored = self._in_flight.pop(id(pending), None)
+        if stored is None:
+            raise SimulationError(
+                f"transaction {pending.procedure!r} (arrival {pending.arrival_index}) "
+                f"was never admitted"
+            )
+        self._in_flight_ms -= stored.predicted_cost_ms
+        if self._in_flight_ms < 1e-12:
+            self._in_flight_ms = 0.0
+        if not stored.predicted_single_partition:
+            self._distributed_in_flight -= 1
+
+    def describe(self) -> str:
+        return (
+            f"AdmissionController(in_flight={self.in_flight}, "
+            f"distributed={self.distributed_in_flight}, "
+            f"load={self._in_flight_ms:.2f}ms)"
+        )

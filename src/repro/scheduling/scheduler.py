@@ -1,0 +1,177 @@
+"""A prediction-aware transaction scheduler (paper §8, future work).
+
+The scheduler manages the queue of transaction requests waiting at a node.
+Each request is annotated with the properties Houdini predicted for it — how
+many queries it will run, which partitions it needs, how long it is expected
+to take — and a :class:`~repro.scheduling.policies.SchedulingPolicy` decides
+which pending transaction to dispatch next.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..houdini.estimate import PathEstimate
+from ..sim.cost_model import CostModel
+from ..types import PartitionId, ProcedureRequest
+from .policies import ArrivalOrderPolicy, SchedulingPolicy
+
+
+@dataclass(frozen=True)
+class PredictedCost:
+    """Predicted resource usage of one transaction, derived from its estimate."""
+
+    queries: int
+    service_ms: float
+    partitions: tuple[PartitionId, ...]
+    single_partition: bool
+
+    @staticmethod
+    def from_estimate(
+        estimate: PathEstimate,
+        base_partition: PartitionId,
+        cost_model: CostModel | None = None,
+    ) -> "PredictedCost":
+        """Convert a path estimate into predicted service time.
+
+        The conversion reuses the simulator's cost model so that "predicted
+        milliseconds" and "simulated milliseconds" live on the same scale —
+        the property the paper's expected-remaining-run-time annotation
+        needs.
+        """
+        model = cost_model or CostModel()
+        service_ms = model.planning_ms + model.setup_ms
+        for key in estimate.query_vertices:
+            service_ms += model.query_cost(key.partitions, base_partition)
+        partitions = tuple(estimate.touched_partitions())
+        if len(partitions) > 1:
+            service_ms += model.two_phase_prepare_ms + model.two_phase_commit_ms
+        return PredictedCost(
+            queries=estimate.query_count,
+            service_ms=service_ms,
+            partitions=partitions,
+            single_partition=len(partitions) <= 1,
+        )
+
+
+@dataclass
+class PendingTransaction:
+    """One queued request plus the predictions attached to it."""
+
+    request: ProcedureRequest
+    arrival_index: int
+    predicted_cost_ms: float = 0.0
+    predicted_queries: int = 0
+    predicted_partitions: tuple[PartitionId, ...] = ()
+    predicted_single_partition: bool = True
+    estimate: PathEstimate | None = None
+    #: How many times admission control pushed this transaction back.
+    deferrals: int = 0
+
+    @property
+    def procedure(self) -> str:
+        return self.request.procedure
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing one scheduler's activity."""
+
+    submitted: int = 0
+    dispatched: int = 0
+    reordered: int = 0
+
+    @property
+    def pending(self) -> int:
+        return self.submitted - self.dispatched
+
+
+class TransactionScheduler:
+    """Priority queue of pending transactions under a scheduling policy."""
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy | None = None,
+        *,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.policy = policy or ArrivalOrderPolicy()
+        self.cost_model = cost_model or CostModel()
+        self.stats = SchedulerStats()
+        self._arrivals = 0
+        self._heap: list[tuple[tuple, int, PendingTransaction]] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: ProcedureRequest,
+        estimate: PathEstimate | None = None,
+        *,
+        base_partition: PartitionId = 0,
+    ) -> PendingTransaction:
+        """Queue one request, deriving predictions from its estimate if given."""
+        pending = PendingTransaction(request=request, arrival_index=self._arrivals)
+        self._arrivals += 1
+        if estimate is not None and not estimate.degenerate:
+            cost = PredictedCost.from_estimate(estimate, base_partition, self.cost_model)
+            pending.predicted_cost_ms = cost.service_ms
+            pending.predicted_queries = cost.queries
+            pending.predicted_partitions = cost.partitions
+            pending.predicted_single_partition = cost.single_partition
+            pending.estimate = estimate
+        self._push(pending)
+        self.stats.submitted += 1
+        return pending
+
+    def resubmit(self, pending: PendingTransaction) -> None:
+        """Return a deferred transaction to the queue (admission control)."""
+        pending.deferrals += 1
+        self._push(pending)
+
+    def _push(self, pending: PendingTransaction) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.policy.key(pending), self._sequence, pending))
+
+    # ------------------------------------------------------------------
+    def pop(self) -> PendingTransaction:
+        """Dispatch the highest-priority pending transaction."""
+        if not self._heap:
+            raise IndexError("pop from an empty TransactionScheduler")
+        _, __, pending = heapq.heappop(self._heap)
+        self.stats.dispatched += 1
+        if any(entry[2].arrival_index < pending.arrival_index for entry in self._heap):
+            # An older transaction is still waiting: the policy jumped the queue.
+            self.stats.reordered += 1
+        return pending
+
+    def peek(self) -> PendingTransaction | None:
+        """The transaction that :meth:`pop` would return, without removing it."""
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def drain(self) -> Iterable[PendingTransaction]:
+        """Pop until the queue is empty (dispatch order of the whole backlog)."""
+        while self._heap:
+            yield self.pop()
+
+    # ------------------------------------------------------------------
+    def predicted_backlog_ms(self) -> float:
+        """Total predicted service time of everything still queued."""
+        return sum(entry[2].predicted_cost_ms for entry in self._heap)
+
+    def describe(self) -> str:
+        return (
+            f"TransactionScheduler(policy={self.policy.name}, pending={len(self)}, "
+            f"backlog={self.predicted_backlog_ms():.2f}ms)"
+        )

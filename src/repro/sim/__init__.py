@@ -1,0 +1,14 @@
+"""Cluster simulator: cost model, closed-loop driver, metrics."""
+
+from .cost_model import AttemptTiming, CostModel
+from .metrics import ProcedureBreakdown, SimulationResult
+from .simulator import ClusterSimulator, SimulatorConfig
+
+__all__ = [
+    "CostModel",
+    "AttemptTiming",
+    "ClusterSimulator",
+    "SimulatorConfig",
+    "SimulationResult",
+    "ProcedureBreakdown",
+]

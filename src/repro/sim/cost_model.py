@@ -1,0 +1,158 @@
+"""Cost model for the cluster simulator.
+
+The paper's throughput numbers come from a real H-Store deployment; this
+reproduction replaces the testbed with a deterministic cost model expressed
+in simulated milliseconds.  The constants are calibrated so that the
+*relationships* the paper depends on hold:
+
+* a single-partition transaction is dominated by its query work,
+* remote queries pay a network round-trip,
+* a distributed transaction pays two-phase-commit coordination unless the
+  early-prepare (OP4) optimization removed the explicit prepare round,
+* undo-log maintenance adds a small per-record cost that OP3 removes,
+* estimation overhead (Houdini) is charged per transaction.
+
+Every constant can be overridden, and the ablation benchmark
+``benchmarks/bench_ablation_costmodel.py`` sweeps the most influential ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.engine import AttemptResult
+from ..txn.plan import ExecutionPlan
+from ..types import PartitionId
+
+
+@dataclass
+class CostModel:
+    """Simulated-time constants (all in milliseconds)."""
+
+    #: CPU cost of executing one query at the partition running the control code.
+    query_local_ms: float = 0.20
+    #: Additional cost of dispatching a query to a remote partition
+    #: (serialization + network round trip).
+    query_remote_ms: float = 0.90
+    #: Per-partition execution cost of a broadcast query (charged at every
+    #: partition it touches, beyond the dispatch cost above).
+    broadcast_per_partition_ms: float = 0.10
+    #: Cost of writing one undo-log record (what OP3 saves).
+    undo_record_ms: float = 0.040
+    #: One round of the two-phase-commit prepare exchange (coordinator to all
+    #: remaining participants, in parallel).
+    two_phase_prepare_ms: float = 1.20
+    #: The commit/acknowledge round of two-phase commit.
+    two_phase_commit_ms: float = 0.80
+    #: Per-transaction planning cost (query plan lookup, routing).
+    planning_ms: float = 0.20
+    #: Per-transaction setup/miscellaneous cost ("other" in Fig. 11).
+    setup_ms: float = 0.30
+    #: Cost of aborting an attempt (rolling back, notifying the client).
+    abort_ms: float = 0.30
+    #: Cost of redirecting a restarted transaction to a different node.
+    redirect_ms: float = 1.00
+    #: Extra coordination paid per transaction when it locks partitions it
+    #: never uses (resources held idle; keeps "lock everything" honest).
+    unused_lock_ms: float = 0.05
+
+    # ------------------------------------------------------------------
+    def query_cost(self, partitions, base_partition: PartitionId) -> float:
+        """Simulated cost of one query given the partitions it touches."""
+        partition_list = list(partitions)
+        if not partition_list:
+            return self.query_local_ms
+        cost = 0.0
+        remote = [p for p in partition_list if p != base_partition]
+        local = [p for p in partition_list if p == base_partition]
+        if local:
+            cost += self.query_local_ms
+        if remote:
+            cost += self.query_remote_ms
+            cost += self.broadcast_per_partition_ms * max(0, len(remote) - 1)
+        return cost
+
+    # ------------------------------------------------------------------
+    def attempt_timing(
+        self,
+        plan: ExecutionPlan,
+        attempt: AttemptResult,
+        num_partitions: int,
+    ) -> "AttemptTiming":
+        """Break one execution attempt down into simulated time components."""
+        base = plan.base_partition
+        lock_set = plan.lock_set(num_partitions)
+        execution_ms = 0.0
+        per_partition_last_use: dict[PartitionId, float] = {}
+        elapsed = 0.0
+        for invocation in attempt.invocations:
+            cost = self.query_cost(invocation.partitions, base)
+            elapsed += cost
+            execution_ms += cost
+            for partition_id in invocation.partitions:
+                per_partition_last_use[partition_id] = elapsed
+        undo_ms = self.undo_record_ms * attempt.undo_records_written
+        execution_ms += undo_ms
+
+        distributed = len(lock_set) > 1
+        coordination_ms = 0.0
+        if distributed and attempt.committed:
+            remote_participants = [p for p in lock_set if p != base]
+            explicit = [
+                p for p in remote_participants if p not in attempt.finished_partitions
+            ]
+            if explicit:
+                coordination_ms += self.two_phase_prepare_ms
+            coordination_ms += self.two_phase_commit_ms
+        unused = [p for p in lock_set if p not in per_partition_last_use]
+        coordination_ms += self.unused_lock_ms * len(unused)
+        if not attempt.committed:
+            coordination_ms += self.abort_ms
+
+        planning_ms = self.planning_ms
+        setup_ms = self.setup_ms
+        total_ms = execution_ms + coordination_ms + planning_ms + setup_ms + plan.estimation_ms
+
+        # When was each locked partition released?  Early-prepared partitions
+        # (OP4) are released right after their last use; everything else is
+        # held until the end of the attempt.
+        release_offsets: dict[PartitionId, float] = {}
+        for partition_id in lock_set:
+            if partition_id in attempt.finished_partitions and attempt.committed:
+                release_offsets[partition_id] = min(
+                    per_partition_last_use.get(partition_id, 0.0) + self.two_phase_commit_ms,
+                    total_ms,
+                )
+            else:
+                release_offsets[partition_id] = total_ms
+        return AttemptTiming(
+            estimation_ms=plan.estimation_ms,
+            planning_ms=planning_ms,
+            execution_ms=execution_ms,
+            coordination_ms=coordination_ms,
+            setup_ms=setup_ms,
+            total_ms=total_ms,
+            release_offsets=release_offsets,
+        )
+
+
+@dataclass
+class AttemptTiming:
+    """Simulated time breakdown of one execution attempt (Fig. 11 categories)."""
+
+    estimation_ms: float
+    planning_ms: float
+    execution_ms: float
+    coordination_ms: float
+    setup_ms: float
+    total_ms: float
+    release_offsets: dict[PartitionId, float] = field(default_factory=dict)
+
+    def as_breakdown(self) -> dict[str, float]:
+        return {
+            "estimation": self.estimation_ms,
+            "planning": self.planning_ms,
+            "execution": self.execution_ms,
+            "coordination": self.coordination_ms,
+            "other": self.setup_ms,
+        }

@@ -1,0 +1,130 @@
+"""Simulation metrics: throughput, latency and the Fig. 11 time breakdown."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+@dataclass
+class ProcedureBreakdown:
+    """Accumulated per-procedure time breakdown (Fig. 11 categories)."""
+
+    procedure: str
+    transactions: int = 0
+    estimation_ms: float = 0.0
+    planning_ms: float = 0.0
+    execution_ms: float = 0.0
+    coordination_ms: float = 0.0
+    other_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.estimation_ms + self.planning_ms + self.execution_ms
+            + self.coordination_ms + self.other_ms
+        )
+
+    def percentages(self) -> dict[str, float]:
+        """Share of each category as percentages (summing to ~100)."""
+        total = self.total_ms
+        if total <= 0:
+            return {k: 0.0 for k in ("estimation", "execution", "planning", "coordination", "other")}
+        return {
+            "estimation": 100.0 * self.estimation_ms / total,
+            "execution": 100.0 * self.execution_ms / total,
+            "planning": 100.0 * self.planning_ms / total,
+            "coordination": 100.0 * self.coordination_ms / total,
+            "other": 100.0 * self.other_ms / total,
+        }
+
+    @property
+    def average_latency_ms(self) -> float:
+        if self.transactions == 0:
+            return 0.0
+        return self.total_ms / self.transactions
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulator run."""
+
+    strategy: str
+    benchmark: str
+    num_partitions: int
+    simulated_duration_ms: float
+    committed: int = 0
+    user_aborted: int = 0
+    restarts: int = 0
+    escalations: int = 0
+    undo_disabled: int = 0
+    early_prepared: int = 0
+    single_partition: int = 0
+    distributed: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+    breakdowns: dict[str, ProcedureBreakdown] = field(default_factory=dict)
+    #: Post-warm-up measurement window used for throughput.
+    window_committed: int = 0
+    window_duration_ms: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_transactions(self) -> int:
+        return self.committed + self.user_aborted
+
+    @property
+    def throughput_txn_per_sec(self) -> float:
+        committed = self.window_committed or self.committed
+        duration = self.window_duration_ms or self.simulated_duration_ms
+        if duration <= 0:
+            return 0.0
+        return 1000.0 * committed / duration
+
+    @property
+    def average_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return mean(self.latencies_ms)
+
+    @property
+    def restart_rate(self) -> float:
+        if self.total_transactions == 0:
+            return 0.0
+        return self.restarts / self.total_transactions
+
+    # ------------------------------------------------------------------
+    def breakdown_for(self, procedure: str) -> ProcedureBreakdown:
+        breakdown = self.breakdowns.get(procedure)
+        if breakdown is None:
+            breakdown = ProcedureBreakdown(procedure)
+            self.breakdowns[procedure] = breakdown
+        return breakdown
+
+    def overall_estimation_share(self) -> float:
+        """Average share of transaction time spent estimating (Fig. 11 claim)."""
+        total = sum(b.total_ms for b in self.breakdowns.values())
+        if total <= 0:
+            return 0.0
+        estimation = sum(b.estimation_ms for b in self.breakdowns.values())
+        return 100.0 * estimation / total
+
+    def summary_row(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "benchmark": self.benchmark,
+            "partitions": self.num_partitions,
+            "throughput_txn_s": round(self.throughput_txn_per_sec, 1),
+            "avg_latency_ms": round(self.average_latency_ms, 3),
+            "committed": self.committed,
+            "restarts": self.restarts,
+            "restart_rate": round(self.restart_rate, 4),
+            "undo_disabled": self.undo_disabled,
+            "early_prepared": self.early_prepared,
+            "estimation_share_pct": round(self.overall_estimation_share(), 2),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SimulationResult {self.benchmark}/{self.strategy} P={self.num_partitions} "
+            f"{self.throughput_txn_per_sec:.0f} txn/s>"
+        )

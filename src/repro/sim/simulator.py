@@ -1,0 +1,187 @@
+"""Closed-loop cluster simulator.
+
+Reproduces the paper's throughput experiments without the Wisconsin cluster:
+transactions are executed *functionally* against the real in-memory database
+through the transaction coordinator (so mispredictions, restarts, aborts and
+optimization updates all really happen), and their *timing* is replayed
+through the cost model onto a set of single-threaded partition resources.
+
+The workload driver is closed-loop, matching the paper's setup of "four
+client threads per partition to ensure that the workload queues at each node
+are always full": each simulated client submits its next request the moment
+its previous one completes.  A transaction starts once every partition in its
+lock set is free; partitions are released at commit — or earlier when the
+early-prepare optimization (OP4) declared the transaction finished with them,
+which is how speculative execution shows up in the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.schema import Catalog
+from ..storage.partition_store import Database
+from ..txn.coordinator import TransactionCoordinator
+from ..txn.record import TransactionRecord
+from ..txn.strategy import ExecutionStrategy
+from ..types import ProcedureRequest
+from ..workload.generator import WorkloadGenerator
+from .cost_model import CostModel
+from .metrics import SimulationResult
+
+
+@dataclass
+class SimulatorConfig:
+    """Knobs for one simulator run."""
+
+    #: Closed-loop clients per partition (the paper uses four).
+    clients_per_partition: int = 4
+    #: Total transactions to execute (split across clients).
+    total_transactions: int = 2000
+    #: Fraction of the earliest-completing transactions treated as warm-up
+    #: and excluded from the throughput window (the paper warms up for 60s).
+    warmup_fraction: float = 0.1
+    #: Think time between a client's transactions (0 = saturated, as in the paper).
+    client_think_time_ms: float = 0.0
+
+
+class ClusterSimulator:
+    """Runs one (benchmark, strategy, cluster size) configuration."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        database: Database,
+        generator: WorkloadGenerator,
+        strategy: ExecutionStrategy,
+        *,
+        cost_model: CostModel | None = None,
+        config: SimulatorConfig | None = None,
+        benchmark_name: str = "",
+    ) -> None:
+        self.catalog = catalog
+        self.database = database
+        self.generator = generator
+        self.strategy = strategy
+        self.cost_model = cost_model or CostModel()
+        self.config = config or SimulatorConfig()
+        self.benchmark_name = benchmark_name or generator.benchmark
+        self.coordinator = TransactionCoordinator(catalog, database, strategy)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        num_partitions = self.catalog.num_partitions
+        num_nodes = self.catalog.scheme.num_nodes
+        num_clients = max(1, self.config.clients_per_partition * num_partitions)
+        partition_free = [0.0] * num_partitions
+        client_ready = [0.0] * num_clients
+        completions: list[tuple[float, bool]] = []
+        result = SimulationResult(
+            strategy=self.strategy.name,
+            benchmark=self.benchmark_name,
+            num_partitions=num_partitions,
+            simulated_duration_ms=0.0,
+        )
+        for index in range(self.config.total_transactions):
+            client_id = min(range(num_clients), key=lambda c: client_ready[c])
+            submit_time = client_ready[client_id]
+            request = self.generator.next_request()
+            request = ProcedureRequest(
+                procedure=request.procedure,
+                parameters=request.parameters,
+                client_id=client_id,
+                arrival_node=client_id % num_nodes,
+            )
+            record = self.coordinator.execute_transaction(request)
+            end_time = self._replay_timing(record, submit_time, partition_free, result)
+            latency = end_time - submit_time
+            result.latencies_ms.append(latency)
+            completions.append((end_time, record.committed))
+            client_ready[client_id] = end_time + self.config.client_think_time_ms
+            self._account_record(record, result)
+        self._finalize_window(completions, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _replay_timing(
+        self,
+        record: TransactionRecord,
+        submit_time: float,
+        partition_free: list[float],
+        result: SimulationResult,
+    ) -> float:
+        """Schedule every attempt of a transaction onto the partitions."""
+        num_partitions = self.catalog.num_partitions
+        clock = submit_time
+        breakdown = result.breakdown_for(record.procedure)
+        for attempt_index, (plan, attempt) in enumerate(record.attempt_pairs()):
+            timing = self.cost_model.attempt_timing(plan, attempt, num_partitions)
+            lock_set = list(plan.lock_set(num_partitions))
+            ready = clock + plan.estimation_ms + timing.planning_ms
+            start = max([ready] + [partition_free[p] for p in lock_set])
+            for partition_id in lock_set:
+                partition_free[partition_id] = start + timing.release_offsets[partition_id]
+            # Escalated partitions (OP3 safety valve) are acquired late: the
+            # transaction stalls until they are free, on top of its own work.
+            stall = 0.0
+            for partition_id in attempt.escalated_partitions:
+                if partition_id not in lock_set:
+                    acquire_at = max(start, partition_free[partition_id])
+                    stall = max(stall, acquire_at - start)
+                    partition_free[partition_id] = start + timing.total_ms + stall
+            end = start + timing.total_ms + stall
+            clock = end
+            if attempt_index < len(record.attempts) - 1:
+                # The attempt was thrown away; the next one starts after a
+                # redirect round-trip.
+                clock += self.cost_model.redirect_ms
+            breakdown.transactions += 1
+            breakdown.estimation_ms += timing.estimation_ms
+            breakdown.planning_ms += timing.planning_ms
+            breakdown.execution_ms += timing.execution_ms
+            breakdown.coordination_ms += timing.coordination_ms
+            breakdown.other_ms += timing.setup_ms
+        return clock
+
+    # ------------------------------------------------------------------
+    def _account_record(self, record: TransactionRecord, result: SimulationResult) -> None:
+        if record.committed:
+            result.committed += 1
+        else:
+            result.user_aborted += 1
+        result.restarts += record.restarts
+        result.escalations += sum(
+            1 for attempt in record.attempts if attempt.escalated_partitions
+        )
+        if record.undo_disabled:
+            result.undo_disabled += 1
+        if record.early_prepared_partitions:
+            result.early_prepared += 1
+        if record.single_partitioned:
+            result.single_partition += 1
+        else:
+            result.distributed += 1
+
+    def _finalize_window(
+        self, completions: list[tuple[float, bool]], result: SimulationResult
+    ) -> None:
+        """Compute the post-warm-up measurement window (paper: 60s warm-up)."""
+        if not completions:
+            result.simulated_duration_ms = 0.0
+            return
+        finished = sorted(completions)
+        result.simulated_duration_ms = finished[-1][0]
+        warmup_index = min(
+            int(len(finished) * self.config.warmup_fraction), len(finished) - 1
+        )
+        warmup_time = finished[warmup_index][0] if warmup_index > 0 else 0.0
+        window = finished[-1][0] - warmup_time
+        if window <= 0:
+            # Degenerate (single transaction): fall back to the full run.
+            result.window_duration_ms = finished[-1][0]
+            result.window_committed = sum(1 for _, committed in finished if committed)
+            return
+        result.window_duration_ms = window
+        result.window_committed = sum(
+            1 for end, committed in finished if committed and end > warmup_time
+        )

@@ -1,0 +1,174 @@
+"""Row heaps: the per-partition storage of a single table.
+
+Rows are plain dicts stored in a slotted list; a monotonically increasing row
+id addresses each slot.  The heap maintains the table's primary-key hash
+index plus any declared secondary indexes, and exposes the low-level
+insert/update/delete operations the statement executor builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..errors import DuplicateKeyError, StorageError
+from ..catalog.table import Table
+from .indexes import HashIndex, OrderedIndex
+
+
+class RowHeap:
+    """All rows of one table stored on one partition."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_row_id = 0
+        self._primary: HashIndex | None = None
+        if table.primary_key:
+            self._primary = HashIndex(tuple(table.primary_key), unique=True)
+        self._secondary: dict[str, HashIndex | OrderedIndex] = {}
+        for index in table.secondary_indexes:
+            self._secondary[index.name] = HashIndex(tuple(index.columns), unique=index.unique)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over copies of every live row (order unspecified)."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def row_ids(self) -> Iterator[int]:
+        return iter(self._rows.keys())
+
+    def get(self, row_id: int) -> dict[str, Any]:
+        try:
+            return dict(self._rows[row_id])
+        except KeyError:
+            raise StorageError(f"no row with id {row_id} in table {self.table.name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: dict[str, Any]) -> int:
+        """Insert a row (validated against the table) and return its row id."""
+        row = self.table.new_row(values)
+        if self._primary is not None:
+            key = self._primary.key_of(row)
+            if self._primary.contains(key):
+                raise DuplicateKeyError(self.table.name, key)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = row
+        if self._primary is not None:
+            self._primary.insert(self._primary.key_of(row), row_id)
+        for index in self._secondary.values():
+            index.insert(index.key_of(row), row_id)
+        return row_id
+
+    def insert_raw(self, row: dict[str, Any], row_id: int) -> None:
+        """Re-insert a previously deleted row under its original id (undo)."""
+        if row_id in self._rows:
+            raise StorageError(f"row id {row_id} already present")
+        self._rows[row_id] = dict(row)
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+        if self._primary is not None:
+            self._primary.insert(self._primary.key_of(row), row_id)
+        for index in self._secondary.values():
+            index.insert(index.key_of(row), row_id)
+
+    def update(self, row_id: int, assignments: dict[str, Any]) -> dict[str, Any]:
+        """Apply column assignments to a row, returning its *previous* image."""
+        if row_id not in self._rows:
+            raise StorageError(f"no row with id {row_id} in table {self.table.name!r}")
+        self.table.validate_update(assignments)
+        current = self._rows[row_id]
+        before = dict(current)
+        reindex_primary = self._primary is not None and any(
+            column in self.table.primary_key for column in assignments
+        )
+        affected_secondary = [
+            index for index in self._secondary.values()
+            if any(column in index.columns for column in assignments)
+        ]
+        if reindex_primary:
+            self._primary.remove(self._primary.key_of(before), row_id)
+        for index in affected_secondary:
+            index.remove(index.key_of(before), row_id)
+        current.update(assignments)
+        if reindex_primary:
+            self._primary.insert(self._primary.key_of(current), row_id)
+        for index in affected_secondary:
+            index.insert(index.key_of(current), row_id)
+        return before
+
+    def delete(self, row_id: int) -> dict[str, Any]:
+        """Delete a row, returning its previous image."""
+        if row_id not in self._rows:
+            raise StorageError(f"no row with id {row_id} in table {self.table.name!r}")
+        row = self._rows.pop(row_id)
+        if self._primary is not None:
+            self._primary.remove(self._primary.key_of(row), row_id)
+        for index in self._secondary.values():
+            index.remove(index.key_of(row), row_id)
+        return row
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def find(self, predicate: dict[str, Any]) -> list[int]:
+        """Return the row ids matching conjunctive equality predicates.
+
+        Uses the primary-key index when the predicate covers it, a secondary
+        index when one matches a subset of the predicate columns, and falls
+        back to a sequential scan otherwise.
+        """
+        if not predicate:
+            return list(self._rows.keys())
+        candidates = self._candidate_ids(predicate)
+        matching = []
+        for row_id in candidates:
+            row = self._rows.get(row_id)
+            if row is None:
+                continue
+            if all(row.get(column) == value for column, value in predicate.items()):
+                matching.append(row_id)
+        return matching
+
+    def _candidate_ids(self, predicate: dict[str, Any]) -> list[int]:
+        predicate_columns = set(predicate)
+        if self._primary is not None and set(self.table.primary_key) <= predicate_columns:
+            key = tuple(predicate[c] for c in self.table.primary_key)
+            return self._primary.lookup(key)
+        for index in self._secondary.values():
+            if set(index.columns) <= predicate_columns:
+                key = tuple(predicate[c] for c in index.columns)
+                return index.lookup(key)
+        return list(self._rows.keys())
+
+    def select(
+        self,
+        predicate: dict[str, Any],
+        *,
+        output_columns: tuple[str, ...] = (),
+        order_by: tuple[str, bool] | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Run a SELECT against this heap and return projected row copies."""
+        row_ids = self.find(predicate)
+        rows = [dict(self._rows[row_id]) for row_id in row_ids]
+        if order_by is not None:
+            column, descending = order_by
+            rows.sort(key=lambda r: r[column], reverse=descending)
+        if limit is not None:
+            rows = rows[:limit]
+        if output_columns:
+            rows = [{c: row[c] for c in output_columns} for row in rows]
+        return rows
+
+    def aggregate(self, predicate: dict[str, Any], column: str, func: Callable[[list[Any]], Any]) -> Any:
+        """Apply ``func`` to the values of ``column`` across matching rows."""
+        values = [self._rows[row_id][column] for row_id in self.find(predicate)]
+        return func(values)

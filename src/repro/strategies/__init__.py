@@ -1,0 +1,17 @@
+"""Execution strategies: the baselines and the Houdini-backed strategy."""
+
+from ..txn.strategy import ExecutionStrategy
+from .baselines import (
+    AssumeDistributedStrategy,
+    AssumeSinglePartitionStrategy,
+    OracleStrategy,
+)
+from .houdini_strategy import HoudiniStrategy
+
+__all__ = [
+    "ExecutionStrategy",
+    "AssumeDistributedStrategy",
+    "AssumeSinglePartitionStrategy",
+    "OracleStrategy",
+    "HoudiniStrategy",
+]

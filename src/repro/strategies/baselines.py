@@ -1,0 +1,206 @@
+"""Baseline execution strategies (paper §2.1 and §6.4).
+
+Three baselines bracket Houdini's behaviour:
+
+* :class:`AssumeDistributedStrategy` — every transaction locks every
+  partition ("assume distributed" in Fig. 3).  Safe but serializes the whole
+  cluster, so throughput does not scale with partitions.
+* :class:`AssumeSinglePartitionStrategy` — every transaction is optimistically
+  executed as a single-partition transaction at a random partition of the
+  node it arrived at, with DB2-style abort-and-redirect when it turns out to
+  need other partitions (the paper's non-Houdini comparison mode).
+* :class:`OracleStrategy` — "proper selection": the client magically provides
+  the exact partitions, abort behaviour and finish points (the best case the
+  motivating experiment of Fig. 3 measures).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..catalog.schema import Catalog
+from ..engine.engine import AttemptResult, ExecutionEngine
+from ..errors import UserAbort
+from ..storage.partition_store import Database
+from ..txn.plan import ExecutionPlan
+from ..txn.strategy import ExecutionStrategy
+from ..types import PartitionId, PartitionSet, ProcedureRequest
+
+
+class AssumeDistributedStrategy(ExecutionStrategy):
+    """Lock every partition for every transaction."""
+
+    name = "assume-distributed"
+
+    def __init__(self, catalog: Catalog, seed: int = 0) -> None:
+        self.catalog = catalog
+        self._random = random.Random(seed)
+
+    def plan_initial(self, request: ProcedureRequest) -> ExecutionPlan:
+        base = self._random.randrange(self.catalog.num_partitions)
+        return ExecutionPlan(
+            base_partition=base,
+            locked_partitions=None,
+            undo_logging=True,
+            source=self.name,
+        )
+
+    def plan_restart(self, request, failed_plan, failed_attempt, attempt_number) -> ExecutionPlan:
+        # With every partition locked a misprediction abort cannot happen;
+        # keep the same plan if it somehow does.
+        return failed_plan
+
+
+class AssumeSinglePartitionStrategy(ExecutionStrategy):
+    """Optimistic single-partition execution with DB2-style redirects."""
+
+    name = "assume-single-partition"
+
+    def __init__(self, catalog: Catalog, seed: int = 0) -> None:
+        self.catalog = catalog
+        self._random = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def plan_initial(self, request: ProcedureRequest) -> ExecutionPlan:
+        node_partitions = list(
+            self.catalog.scheme.partitions_for_node(
+                request.arrival_node % self.catalog.scheme.num_nodes
+            )
+        )
+        base = self._random.choice(node_partitions)
+        return ExecutionPlan(
+            base_partition=base,
+            locked_partitions=PartitionSet.of([base]),
+            undo_logging=True,
+            source=self.name,
+            predicted_single_partition=True,
+        )
+
+    def plan_restart(
+        self,
+        request: ProcedureRequest,
+        failed_plan: ExecutionPlan,
+        failed_attempt: AttemptResult,
+        attempt_number: int,
+    ) -> ExecutionPlan:
+        mispredicted = failed_attempt.mispredicted_partition
+        touched = set(failed_attempt.touched_partitions)
+        if mispredicted is not None:
+            touched.add(mispredicted)
+        if attempt_number >= 3 or not touched:
+            # Converge: run as a fully distributed transaction.
+            return ExecutionPlan(
+                base_partition=failed_plan.base_partition,
+                locked_partitions=None,
+                undo_logging=True,
+                source=f"{self.name}:distributed",
+            )
+        if len(touched) == 1 and mispredicted is not None:
+            # The transaction simply lives on another partition: redirect it
+            # there and try again as a single-partition transaction.
+            return ExecutionPlan(
+                base_partition=mispredicted,
+                locked_partitions=PartitionSet.of([mispredicted]),
+                undo_logging=True,
+                source=f"{self.name}:redirect",
+                predicted_single_partition=True,
+            )
+        # Multi-partition: restart at the partition it requested the most and
+        # lock the partitions it tried to access before it was aborted.
+        counts: dict[PartitionId, int] = {}
+        for invocation in failed_attempt.invocations:
+            for partition_id in invocation.partitions:
+                counts[partition_id] = counts.get(partition_id, 0) + 1
+        if mispredicted is not None:
+            counts.setdefault(mispredicted, 0)
+        base = min(counts, key=lambda p: (-counts[p], self._random.random()))
+        return ExecutionPlan(
+            base_partition=base,
+            locked_partitions=PartitionSet.of(touched),
+            undo_logging=True,
+            source=f"{self.name}:multi",
+        )
+
+
+class OracleStrategy(ExecutionStrategy):
+    """Perfect information: the "proper selection" configuration of Fig. 3.
+
+    The oracle probes the request once against the database (rolling the
+    probe back), which tells it exactly which partitions are needed, whether
+    the transaction aborts, and when each partition is last used.  The actual
+    execution then runs with the minimal lock set, undo logging disabled for
+    non-aborting single-partition work, and precise early-prepare points —
+    with zero estimation overhead charged, as in the paper's best case.
+    """
+
+    name = "oracle"
+
+    def __init__(self, catalog: Catalog, database: Database) -> None:
+        self.catalog = catalog
+        self.database = database
+        self.engine = ExecutionEngine(catalog, database)
+
+    # ------------------------------------------------------------------
+    def plan_initial(self, request: ProcedureRequest) -> ExecutionPlan:
+        probe = self._probe(request)
+        touched = probe["touched"]
+        if not touched:
+            touched = [0]
+        base = probe["base"]
+        single_partition = len(touched) <= 1
+        return ExecutionPlan(
+            base_partition=base,
+            locked_partitions=PartitionSet.of(touched),
+            undo_logging=not (single_partition and not probe["aborts"]),
+            finish_after_query=probe["finish_after"],
+            estimation_ms=0.0,
+            source=self.name,
+            predicted_single_partition=single_partition,
+            predicted_abort_probability=1.0 if probe["aborts"] else 0.0,
+        )
+
+    def plan_restart(self, request, failed_plan, failed_attempt, attempt_number) -> ExecutionPlan:
+        # The oracle never mispredicts; if the engine still reports a
+        # misprediction (e.g. non-deterministic procedure), fall back to a
+        # fully distributed plan.
+        return ExecutionPlan(
+            base_partition=failed_plan.base_partition,
+            locked_partitions=None,
+            undo_logging=True,
+            source=f"{self.name}:fallback",
+        )
+
+    # ------------------------------------------------------------------
+    def _probe(self, request: ProcedureRequest) -> dict:
+        """Dry-run the request with no restrictions and roll it back."""
+        context = self.engine.new_context(
+            request, base_partition=self._home_guess(request), locked_partitions=None
+        )
+        procedure = context.procedure
+        aborts = False
+        try:
+            procedure.run(context, *request.parameters)
+        except UserAbort:
+            aborts = True
+        finally:
+            context.rollback()
+        counts: dict[PartitionId, int] = {}
+        last_access: dict[PartitionId, int] = {}
+        for index, invocation in enumerate(context.invocations):
+            for partition_id in invocation.partitions:
+                counts[partition_id] = counts.get(partition_id, 0) + 1
+                last_access[partition_id] = index
+        touched = sorted(counts)
+        base = min(counts, key=lambda p: (-counts[p], p)) if counts else 0
+        return {
+            "touched": touched,
+            "base": base,
+            "aborts": aborts,
+            "finish_after": last_access,
+        }
+
+    def _home_guess(self, request: ProcedureRequest) -> PartitionId:
+        for value in request.parameters:
+            if isinstance(value, (int, str)) and not isinstance(value, bool):
+                return self.catalog.scheme.partition_for_value(value)
+        return 0

@@ -1,0 +1,94 @@
+"""Partition-granularity lock manager.
+
+H-Store does not use row locks: a transaction either owns a partition's
+single execution thread or it waits.  The lock manager here tracks, at a
+logical level, which transaction currently owns each partition and the FIFO
+queue of waiters.  The discrete-event simulator mirrors this with
+availability times; the logical manager exists so that correctness-level
+tests (and the coordinator) can assert invariants like "a transaction never
+executes a query on a partition it does not hold".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import TransactionError
+from ..types import PartitionId, TransactionId
+
+
+@dataclass
+class _PartitionLockState:
+    holder: TransactionId | None = None
+    waiters: deque[TransactionId] = field(default_factory=deque)
+
+
+class PartitionLockManager:
+    """Tracks exclusive partition ownership with FIFO waiting."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise TransactionError("lock manager needs at least one partition")
+        self.num_partitions = num_partitions
+        self._locks = [_PartitionLockState() for _ in range(num_partitions)]
+
+    # ------------------------------------------------------------------
+    def holder_of(self, partition_id: PartitionId) -> TransactionId | None:
+        return self._state(partition_id).holder
+
+    def waiters_of(self, partition_id: PartitionId) -> tuple[TransactionId, ...]:
+        return tuple(self._state(partition_id).waiters)
+
+    def holds(self, txn_id: TransactionId, partition_id: PartitionId) -> bool:
+        return self._state(partition_id).holder == txn_id
+
+    def held_by(self, txn_id: TransactionId) -> list[PartitionId]:
+        return [p for p, state in enumerate(self._locks) if state.holder == txn_id]
+
+    # ------------------------------------------------------------------
+    def try_acquire(self, txn_id: TransactionId, partitions) -> bool:
+        """Atomically acquire every partition in ``partitions`` or none.
+
+        Returns ``True`` on success.  On failure the transaction is appended
+        to the waiter queue of each partition it could not get (once).
+        """
+        partition_list = sorted(set(partitions))
+        states = [self._state(p) for p in partition_list]
+        if all(state.holder is None or state.holder == txn_id for state in states):
+            for state in states:
+                state.holder = txn_id
+                if txn_id in state.waiters:
+                    state.waiters.remove(txn_id)
+            return True
+        for state in states:
+            if state.holder != txn_id and txn_id not in state.waiters:
+                state.waiters.append(txn_id)
+        return False
+
+    def release(self, txn_id: TransactionId, partitions=None) -> list[PartitionId]:
+        """Release held partitions (all of them when ``partitions`` is None)."""
+        released = []
+        targets = range(self.num_partitions) if partitions is None else partitions
+        for partition_id in targets:
+            state = self._state(partition_id)
+            if state.holder == txn_id:
+                state.holder = None
+                released.append(partition_id)
+            if txn_id in state.waiters:
+                state.waiters.remove(txn_id)
+        return released
+
+    def release_one(self, txn_id: TransactionId, partition_id: PartitionId) -> bool:
+        """Release a single partition early (the OP4 speculation hook)."""
+        state = self._state(partition_id)
+        if state.holder != txn_id:
+            return False
+        state.holder = None
+        return True
+
+    # ------------------------------------------------------------------
+    def _state(self, partition_id: PartitionId) -> _PartitionLockState:
+        if not 0 <= partition_id < self.num_partitions:
+            raise TransactionError(f"partition {partition_id} out of range")
+        return self._locks[partition_id]

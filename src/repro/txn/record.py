@@ -1,0 +1,87 @@
+"""Transaction records: the full history of one logical transaction.
+
+A logical transaction may consist of several *attempts* (because of
+DB2-style redirects or misprediction restarts).  The record collects the
+plans and attempt results, which is everything the metrics layer, the
+simulator's cost model and the accuracy evaluation need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..engine.engine import AttemptOutcome, AttemptResult
+from ..types import PartitionSet, ProcedureRequest, TransactionId
+from .plan import ExecutionPlan
+
+
+@dataclass
+class TransactionRecord:
+    """Everything that happened while executing one client request."""
+
+    txn_id: TransactionId
+    request: ProcedureRequest
+    plans: list[ExecutionPlan] = field(default_factory=list)
+    attempts: list[AttemptResult] = field(default_factory=list)
+    #: Optimization bookkeeping filled in by the strategy / Houdini runtime.
+    optimizations_enabled: dict[str, bool] = field(default_factory=dict)
+    #: Whether undo logging was disabled at any point during execution.
+    undo_disabled: bool = False
+    #: Partitions that were early-prepared (speculation targets, OP4).
+    early_prepared_partitions: frozenset[int] = frozenset()
+
+    # ------------------------------------------------------------------
+    @property
+    def final_attempt(self) -> AttemptResult:
+        if not self.attempts:
+            raise ValueError("transaction has no attempts")
+        return self.attempts[-1]
+
+    @property
+    def final_plan(self) -> ExecutionPlan:
+        if not self.plans:
+            raise ValueError("transaction has no plans")
+        return self.plans[-1]
+
+    @property
+    def committed(self) -> bool:
+        return bool(self.attempts) and self.final_attempt.outcome is AttemptOutcome.COMMITTED
+
+    @property
+    def user_aborted(self) -> bool:
+        return bool(self.attempts) and self.final_attempt.outcome is AttemptOutcome.USER_ABORT
+
+    @property
+    def restarts(self) -> int:
+        """Number of attempts beyond the first."""
+        return max(0, len(self.attempts) - 1)
+
+    @property
+    def procedure(self) -> str:
+        return self.request.procedure
+
+    @property
+    def touched_partitions(self) -> PartitionSet:
+        return self.final_attempt.touched_partitions
+
+    @property
+    def single_partitioned(self) -> bool:
+        return self.final_attempt.single_partitioned
+
+    @property
+    def total_queries(self) -> int:
+        """Queries executed across every attempt (wasted work included)."""
+        return sum(len(attempt.invocations) for attempt in self.attempts)
+
+    @property
+    def wasted_queries(self) -> int:
+        """Queries executed by attempts that had to be thrown away."""
+        return sum(len(attempt.invocations) for attempt in self.attempts[:-1])
+
+    def attempt_pairs(self) -> Iterator[tuple[ExecutionPlan, AttemptResult]]:
+        yield from zip(self.plans, self.attempts)
+
+    @property
+    def total_estimation_ms(self) -> float:
+        return sum(plan.estimation_ms for plan in self.plans)

@@ -1,0 +1,68 @@
+"""Execution-strategy interface.
+
+An execution strategy decides, for each incoming request, where to run it,
+which partitions to lock, and whether the optional optimizations (OP3/OP4)
+are enabled — i.e. it produces :class:`~repro.txn.plan.ExecutionPlan`
+objects.  The paper compares several strategies (Section 2.1 and 6.4):
+
+* assume every transaction is distributed,
+* assume every transaction is single-partitioned with DB2-style redirects,
+* an oracle given perfect information ("proper selection"),
+* Houdini with global or partitioned Markov models.
+
+Concrete implementations live in :mod:`repro.strategies`; the abstract base
+lives here so the coordinator does not depend on them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..engine.context import QueryListener
+from ..engine.engine import AttemptResult
+from ..types import ProcedureRequest
+from .plan import ExecutionPlan
+from .record import TransactionRecord
+
+
+class ExecutionStrategy(ABC):
+    """Decides how each transaction is executed."""
+
+    #: Human-readable name used in experiment output.
+    name: str = "strategy"
+
+    @abstractmethod
+    def plan_initial(self, request: ProcedureRequest) -> ExecutionPlan:
+        """Produce the plan for the first attempt of ``request``."""
+
+    @abstractmethod
+    def plan_restart(
+        self,
+        request: ProcedureRequest,
+        failed_plan: ExecutionPlan,
+        failed_attempt: AttemptResult,
+        attempt_number: int,
+    ) -> ExecutionPlan:
+        """Produce a new plan after a misprediction abort.
+
+        ``attempt_number`` is 1 for the first restart, 2 for the second, and
+        so on.  Implementations must converge: after a bounded number of
+        restarts the plan has to lock a superset of whatever the transaction
+        can touch (locking every partition always satisfies this).
+        """
+
+    # ------------------------------------------------------------------
+    # Optional hooks
+    # ------------------------------------------------------------------
+    def attempt_listeners(
+        self, request: ProcedureRequest, plan: ExecutionPlan
+    ) -> Sequence[QueryListener]:
+        """Per-query listeners to attach to the attempt (Houdini's monitor)."""
+        return ()
+
+    def on_transaction_complete(self, record: TransactionRecord) -> None:
+        """Called once per logical transaction after it commits or aborts."""
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,81 @@
+"""Two-phase-commit accounting.
+
+Distributed transactions in the paper's system pay an extra network round for
+the prepare/acknowledge exchange unless the "early prepare" (unsolicited
+vote, OP4) optimization piggy-backs the prepare message on the last query
+sent to a partition.  The :class:`TwoPhaseCommit` helper tracks, per
+transaction, which participants have been early-prepared and how many
+explicit prepare round-trips remain — the quantity the cost model converts
+into simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TransactionError
+from ..types import PartitionId
+
+
+@dataclass
+class TwoPhaseCommit:
+    """Commit-protocol state for one distributed transaction."""
+
+    coordinator_partition: PartitionId
+    participants: frozenset[PartitionId]
+    early_prepared: set[PartitionId] = field(default_factory=set)
+    votes: dict[PartitionId, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.coordinator_partition not in self.participants:
+            raise TransactionError("coordinator partition must be a participant")
+
+    # ------------------------------------------------------------------
+    @property
+    def remote_participants(self) -> frozenset[PartitionId]:
+        return self.participants - {self.coordinator_partition}
+
+    @property
+    def is_distributed(self) -> bool:
+        return len(self.participants) > 1
+
+    # ------------------------------------------------------------------
+    def early_prepare(self, partition_id: PartitionId) -> bool:
+        """Mark a participant as early-prepared (OP4).
+
+        Returns ``True`` if this newly prepared the participant.  The
+        coordinator partition never needs an explicit prepare message.
+        """
+        if partition_id not in self.participants:
+            raise TransactionError(
+                f"partition {partition_id} is not a participant of this transaction"
+            )
+        if partition_id in self.early_prepared:
+            return False
+        self.early_prepared.add(partition_id)
+        self.votes[partition_id] = True
+        return True
+
+    def record_vote(self, partition_id: PartitionId, commit: bool) -> None:
+        if partition_id not in self.participants:
+            raise TransactionError(
+                f"partition {partition_id} is not a participant of this transaction"
+            )
+        self.votes[partition_id] = commit
+
+    # ------------------------------------------------------------------
+    def explicit_prepare_targets(self) -> frozenset[PartitionId]:
+        """Remote participants that still need an explicit prepare message."""
+        return self.remote_participants - self.early_prepared
+
+    def prepare_round_trips(self) -> int:
+        """Number of prepare round-trips the coordinator must still perform."""
+        return len(self.explicit_prepare_targets())
+
+    def commit_round_trips(self) -> int:
+        """Number of commit/abort notification messages to remote participants."""
+        return len(self.remote_participants)
+
+    def can_commit(self) -> bool:
+        """All participants voted yes (early-prepared participants vote yes)."""
+        return all(self.votes.get(p, False) for p in self.remote_participants) or not self.is_distributed

@@ -1,0 +1,139 @@
+"""Shared light-weight types used across the ``repro`` package.
+
+The paper's system (H-Store + Houdini) deals in a handful of simple
+identifiers: partitions, nodes/sites, transactions and clients.  We keep them
+as plain ``int`` aliases for speed (millions of them are created in the
+simulator) and provide small frozen dataclasses for the few composite values
+that travel across subsystem boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Sequence
+
+PartitionId = int
+NodeId = int
+TransactionId = int
+ClientId = int
+
+#: Parameter values accepted by stored procedures and statements.
+ParameterValue = Any
+
+
+class IsolationDecision(Enum):
+    """How the coordinator decided to run a transaction."""
+
+    SINGLE_PARTITION = "single_partition"
+    MULTI_PARTITION = "multi_partition"
+
+
+class QueryType(Enum):
+    """Coarse classification of a statement used by probability tables."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is QueryType.WRITE
+
+
+@dataclass(frozen=True)
+class PartitionSet:
+    """An immutable, hashable, ordered set of partition identifiers.
+
+    Markov-model vertices are keyed on the partitions a query accesses and
+    the partitions the transaction accessed previously, so these sets must be
+    hashable and cheap to compare.  The canonical representation is a sorted
+    tuple.
+    """
+
+    partitions: tuple[PartitionId, ...] = ()
+
+    @staticmethod
+    def of(values: Sequence[PartitionId] | frozenset[PartitionId]) -> "PartitionSet":
+        return PartitionSet(tuple(sorted(set(values))))
+
+    def union(self, other: "PartitionSet") -> "PartitionSet":
+        return PartitionSet.of(set(self.partitions) | set(other.partitions))
+
+    def contains(self, partition_id: PartitionId) -> bool:
+        return partition_id in self.partitions
+
+    def issuperset(self, other: "PartitionSet") -> bool:
+        return set(self.partitions) >= set(other.partitions)
+
+    def as_frozenset(self) -> frozenset[PartitionId]:
+        return frozenset(self.partitions)
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __bool__(self) -> bool:
+        return bool(self.partitions)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(p) for p in self.partitions)
+        return "{" + inner + "}"
+
+
+EMPTY_PARTITION_SET = PartitionSet()
+
+
+@dataclass(frozen=True)
+class ProcedureRequest:
+    """A client request: a stored-procedure name plus its input parameters.
+
+    This is the unit of work that arrives at the transaction coordinator
+    (Fig. 1 of the paper) and the unit that Houdini builds an initial path
+    estimate for.
+    """
+
+    procedure: str
+    parameters: tuple[ParameterValue, ...]
+    client_id: ClientId = 0
+    arrival_node: NodeId = 0
+
+    @staticmethod
+    def of(procedure: str, parameters: Sequence[ParameterValue], **kwargs: Any) -> "ProcedureRequest":
+        return ProcedureRequest(procedure=procedure, parameters=tuple(parameters), **kwargs)
+
+
+@dataclass
+class QueryInvocation:
+    """One executed query inside a transaction.
+
+    The ``counter`` records how many times this statement had already been
+    executed by the same transaction before this invocation — part of the
+    Markov-model vertex identity (Section 3.1).
+    """
+
+    statement: str
+    parameters: tuple[ParameterValue, ...]
+    partitions: PartitionSet
+    counter: int
+    query_type: QueryType = QueryType.READ
+
+
+@dataclass
+class TransactionSummary:
+    """Outcome of one executed transaction, used for metrics and traces."""
+
+    txn_id: TransactionId
+    procedure: str
+    parameters: tuple[ParameterValue, ...]
+    base_partition: PartitionId
+    touched_partitions: PartitionSet
+    committed: bool
+    restarts: int = 0
+    queries: list[QueryInvocation] = field(default_factory=list)
+    latency_ms: float = 0.0
+
+    @property
+    def single_partitioned(self) -> bool:
+        return len(self.touched_partitions) <= 1

@@ -1,0 +1,15 @@
+"""Workload subsystem: deterministic RNG, traces, generators, recorder."""
+
+from .generator import WorkloadGenerator
+from .recorder import TraceRecorder
+from .rng import WorkloadRandom
+from .trace import QueryTraceRecord, TransactionTraceRecord, WorkloadTrace
+
+__all__ = [
+    "WorkloadRandom",
+    "WorkloadGenerator",
+    "TraceRecorder",
+    "WorkloadTrace",
+    "TransactionTraceRecord",
+    "QueryTraceRecord",
+]

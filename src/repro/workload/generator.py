@@ -1,0 +1,60 @@
+"""Workload generator base class.
+
+Each benchmark supplies a generator that turns a deterministic random source
+into a stream of :class:`~repro.types.ProcedureRequest` objects following the
+benchmark's transaction mix and parameter distributions.  Generators also
+expose the *home partition* of a request — the partition of the "anchor"
+entity (warehouse, subscriber, seller) — which the trace recorder and the
+oracle strategy use as the control-code location.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+from ..catalog.schema import Catalog
+from ..errors import WorkloadError
+from ..types import PartitionId, ProcedureRequest
+from .rng import WorkloadRandom
+
+
+class WorkloadGenerator(ABC):
+    """Produces procedure requests for one benchmark."""
+
+    #: Benchmark name (e.g. ``"tpcc"``).
+    benchmark: str = ""
+
+    def __init__(self, catalog: Catalog, rng: WorkloadRandom | None = None) -> None:
+        self.catalog = catalog
+        self.rng = rng or WorkloadRandom(0)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def next_request(self) -> ProcedureRequest:
+        """Generate the next request according to the transaction mix."""
+
+    @abstractmethod
+    def home_partition(self, request: ProcedureRequest) -> PartitionId:
+        """Best base partition for a request (used by the oracle and traces)."""
+
+    # ------------------------------------------------------------------
+    def generate(self, count: int) -> list[ProcedureRequest]:
+        """Generate ``count`` requests."""
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        return [self.next_request() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[ProcedureRequest]:
+        for _ in range(count):
+            yield self.next_request()
+
+    # ------------------------------------------------------------------
+    @property
+    def mix(self) -> Sequence[tuple[str, float]]:
+        """The (procedure, weight) transaction mix; informational."""
+        return ()
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{name}:{weight:g}" for name, weight in self.mix)
+        return f"<{type(self).__name__} {parts}>"

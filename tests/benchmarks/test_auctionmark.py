@@ -1,0 +1,134 @@
+"""Tests for the AuctionMark benchmark."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.benchmarks.auctionmark import ITEM_STATUS_PURCHASED, AuctionMarkConfig
+from repro.engine import ExecutionEngine
+from repro.types import ProcedureRequest
+from repro.workload import WorkloadRandom
+
+
+@pytest.fixture(scope="module")
+def auctionmark():
+    instance = get_benchmark("auctionmark").build(4, seed=3)
+    return instance, ExecutionEngine(instance.catalog, instance.database)
+
+
+class TestReadProcedures:
+    def test_get_item_single_partition(self, auctionmark):
+        _, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("GetItem", (5, 1)), base_partition=1
+        )
+        assert result.committed
+        assert result.single_partitioned
+
+    def test_get_user_info_without_flags_is_local(self, auctionmark):
+        _, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("GetUserInfo", (5, 0, 0, 0)), base_partition=1
+        )
+        assert result.committed
+        assert result.single_partitioned
+        assert len(result.invocations) == 1
+
+    def test_get_user_info_feedback_flag_broadcasts(self, auctionmark):
+        _, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("GetUserInfo", (5, 1, 0, 0)), base_partition=1
+        )
+        assert result.committed
+        assert len(result.touched_partitions) == 4
+
+    def test_get_watched_items(self, auctionmark):
+        _, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("GetWatchedItems", (6,)), base_partition=2
+        )
+        assert result.committed
+        assert result.single_partitioned
+
+
+class TestWriteProcedures:
+    def test_new_bid_touches_buyer_and_seller(self, auctionmark):
+        _, engine = auctionmark
+        # seller 4 -> partition 0, buyer 5 -> partition 1
+        result = engine.execute_attempt(
+            ProcedureRequest.of("NewBid", (4, 0, 5, 90001, 9999.0)), base_partition=0
+        )
+        assert result.committed
+        assert set(result.touched_partitions) == {0, 1}
+        assert result.return_value == {"accepted": True}
+
+    def test_new_bid_below_price_rejected_without_writes(self, auctionmark):
+        _, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("NewBid", (4, 0, 5, 90002, 0.01)), base_partition=0
+        )
+        assert result.committed
+        assert result.return_value == {"accepted": False}
+        assert result.undo_records_written == 0
+
+    def test_new_item_and_update_item(self, auctionmark):
+        instance, engine = auctionmark
+        seller = 9
+        result = engine.execute_attempt(
+            ProcedureRequest.of("NewItem", (seller, 7777, "thing", 10.0, 500)),
+            base_partition=1,
+        )
+        assert result.committed
+        update = engine.execute_attempt(
+            ProcedureRequest.of("UpdateItem", (seller, 7777, "new description")),
+            base_partition=1,
+        )
+        assert update.committed
+        heap = instance.database.partition(seller % 4).heap("ITEM")
+        row_id = heap.find({"I_U_ID": seller, "I_ID": 7777})[0]
+        assert heap.get(row_id)["I_DESCRIPTION"] == "new description"
+
+    def test_new_purchase_marks_item_purchased(self, auctionmark):
+        instance, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("NewPurchase", (6, 0, 5001, 9, 50.0)), base_partition=2
+        )
+        assert result.committed
+        heap = instance.database.partition(6 % 4).heap("ITEM")
+        row_id = heap.find({"I_U_ID": 6, "I_ID": 0})[0]
+        assert heap.get(row_id)["I_STATUS"] == ITEM_STATUS_PURCHASED
+
+    def test_post_auction_arbitrary_arrays(self, auctionmark):
+        _, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("PostAuction", ((1, 2, 7), (1, 1, 2), (3, -1, 8))),
+            base_partition=0,
+        )
+        assert result.committed
+        assert result.return_value["closed"] == 3
+        assert len(result.touched_partitions) >= 2
+
+    def test_check_winning_bids_executes_many_queries(self, auctionmark):
+        _, engine = auctionmark
+        result = engine.execute_attempt(
+            ProcedureRequest.of("CheckWinningBids", (2000, 30)), base_partition=0
+        )
+        assert result.committed
+        assert len(result.invocations) > 10
+
+
+class TestGenerator:
+    def test_generator_produces_all_procedures_eventually(self):
+        catalog = get_benchmark("auctionmark").make_catalog(4)
+        config = AuctionMarkConfig(num_partitions=4)
+        generator = get_benchmark("auctionmark").make_generator(catalog, config, WorkloadRandom(6))
+        names = {r.procedure for r in generator.generate(2000)}
+        assert {"GetItem", "NewBid", "GetUserInfo", "PostAuction"} <= names
+
+    def test_home_partition_uses_first_id(self):
+        catalog = get_benchmark("auctionmark").make_catalog(4)
+        config = AuctionMarkConfig(num_partitions=4)
+        generator = get_benchmark("auctionmark").make_generator(catalog, config, WorkloadRandom(6))
+        assert generator.home_partition(ProcedureRequest.of("GetItem", (7, 0))) == 3
+        assert generator.home_partition(
+            ProcedureRequest.of("PostAuction", ((5,), (0,), (1,)))
+        ) == 1

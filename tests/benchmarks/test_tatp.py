@@ -1,0 +1,123 @@
+"""Tests for the TATP benchmark."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.benchmarks.tatp import TatpConfig, sub_nbr_for
+from repro.engine import AttemptOutcome, ExecutionEngine
+from repro.types import ProcedureRequest
+from repro.workload import WorkloadRandom
+
+
+@pytest.fixture(scope="module")
+def tatp():
+    instance = get_benchmark("tatp").build(4, seed=3)
+    return instance, ExecutionEngine(instance.catalog, instance.database)
+
+
+class TestByIdProcedures:
+    def test_get_subscriber_data_single_partition(self, tatp):
+        _, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of("GetSubscriberData", (13,)), base_partition=13 % 4
+        )
+        assert result.committed
+        assert result.single_partitioned
+        assert result.return_value["S_ID"] == 13
+
+    def test_get_access_data(self, tatp):
+        _, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of("GetAccessData", (13, 1)), base_partition=1
+        )
+        assert result.committed
+        assert result.single_partitioned
+
+    def test_get_new_destination(self, tatp):
+        _, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of("GetNewDestination", (8, 1, 0, 5)), base_partition=0
+        )
+        assert result.committed
+        assert result.single_partitioned
+
+    def test_update_subscriber(self, tatp):
+        instance, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of("UpdateSubscriber", (9, 777)), base_partition=1
+        )
+        assert result.committed
+        heap = instance.database.partition(1).heap("SUBSCRIBER")
+        row_ids = heap.find({"S_ID": 9})
+        assert heap.get(row_ids[0])["VLR_LOCATION"] == 777
+
+
+class TestBroadcastProcedures:
+    """The three procedures addressed by SUB_NBR (paper Fig. 10a)."""
+
+    def test_update_location_broadcasts_then_updates_one_partition(self, tatp):
+        instance, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of("UpdateLocation", (sub_nbr_for(10), 555)), base_partition=0
+        )
+        assert result.committed
+        # First query touches every partition, second only the subscriber's.
+        assert set(result.invocations[0].partitions) == {0, 1, 2, 3}
+        assert set(result.invocations[1].partitions) == {10 % 4}
+
+    def test_insert_call_forwarding_unused_slot(self, tatp):
+        instance, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of(
+                "InsertCallForwarding", (sub_nbr_for(11), 1, 99, 105, "123456789012345")
+            ),
+            base_partition=0,
+        )
+        assert result.committed
+
+    def test_insert_call_forwarding_duplicate_aborts(self, tatp):
+        _, engine = tatp
+        # Slot (sf_type=1, start_time=0) is pre-loaded for every subscriber.
+        result = engine.execute_attempt(
+            ProcedureRequest.of(
+                "InsertCallForwarding", (sub_nbr_for(12), 1, 0, 8, "123456789012345")
+            ),
+            base_partition=0,
+        )
+        assert result.outcome is AttemptOutcome.USER_ABORT
+
+    def test_delete_call_forwarding(self, tatp):
+        instance, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of("DeleteCallForwarding", (sub_nbr_for(14), 1, 0)),
+            base_partition=0,
+        )
+        assert result.committed
+
+    def test_unknown_subscriber_number_aborts(self, tatp):
+        _, engine = tatp
+        result = engine.execute_attempt(
+            ProcedureRequest.of("UpdateLocation", ("999999999999999", 1)), base_partition=0
+        )
+        assert result.outcome is AttemptOutcome.USER_ABORT
+
+
+class TestGenerator:
+    def test_mix_is_mostly_single_partition_procedures(self):
+        catalog = get_benchmark("tatp").make_catalog(4)
+        config = TatpConfig(num_partitions=4)
+        generator = get_benchmark("tatp").make_generator(catalog, config, WorkloadRandom(4))
+        requests = generator.generate(1000)
+        by_id = sum(
+            1 for r in requests
+            if r.procedure in ("GetSubscriberData", "GetAccessData", "GetNewDestination", "UpdateSubscriber")
+        )
+        # The paper characterizes ~82% of TATP as single-partitioned.
+        assert 0.72 <= by_id / len(requests) <= 0.92
+
+    def test_home_partition_for_sub_nbr_requests(self):
+        catalog = get_benchmark("tatp").make_catalog(4)
+        config = TatpConfig(num_partitions=4)
+        generator = get_benchmark("tatp").make_generator(catalog, config, WorkloadRandom(4))
+        request = ProcedureRequest.of("UpdateLocation", (sub_nbr_for(7), 1))
+        assert generator.home_partition(request) == 3

@@ -1,0 +1,153 @@
+"""Tests for the TPC-C benchmark: schema, loader, procedures, generator."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.benchmarks.tpcc import INVALID_ITEM_ID, NewOrderOnlyGenerator, TpccConfig
+from repro.engine import AttemptOutcome, ExecutionEngine
+from repro.types import ProcedureRequest
+from repro.workload import WorkloadRandom
+
+
+@pytest.fixture(scope="module")
+def tpcc():
+    instance = get_benchmark("tpcc").build(2, seed=3)
+    return instance, ExecutionEngine(instance.catalog, instance.database)
+
+
+class TestLoader:
+    def test_warehouses_distributed_one_per_partition(self, tpcc):
+        instance, _ = tpcc
+        for partition in range(2):
+            heap = instance.database.partition(partition).heap("WAREHOUSE")
+            assert len(heap) == 1
+
+    def test_item_table_replicated(self, tpcc):
+        instance, _ = tpcc
+        items = instance.config.items
+        assert instance.database.total_rows("ITEM") == items * 2
+
+    def test_stock_per_warehouse(self, tpcc):
+        instance, _ = tpcc
+        assert instance.database.total_rows("STOCK") == instance.config.items * 2
+
+
+class TestNewOrder:
+    def test_neworder_commits_and_creates_order(self, tpcc):
+        instance, engine = tpcc
+        request = ProcedureRequest.of(
+            "neworder", (0, 0, 1, (1, 2, 3), (0, 0, 0), (1, 2, 3))
+        )
+        before = instance.database.total_rows("ORDERS")
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.committed
+        assert instance.database.total_rows("ORDERS") == before + 1
+        assert result.single_partitioned
+
+    def test_neworder_remote_item_is_distributed(self, tpcc):
+        instance, engine = tpcc
+        request = ProcedureRequest.of(
+            "neworder", (0, 0, 1, (1, 2), (0, 1), (1, 1))
+        )
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.committed
+        assert set(result.touched_partitions) == {0, 1}
+
+    def test_invalid_item_aborts_before_writes(self, tpcc):
+        instance, engine = tpcc
+        request = ProcedureRequest.of(
+            "neworder", (0, 0, 1, (1, INVALID_ITEM_ID), (0, 0), (1, 1))
+        )
+        before = instance.database.total_rows("ORDERS")
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.outcome is AttemptOutcome.USER_ABORT
+        assert result.undo_records_written == 0
+        assert instance.database.total_rows("ORDERS") == before
+
+    def test_order_id_increments(self, tpcc):
+        instance, engine = tpcc
+        request = ProcedureRequest.of("neworder", (1, 0, 1, (5,), (1,), (1,)))
+        first = engine.execute_attempt(request, base_partition=1).return_value["order_id"]
+        second = engine.execute_attempt(request, base_partition=1).return_value["order_id"]
+        assert second == first + 1
+
+
+class TestPayment:
+    def test_home_payment_single_partition(self, tpcc):
+        _, engine = tpcc
+        request = ProcedureRequest.of("payment", (0, 0, 0, 0, 2, 42.5))
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.committed
+        assert result.single_partitioned
+
+    def test_remote_payment_touches_two_partitions(self, tpcc):
+        _, engine = tpcc
+        request = ProcedureRequest.of("payment", (0, 0, 1, 1, 2, 10.0))
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.committed
+        assert set(result.touched_partitions) == {0, 1}
+
+    def test_payment_updates_balances(self, tpcc):
+        instance, engine = tpcc
+        heap = instance.database.partition(0).heap("WAREHOUSE")
+        before = list(heap.rows())[0]["W_YTD"]
+        engine.execute_attempt(
+            ProcedureRequest.of("payment", (0, 0, 0, 0, 5, 100.0)), base_partition=0
+        )
+        after = list(heap.rows())[0]["W_YTD"]
+        assert after == pytest.approx(before + 100.0)
+
+
+class TestReadOnlyProcedures:
+    def test_orderstatus(self, tpcc):
+        _, engine = tpcc
+        result = engine.execute_attempt(
+            ProcedureRequest.of("orderstatus", (0, 0, 1)), base_partition=0
+        )
+        assert result.committed
+        assert result.undo_records_written == 0
+
+    def test_stocklevel(self, tpcc):
+        _, engine = tpcc
+        result = engine.execute_attempt(
+            ProcedureRequest.of("stocklevel", (0, 0, 15)), base_partition=0
+        )
+        assert result.committed
+        assert "low_stock" in result.return_value
+
+    def test_delivery_processes_districts(self, tpcc):
+        instance, engine = tpcc
+        result = engine.execute_attempt(
+            ProcedureRequest.of(
+                "delivery", (0, 3, instance.config.districts_per_warehouse)
+            ),
+            base_partition=0,
+        )
+        assert result.committed
+        assert result.return_value["delivered"] >= 0
+        assert result.single_partitioned
+
+
+class TestGenerator:
+    def test_mix_and_determinism(self):
+        catalog = get_benchmark("tpcc").make_catalog(4)
+        config = TpccConfig(num_partitions=4)
+        first = [r.procedure for r in
+                 get_benchmark("tpcc").make_generator(catalog, config, WorkloadRandom(9)).generate(50)]
+        second = [r.procedure for r in
+                  get_benchmark("tpcc").make_generator(catalog, config, WorkloadRandom(9)).generate(50)]
+        assert first == second
+        assert set(first) <= {"neworder", "payment", "orderstatus", "delivery", "stocklevel"}
+
+    def test_neworder_only_generator(self):
+        catalog = get_benchmark("tpcc").make_catalog(4)
+        config = TpccConfig(num_partitions=4)
+        generator = NewOrderOnlyGenerator(catalog, config, WorkloadRandom(1))
+        assert {r.procedure for r in generator.generate(20)} == {"neworder"}
+
+    def test_home_partition_hashes_warehouse(self):
+        catalog = get_benchmark("tpcc").make_catalog(4)
+        config = TpccConfig(num_partitions=4)
+        generator = get_benchmark("tpcc").make_generator(catalog, config, WorkloadRandom(1))
+        request = ProcedureRequest.of("payment", (6, 0, 6, 0, 1, 1.0))
+        assert generator.home_partition(request) == 2

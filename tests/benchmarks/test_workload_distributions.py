@@ -1,0 +1,89 @@
+"""Statistical checks on the workload generators' distributions.
+
+The paper's results depend on specific workload properties (about 10% of
+NewOrder transactions touch a remote warehouse, ~15% of Payments are remote,
+~82% of TATP is single-partitioned).  These tests verify the generators
+produce those proportions, which is what makes the reproduced accuracy and
+throughput shapes meaningful.
+"""
+
+from collections import Counter
+
+from repro.benchmarks import get_benchmark
+from repro.workload import WorkloadRandom
+
+
+def build_generator(name, partitions=8, seed=42):
+    bundle = get_benchmark(name)
+    catalog = bundle.make_catalog(partitions)
+    config = bundle.make_config(num_partitions=partitions)
+    return bundle.make_generator(catalog, config, WorkloadRandom(seed)), config
+
+
+class TestTpccDistributions:
+    def test_neworder_multi_warehouse_fraction(self):
+        generator, config = build_generator("tpcc")
+        requests = [r for r in generator.generate(4000) if r.procedure == "neworder"]
+        remote = sum(
+            1 for r in requests
+            if any(w != r.parameters[0] for w in r.parameters[4])
+        )
+        fraction = remote / len(requests)
+        # ~1% per order line over 5-15 lines => roughly 5-15% of transactions.
+        assert 0.02 < fraction < 0.25
+
+    def test_payment_remote_fraction(self):
+        generator, config = build_generator("tpcc")
+        requests = [r for r in generator.generate(4000) if r.procedure == "payment"]
+        remote = sum(1 for r in requests if r.parameters[2] != r.parameters[0])
+        fraction = remote / len(requests)
+        assert 0.08 < fraction < 0.25
+
+    def test_mix_close_to_declared_weights(self):
+        generator, _ = build_generator("tpcc")
+        counts = Counter(r.procedure for r in generator.generate(5000))
+        assert counts["neworder"] > counts["orderstatus"]
+        assert abs(counts["neworder"] / 5000 - 0.45) < 0.05
+        assert abs(counts["payment"] / 5000 - 0.43) < 0.05
+
+    def test_invalid_item_fraction(self):
+        from repro.benchmarks.tpcc import INVALID_ITEM_ID
+        generator, _ = build_generator("tpcc")
+        requests = [r for r in generator.generate(6000) if r.procedure == "neworder"]
+        bad = sum(1 for r in requests if INVALID_ITEM_ID in r.parameters[3])
+        assert 0.001 < bad / len(requests) < 0.04
+
+
+class TestTatpDistributions:
+    def test_single_partition_share_near_82_percent(self):
+        generator, _ = build_generator("tatp")
+        requests = generator.generate(5000)
+        by_id = sum(
+            1 for r in requests
+            if r.procedure in (
+                "GetSubscriberData", "GetAccessData", "GetNewDestination", "UpdateSubscriber"
+            )
+        )
+        assert abs(by_id / len(requests) - 0.82) < 0.05
+
+    def test_subscribers_cover_all_partitions(self):
+        generator, config = build_generator("tatp", partitions=4)
+        homes = {generator.home_partition(r) for r in generator.generate(800)}
+        assert homes == {0, 1, 2, 3}
+
+
+class TestAuctionMarkDistributions:
+    def test_buyer_seller_procedures_often_cross_partitions(self):
+        generator, _ = build_generator("auctionmark")
+        requests = [r for r in generator.generate(4000) if r.procedure == "NewBid"]
+        cross = sum(
+            1 for r in requests
+            if r.parameters[0] % 8 != r.parameters[2] % 8
+        )
+        assert cross / len(requests) > 0.5
+
+    def test_maintenance_procedures_are_rare(self):
+        generator, _ = build_generator("auctionmark")
+        counts = Counter(r.procedure for r in generator.generate(5000))
+        assert counts["CheckWinningBids"] < 100
+        assert counts["PostAuction"] < 200

@@ -1,0 +1,116 @@
+"""Tests for the transaction context and single-attempt engine."""
+
+import pytest
+
+from repro.engine import AttemptOutcome, ExecutionEngine
+from repro.errors import MispredictionAbort
+from repro.types import PartitionSet, ProcedureRequest
+
+
+@pytest.fixture
+def engine(account_catalog, account_database):
+    return ExecutionEngine(account_catalog, account_database)
+
+
+def balance(database, account_id):
+    partition = account_id % 4
+    rows = database.partition(partition).heap("ACCOUNT").find({"A_ID": account_id})
+    return database.partition(partition).heap("ACCOUNT").get(rows[0])["A_BALANCE"]
+
+
+class TestCommittedAttempt:
+    def test_transfer_commits_and_applies_changes(self, engine, account_database):
+        request = ProcedureRequest.of("transfer", (4, 5, 30))
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.outcome is AttemptOutcome.COMMITTED
+        assert balance(account_database, 4) == 70
+        assert balance(account_database, 5) == 130
+        assert result.touched_partitions == PartitionSet.of([0, 1])
+        assert not result.single_partitioned
+        assert len(result.invocations) == 4
+
+    def test_invocation_counters_track_repeats(self, engine):
+        request = ProcedureRequest.of("transfer", (0, 4, 10))
+        result = engine.execute_attempt(request, base_partition=0)
+        # Both accounts hash to partition 0: single-partition transaction.
+        assert result.single_partitioned
+        statements = [inv.statement for inv in result.invocations]
+        assert statements == ["GetFrom", "GetTo", "Debit", "Credit"]
+        assert [inv.counter for inv in result.invocations] == [0, 0, 0, 0]
+
+
+class TestUserAbort:
+    def test_insufficient_funds_rolls_back(self, engine, account_database):
+        request = ProcedureRequest.of("transfer", (4, 5, 1000))
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.outcome is AttemptOutcome.USER_ABORT
+        assert balance(account_database, 4) == 100
+        assert balance(account_database, 5) == 100
+
+    def test_rollback_restores_partial_writes(self, engine, account_catalog, account_database):
+        # Make the Credit step fail by targeting a missing account: the Debit
+        # must be undone.
+        request = ProcedureRequest.of("transfer", (4, 999, 10))
+        result = engine.execute_attempt(request, base_partition=0)
+        assert result.outcome is AttemptOutcome.USER_ABORT
+        assert balance(account_database, 4) == 100
+
+
+class TestLockEnforcement:
+    def test_access_outside_lock_set_aborts(self, engine, account_database):
+        request = ProcedureRequest.of("transfer", (4, 5, 10))
+        result = engine.execute_attempt(
+            request, base_partition=0, locked_partitions=PartitionSet.of([0])
+        )
+        assert result.outcome is AttemptOutcome.MISPREDICTION
+        assert result.mispredicted_partition == 1
+        # Rolled back: no partial effects.
+        assert balance(account_database, 4) == 100
+
+    def test_lock_escalation_when_undo_disabled(self, engine, account_catalog, account_database):
+        request = ProcedureRequest.of("transfer", (4, 5, 10))
+        context = engine.new_context(
+            request, base_partition=0, locked_partitions=PartitionSet.of([0]),
+        )
+        procedure = context.procedure
+        # Simulate OP3 having disabled undo logging after the reads but
+        # before the writes: the later out-of-lock-set access must escalate
+        # instead of aborting.
+        context.execute("GetFrom", [4])
+        context.disable_undo_logging()
+        context.execute("Debit", [4, 90])
+        context.execute("Credit", [5, 110])   # partition 1: escalation
+        assert 1 in context.escalated_partitions
+        assert context.locked_partitions.contains(1)
+
+    def test_unlocked_context_allows_everything(self, engine):
+        request = ProcedureRequest.of("transfer", (4, 5, 10))
+        result = engine.execute_attempt(request, base_partition=0, locked_partitions=None)
+        assert result.committed
+
+
+class TestListeners:
+    def test_listener_called_per_query(self, engine):
+        seen = []
+
+        def listener(context, invocation):
+            seen.append(invocation.statement)
+
+        request = ProcedureRequest.of("transfer", (0, 4, 10))
+        engine.execute_attempt(request, base_partition=0, listeners=[listener])
+        assert seen == ["GetFrom", "GetTo", "Debit", "Credit"]
+
+    def test_listener_can_abort_via_misprediction(self, engine, account_database):
+        def listener(context, invocation):
+            if invocation.statement == "Debit":
+                raise MispredictionAbort(3, reason="forced")
+
+        request = ProcedureRequest.of("transfer", (0, 4, 10))
+        result = engine.execute_attempt(request, base_partition=0, listeners=[listener])
+        assert result.outcome is AttemptOutcome.MISPREDICTION
+        assert balance(account_database, 0) == 100
+
+    def test_parameter_arity_validated(self, engine):
+        from repro.errors import CatalogError
+        with pytest.raises(CatalogError):
+            engine.execute_attempt(ProcedureRequest.of("transfer", (1, 2)))

@@ -1,0 +1,188 @@
+"""Tests for the §6.3 estimate cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.houdini import (
+    EstimateCache,
+    Houdini,
+    HoudiniConfig,
+    OptimizationDecision,
+    PathEstimate,
+)
+from repro.markov.vertex import COMMIT_KEY, VertexKey
+from repro.types import PartitionSet, ProcedureRequest
+
+
+def _single_partition_estimate(partition: int = 0) -> PathEstimate:
+    estimate = PathEstimate(procedure="Proc")
+    key = VertexKey.query("Q", 0, PartitionSet.of([partition]), PartitionSet.of([]))
+    estimate.vertices = [key, COMMIT_KEY]
+    estimate.edge_probabilities = [1.0, 1.0]
+    return estimate
+
+
+def _decision(partition: int = 0, single: bool = True) -> OptimizationDecision:
+    return OptimizationDecision(
+        base_partition=partition,
+        locked_partitions=PartitionSet.of([partition]),
+        predicted_single_partition=single,
+        disable_undo=True,
+    )
+
+
+class TestCacheKey:
+    def test_single_partition_footprint_is_cacheable(self):
+        request = ProcedureRequest.of("Proc", (1,))
+        key = EstimateCache.key_for(request, frozenset({3}))
+        assert key == ("Proc", frozenset({3}))
+
+    def test_multi_partition_footprint_is_not_cacheable(self):
+        request = ProcedureRequest.of("Proc", (1,))
+        assert EstimateCache.key_for(request, frozenset({0, 1})) is None
+
+    def test_unknown_footprint_is_not_cacheable(self):
+        request = ProcedureRequest.of("Proc", (1,))
+        assert EstimateCache.key_for(request, None) is None
+
+
+class TestCacheAdmission:
+    def test_single_partition_non_aborting_estimate_is_admitted(self):
+        cache = EstimateCache(HoudiniConfig())
+        key = ("Proc", frozenset({0}))
+        assert cache.store(key, _single_partition_estimate(), _decision()) is True
+        assert len(cache) == 1
+
+    def test_distributed_estimate_is_rejected(self):
+        cache = EstimateCache(HoudiniConfig())
+        key = ("Proc", frozenset({0}))
+        stored = cache.store(key, _single_partition_estimate(), _decision(single=False))
+        assert stored is False
+        assert len(cache) == 0
+
+    def test_abort_prone_estimate_is_rejected(self):
+        cache = EstimateCache(HoudiniConfig(abort_tolerance=0.01))
+        estimate = _single_partition_estimate()
+        estimate.abort_probability = 0.2
+        assert cache.store(("Proc", frozenset({0})), estimate, _decision()) is False
+
+    def test_non_terminal_estimate_is_rejected(self):
+        cache = EstimateCache(HoudiniConfig())
+        estimate = _single_partition_estimate()
+        estimate.vertices = estimate.vertices[:1]  # drop the commit vertex
+        assert cache.store(("Proc", frozenset({0})), estimate, _decision()) is False
+
+    def test_none_key_is_rejected(self):
+        cache = EstimateCache(HoudiniConfig())
+        assert cache.store(None, _single_partition_estimate(), _decision()) is False
+
+
+class TestCacheLookupAndEviction:
+    def test_hit_after_store(self):
+        cache = EstimateCache(HoudiniConfig())
+        key = ("Proc", frozenset({0}))
+        cache.store(key, _single_partition_estimate(), _decision())
+        entry = cache.lookup(key)
+        assert entry is not None
+        assert entry.uses == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_is_counted(self):
+        cache = EstimateCache(HoudiniConfig())
+        assert cache.lookup(("Proc", frozenset({0}))) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_lru_eviction_keeps_recent_entries(self):
+        cache = EstimateCache(HoudiniConfig(), max_entries=2)
+        for partition in range(3):
+            cache.store(
+                ("Proc", frozenset({partition})),
+                _single_partition_estimate(partition),
+                _decision(partition),
+            )
+        assert len(cache) == 2
+        assert cache.lookup(("Proc", frozenset({0}))) is None
+        assert cache.lookup(("Proc", frozenset({2}))) is not None
+
+    def test_invalidate_clears_everything(self):
+        cache = EstimateCache(HoudiniConfig())
+        cache.store(("Proc", frozenset({0})), _single_partition_estimate(), _decision())
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_procedure_is_selective(self):
+        cache = EstimateCache(HoudiniConfig())
+        cache.store(("A", frozenset({0})), _single_partition_estimate(), _decision())
+        cache.store(("B", frozenset({0})), _single_partition_estimate(), _decision())
+        removed = cache.invalidate_procedure("A")
+        assert removed == 1
+        assert cache.lookup(("B", frozenset({0}))) is not None
+
+    def test_describe_mentions_hit_rate(self):
+        cache = EstimateCache(HoudiniConfig())
+        assert "hit_rate" in cache.describe()
+
+
+class TestHoudiniIntegration:
+    @pytest.fixture()
+    def caching_houdini(self, tatp_artifacts) -> Houdini:
+        return Houdini(
+            tatp_artifacts.benchmark.catalog,
+            tatp_artifacts.global_provider(),
+            tatp_artifacts.mappings,
+            HoudiniConfig(enable_estimate_caching=True),
+            learning=False,
+        )
+
+    def test_cache_disabled_by_default(self, tpcc_houdini):
+        assert tpcc_houdini.estimate_cache is None
+
+    def test_repeated_requests_hit_the_cache(self, caching_houdini, tatp_artifacts):
+        generator = tatp_artifacts.benchmark.generator
+        # Drive enough requests that single-partition TATP procedures repeat
+        # with identical footprints.
+        for _ in range(300):
+            caching_houdini.plan(generator.next_request())
+        cache = caching_houdini.estimate_cache
+        assert cache is not None
+        assert cache.stats.hits > 0
+
+    def test_cache_hits_are_cheaper_than_misses(self, caching_houdini, tatp_artifacts):
+        generator = tatp_artifacts.benchmark.generator
+        plans = [caching_houdini.plan(generator.next_request()) for _ in range(300)]
+        cached = [p for p in plans if p.plan.source == "houdini:cached"]
+        uncached = [p for p in plans if p.plan.source == "houdini"]
+        assert cached, "expected at least one cache hit in 300 TATP requests"
+        worst_cached = max(p.plan.estimation_ms for p in cached)
+        best_uncached = min(p.plan.estimation_ms for p in uncached)
+        assert worst_cached < best_uncached
+
+    def test_cached_plans_match_uncached_decisions(self, tatp_artifacts):
+        """Caching must not change what Houdini decides, only what it costs."""
+        config_plain = HoudiniConfig(enable_estimate_caching=False)
+        config_cached = HoudiniConfig(enable_estimate_caching=True)
+        plain = Houdini(
+            tatp_artifacts.benchmark.catalog,
+            tatp_artifacts.global_provider(),
+            tatp_artifacts.mappings,
+            config_plain,
+            learning=False,
+        )
+        cached = Houdini(
+            tatp_artifacts.benchmark.catalog,
+            tatp_artifacts.global_provider(),
+            tatp_artifacts.mappings,
+            config_cached,
+            learning=False,
+        )
+        generator = tatp_artifacts.benchmark.generator
+        requests = [generator.next_request() for _ in range(200)]
+        for request in requests:
+            a = plain.plan(request).decision
+            b = cached.plan(request).decision
+            assert a.base_partition == b.base_partition
+            assert a.locked_partitions == b.locked_partitions
+            assert a.disable_undo == b.disable_undo

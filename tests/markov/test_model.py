@@ -1,0 +1,141 @@
+"""Tests for the Markov model graph, construction and processing phases."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import MarkovModel, PathStep, VertexKey
+from repro.types import PartitionSet, QueryType
+
+
+def step(name, partitions, previous, counter=0, write=False):
+    return PathStep(
+        statement=name,
+        query_type=QueryType.WRITE if write else QueryType.READ,
+        partitions=PartitionSet.of(partitions),
+        previous=PartitionSet.of(previous),
+        counter=counter,
+    )
+
+
+def build_simple_model(aborts=0, commits=9):
+    """A two-query procedure: Read A (partition 0) then Write B (partition 0)."""
+    model = MarkovModel("proc", 2)
+    for _ in range(commits):
+        model.add_path([
+            step("A", [0], []),
+            step("B", [0], [0], write=True),
+        ], aborted=False)
+    for _ in range(aborts):
+        model.add_path([step("A", [0], [])], aborted=True)
+    model.process()
+    return model
+
+
+class TestConstruction:
+    def test_vertices_and_edges_created(self):
+        model = build_simple_model()
+        # begin, commit, abort + two query states.
+        assert model.vertex_count() == 5
+        assert model.edge_count() == 3
+        assert model.transactions_observed == 9
+
+    def test_counter_distinguishes_repeated_queries(self):
+        model = MarkovModel("loop", 2)
+        model.add_path([
+            step("Q", [0], [], counter=0),
+            step("Q", [0], [0], counter=1),
+        ], aborted=False)
+        model.process()
+        assert model.vertex_count() == 5
+
+    def test_edge_probabilities_sum_to_one(self):
+        model = build_simple_model(aborts=3, commits=9)
+        outgoing = model.successors(
+            VertexKey.query("A", 0, PartitionSet.of([0]), PartitionSet.of([]))
+        )
+        assert sum(p for _, p in outgoing) == pytest.approx(1.0)
+
+    def test_merge_counts(self):
+        a = build_simple_model(commits=5)
+        b = build_simple_model(commits=3)
+        a.merge_counts(b)
+        assert a.transactions_observed == 8
+        with pytest.raises(ModelError):
+            a.merge_counts(MarkovModel("other", 2))
+
+
+class TestProcessing:
+    def test_abort_probability_propagates_to_begin(self):
+        model = build_simple_model(aborts=1, commits=9)
+        table = model.probability_table(model.begin)
+        assert table.abort == pytest.approx(0.1)
+
+    def test_write_probability_reaches_earlier_states(self):
+        model = build_simple_model()
+        key_a = VertexKey.query("A", 0, PartitionSet.of([0]), PartitionSet.of([]))
+        table = model.probability_table(key_a)
+        # A reads partition 0 itself and B writes it later.
+        assert table.read_probability(0) == 1.0
+        assert table.write_probability(0) == 1.0
+        assert table.finish_probability(0) == 0.0
+        # Partition 1 is never touched.
+        assert table.access_probability(1) == 0.0
+        assert table.finish_probability(1) == 1.0
+
+    def test_single_partition_probability(self):
+        model = MarkovModel("mixed", 2)
+        # Half the transactions stay on partition 0, half go to partition 1.
+        for _ in range(5):
+            model.add_path([step("A", [0], []), step("B", [0], [0])], aborted=False)
+        for _ in range(5):
+            model.add_path([step("A", [0], []), step("B", [1], [0])], aborted=False)
+        model.process()
+        table = model.probability_table(model.begin)
+        assert table.single_partition == pytest.approx(0.5)
+
+    def test_expected_remaining_queries(self):
+        model = build_simple_model()
+        assert model.vertex(model.begin).expected_remaining_queries == pytest.approx(2.0)
+
+    def test_tables_require_processing(self):
+        model = MarkovModel("p", 2)
+        model.add_path([step("A", [0], [])], aborted=False)
+        with pytest.raises(ModelError):
+            model.probability_table(model.begin)
+
+    def test_process_without_precompute_skips_tables(self):
+        model = MarkovModel("p", 2)
+        model.add_path([step("A", [0], [])], aborted=False)
+        model.process(precompute_tables=False)
+        assert model.processed
+        with pytest.raises(ModelError):
+            model.probability_table(model.begin)
+
+
+class TestRuntimeLearning:
+    def test_placeholder_marks_model_stale_but_usable(self):
+        model = build_simple_model()
+        assert not model.stale
+        new_key = VertexKey.query("C", 0, PartitionSet.of([1]), PartitionSet.of([0]))
+        model.add_placeholder(new_key, QueryType.READ)
+        assert model.stale
+        assert model.processed  # existing tables stay usable
+        assert model.has_vertex(new_key)
+
+    def test_record_transition_accumulates_counts(self):
+        model = build_simple_model()
+        key_a = VertexKey.query("A", 0, PartitionSet.of([0]), PartitionSet.of([]))
+        before = model.edge(model.begin, key_a).hits
+        model.record_transition(model.begin, key_a)
+        assert model.edge(model.begin, key_a).hits == before + 1
+        model.recompute_probabilities()
+        assert not model.stale
+
+    def test_edge_distribution(self):
+        model = build_simple_model(aborts=1, commits=3)
+        key_a = VertexKey.query("A", 0, PartitionSet.of([0]), PartitionSet.of([]))
+        distribution = model.edge_distribution(key_a)
+        # From A, transactions either executed B next or aborted directly.
+        assert len(distribution) == 2
+        assert model.abort in distribution
+        assert sum(distribution.values()) == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Tests for Markov vertices and probability tables."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.markov import (
+    ABORT_KEY,
+    BEGIN_KEY,
+    COMMIT_KEY,
+    PartitionProbabilities,
+    ProbabilityTable,
+    VertexKey,
+    VertexKind,
+)
+from repro.types import PartitionSet
+
+
+class TestVertexKey:
+    def test_query_key_identity(self):
+        a = VertexKey.query("Q", 1, PartitionSet.of([0]), PartitionSet.of([0, 1]))
+        b = VertexKey.query("Q", 1, PartitionSet.of([0]), PartitionSet.of([1, 0]))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_counter_is_different_state(self):
+        a = VertexKey.query("Q", 0, PartitionSet.of([0]), PartitionSet.of([]))
+        b = VertexKey.query("Q", 1, PartitionSet.of([0]), PartitionSet.of([]))
+        assert a != b
+
+    def test_special_vertices(self):
+        assert BEGIN_KEY.kind is VertexKind.BEGIN
+        assert COMMIT_KEY.is_terminal
+        assert ABORT_KEY.is_terminal
+        assert not BEGIN_KEY.is_terminal
+        assert not COMMIT_KEY.is_query
+
+    def test_accessed_partitions_union(self):
+        key = VertexKey.query("Q", 0, PartitionSet.of([2]), PartitionSet.of([0]))
+        assert key.accessed_partitions() == PartitionSet.of([0, 2])
+
+    def test_label_contains_identity(self):
+        key = VertexKey.query("CheckStock", 1, PartitionSet.of([0]), PartitionSet.of([1]))
+        label = key.label()
+        assert "CheckStock" in label and "counter: 1" in label
+
+
+class TestProbabilityTable:
+    def test_commit_table_is_finished_everywhere(self):
+        table = ProbabilityTable.for_commit(3)
+        assert table.abort == 0.0
+        for partition in range(3):
+            assert table.finish_probability(partition) == 1.0
+            assert table.access_probability(partition) == 0.0
+
+    def test_abort_table(self):
+        table = ProbabilityTable.for_abort(2)
+        assert table.abort == 1.0
+
+    def test_weighted_sum_combines_children(self):
+        commit = ProbabilityTable.for_commit(2)
+        abort = ProbabilityTable.for_abort(2)
+        mixed = ProbabilityTable.weighted_sum(2, [(0.75, commit), (0.25, abort)])
+        assert mixed.abort == pytest.approx(0.25)
+        assert mixed.single_partition == pytest.approx(1.0)
+
+    def test_weighted_sum_empty_children(self):
+        table = ProbabilityTable.weighted_sum(2, [])
+        assert table.abort == 0.0
+
+    def test_accessed_and_finished_partition_queries(self):
+        table = ProbabilityTable(2)
+        table.partition(0).read = 0.9
+        table.partition(0).finish = 0.1
+        table.partition(1).write = 0.2
+        assert table.accessed_partitions(0.5) == [0]
+        assert table.finished_partitions(0.5) == [1]
+
+    def test_bounds_checked(self):
+        with pytest.raises(ModelError):
+            ProbabilityTable(0)
+        with pytest.raises(ModelError):
+            ProbabilityTable(2).partition(5)
+
+    def test_copy_and_approx_equal(self):
+        table = ProbabilityTable(2, single_partition=0.5, abort=0.1)
+        table.partition(1).write = 0.3
+        clone = table.copy()
+        assert table.approx_equal(clone)
+        clone.partition(1).write = 0.4
+        assert not table.approx_equal(clone)
+
+    def test_partition_probabilities_access(self):
+        entry = PartitionProbabilities(read=0.2, write=0.6, finish=0.4)
+        assert entry.access() == 0.6

@@ -1,0 +1,82 @@
+"""Tests for the clustering toolkit (k-means and EM mixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import EMClustering, KMeans
+
+
+def two_blobs(n=60, separation=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=0.0, scale=0.5, size=(n, 2))
+    b = rng.normal(loc=separation, scale=0.5, size=(n, 2))
+    return np.vstack([a, b])
+
+
+class TestKMeans:
+    def test_separates_two_blobs(self):
+        data = two_blobs()
+        result = KMeans(2, seed=1).fit(data)
+        assert result.k == 2
+        labels_first = set(result.assignments[:60])
+        labels_second = set(result.assignments[60:])
+        assert len(labels_first) == 1 and len(labels_second) == 1
+        assert labels_first != labels_second
+
+    def test_deterministic_given_seed(self):
+        data = two_blobs()
+        a = KMeans(3, seed=7).fit(data)
+        b = KMeans(3, seed=7).fit(data)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_k_capped_by_samples(self):
+        data = np.array([[0.0], [1.0]])
+        result = KMeans(5, seed=0).fit(data)
+        assert result.k == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros(5))
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = two_blobs()
+        one = KMeans(1, seed=0).fit(data).inertia
+        two = KMeans(2, seed=0).fit(data).inertia
+        assert two < one
+
+
+class TestEMClustering:
+    def test_bic_selects_two_clusters_for_two_blobs(self):
+        data = two_blobs()
+        model = EMClustering(max_clusters=4, seed=3).fit(data)
+        assert model.n_clusters == 2
+
+    def test_single_cluster_for_homogeneous_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(80, 2))
+        model = EMClustering(max_clusters=3, seed=3).fit(data)
+        assert model.n_clusters <= 2
+
+    def test_predict_routes_new_points_to_nearest_component(self):
+        data = two_blobs()
+        model = EMClustering(max_clusters=4, seed=3).fit(data)
+        low = model.predict_one([0.0, 0.0])
+        high = model.predict_one([10.0, 10.0])
+        assert low != high
+        assert list(model.predict(np.array([[0.0, 0.0], [10.0, 10.0]]))) == [low, high]
+
+    def test_weights_sum_to_one(self):
+        model = EMClustering(max_clusters=3, seed=1).fit(two_blobs())
+        assert float(np.sum(model.weights)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            EMClustering(min_clusters=0)
+        with pytest.raises(ValueError):
+            EMClustering(min_clusters=3, max_clusters=2)
+        with pytest.raises(ValueError):
+            EMClustering().fit(np.zeros((0, 2)))

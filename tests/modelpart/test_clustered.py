@@ -1,0 +1,93 @@
+"""Tests for the partitioned-model bundles and provider routing."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.catalog import PartitionScheme
+from repro.markov import MarkovModel
+from repro.ml import DecisionTreeClassifier, EMClustering
+from repro.modelpart import ClusteredModels, FeatureExtractor, PartitionedModelProvider, encode_matrix
+from repro.types import ProcedureRequest
+
+
+@pytest.fixture(scope="module")
+def getuserinfo_bundle():
+    """A hand-built two-cluster bundle for AuctionMark's GetUserInfo."""
+    catalog = get_benchmark("auctionmark").make_catalog(4)
+    procedure = catalog.procedure("GetUserInfo")
+    extractor = FeatureExtractor(procedure, PartitionScheme(4))
+    selected = tuple(
+        definition for definition in extractor.definitions
+        if definition.name == "NORMALIZEDVALUE(get_feedback)"
+    )
+    # Cluster 0: flag off, cluster 1: flag on.
+    parameter_sets = [(u, flag, 0, 0) for u in range(30) for flag in (0, 1)]
+    vectors = [extractor.vector(p, selected) for p in parameter_sets]
+    labels = [int(p[1]) for p in parameter_sets]
+    clusterer = EMClustering(max_clusters=2, seed=0).fit(np.array(encode_matrix(vectors)))
+    tree = DecisionTreeClassifier(min_samples_leaf=2).fit(vectors, labels)
+    models = {
+        0: MarkovModel("GetUserInfo", 4),
+        1: MarkovModel("GetUserInfo", 4),
+    }
+    fallback = MarkovModel("GetUserInfo", 4)
+    return ClusteredModels(
+        procedure="GetUserInfo",
+        extractor=extractor,
+        selected_features=selected,
+        clusterer=clusterer,
+        decision_tree=tree,
+        models=models,
+        fallback=fallback,
+    ), fallback
+
+
+class TestClusteredModels:
+    def test_decision_tree_routes_by_flag(self, getuserinfo_bundle):
+        bundle, _ = getuserinfo_bundle
+        off = bundle.cluster_of((5, 0, 0, 0))
+        on = bundle.cluster_of((5, 1, 0, 0))
+        assert off != on
+        assert bundle.model_for((5, 0, 0, 0)) is bundle.models[off]
+
+    def test_fallback_used_when_cluster_has_no_model(self, getuserinfo_bundle):
+        bundle, fallback = getuserinfo_bundle
+        on_cluster = bundle.cluster_of((5, 1, 0, 0))
+        del bundle.models[on_cluster]
+        assert bundle.model_for((5, 1, 0, 0)) is fallback
+        bundle.models[on_cluster] = MarkovModel("GetUserInfo", 4)
+
+    def test_no_selected_features_means_single_cluster(self):
+        catalog = get_benchmark("auctionmark").make_catalog(4)
+        extractor = FeatureExtractor(catalog.procedure("GetItem"), PartitionScheme(4))
+        bundle = ClusteredModels(
+            procedure="GetItem", extractor=extractor, selected_features=(),
+            clusterer=None, decision_tree=None, models={0: MarkovModel("GetItem", 4)},
+        )
+        assert bundle.cluster_of((1, 2)) == 0
+        assert bundle.describe().startswith("GetItem")
+
+
+class TestPartitionedModelProvider:
+    def test_routes_to_bundle_then_fallback(self, getuserinfo_bundle):
+        bundle, _ = getuserinfo_bundle
+        global_model = MarkovModel("GetItem", 4)
+        provider = PartitionedModelProvider(
+            {"GetUserInfo": bundle}, {"GetItem": global_model}
+        )
+        assert provider.model_for(
+            ProcedureRequest.of("GetUserInfo", (5, 1, 0, 0))
+        ).procedure == "GetUserInfo"
+        assert provider.model_for(ProcedureRequest.of("GetItem", (1, 2))) is global_model
+        assert provider.model_for(ProcedureRequest.of("NewBid", (1, 2, 3, 4, 5.0))) is None
+
+    def test_models_enumeration_counts_clusters_and_fallbacks(self, getuserinfo_bundle):
+        bundle, _ = getuserinfo_bundle
+        provider = PartitionedModelProvider(
+            {"GetUserInfo": bundle}, {"GetItem": MarkovModel("GetItem", 4)}
+        )
+        models = list(provider.models())
+        assert len(models) == len(bundle.models) + 1
+        assert provider.bundle_for("GetUserInfo") is bundle
+        assert provider.bundle_for("GetItem") is None

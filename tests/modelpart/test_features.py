@@ -1,0 +1,68 @@
+"""Tests for feature extraction (paper Table 1 / Table 2)."""
+
+from repro.benchmarks import get_benchmark
+from repro.catalog import PartitionScheme
+from repro.modelpart import FeatureCategory, FeatureExtractor, encode_matrix
+
+
+def neworder_extractor(num_partitions=4):
+    catalog = get_benchmark("tpcc").make_catalog(num_partitions)
+    return FeatureExtractor(catalog.procedure("neworder"), PartitionScheme(num_partitions))
+
+
+class TestFeatureExtraction:
+    def test_one_definition_per_parameter_per_category(self):
+        extractor = neworder_extractor()
+        # NewOrder has 6 parameters and there are 5 categories.
+        assert len(extractor.definitions) == 30
+        assert "HASHVALUE(w_id)" in extractor.feature_names()
+        assert "ARRAYLENGTH(i_ids)" in extractor.feature_names()
+
+    def test_table2_style_vector(self):
+        extractor = neworder_extractor()
+        parameters = (0, 1, 2, (1001, 1002), (0, 1), (2, 7))
+        features = extractor.extract(parameters)
+        assert features["HASHVALUE(w_id)"] == 0.0
+        assert features["ARRAYLENGTH(w_id)"] is None
+        assert features["HASHVALUE(i_ids)"] is None
+        assert features["ARRAYLENGTH(i_ids)"] == 2.0
+        assert features["ARRAYLENGTH(i_w_ids)"] == 2.0
+        assert features["ARRAYALLSAMEHASH(i_w_ids)"] == 0.0
+        assert features["ISNULL(w_id)"] == 0.0
+
+    def test_array_all_same_hash_true_when_homogeneous(self):
+        extractor = neworder_extractor()
+        parameters = (0, 1, 2, (1, 2, 3), (4, 4, 0), (1, 1, 1))
+        features = extractor.extract(parameters)
+        # Warehouses 4 and 0 hash to the same partition on 4 partitions.
+        assert features["ARRAYALLSAMEHASH(i_w_ids)"] == 1.0
+
+    def test_vector_restricted_to_selection(self):
+        extractor = neworder_extractor()
+        selected = [
+            definition for definition in extractor.definitions
+            if definition.name in ("HASHVALUE(w_id)", "ARRAYLENGTH(i_ids)")
+        ]
+        vector = extractor.vector((3, 1, 2, (1, 2, 3), (3, 3, 3), (1, 1, 1)), selected)
+        assert vector == [3.0, 3.0]
+
+    def test_informative_definitions_drop_constants(self):
+        extractor = neworder_extractor()
+        samples = [
+            (0, 0, 1, (1, 2), (0, 0), (1, 1)),
+            (1, 0, 2, (3, 4, 5), (1, 1, 1), (1, 1, 1)),
+        ]
+        informative = extractor.informative_definitions(samples)
+        names = {definition.name for definition in informative}
+        assert "HASHVALUE(w_id)" in names
+        assert "ARRAYLENGTH(i_ids)" in names
+        # ISNULL never varies (nothing is null), so it must be dropped.
+        assert not any(name.startswith("ISNULL") for name in names)
+
+    def test_encode_matrix_replaces_none(self):
+        assert encode_matrix([[1.0, None], [None, 2.0]]) == [[1.0, -1.0], [-1.0, 2.0]]
+
+    def test_feature_categories_enumerated(self):
+        assert {category.value for category in FeatureCategory} == {
+            "NORMALIZEDVALUE", "HASHVALUE", "ISNULL", "ARRAYLENGTH", "ARRAYALLSAMEHASH",
+        }

@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import PartitionScheme, stable_hash
+from repro.mapping import geometric_mean
+from repro.types import PartitionSet
+from repro.workload import WorkloadRandom
+
+partition_lists = st.lists(st.integers(min_value=0, max_value=63), max_size=12)
+scalar_values = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+
+
+class TestPartitionSetProperties:
+    @given(partition_lists)
+    def test_canonical_form_is_sorted_and_unique(self, values):
+        partitions = PartitionSet.of(values).partitions
+        assert list(partitions) == sorted(set(values))
+
+    @given(partition_lists, partition_lists)
+    def test_union_is_commutative_and_superset(self, a, b):
+        left = PartitionSet.of(a)
+        right = PartitionSet.of(b)
+        union = left.union(right)
+        assert union == right.union(left)
+        assert union.issuperset(left) and union.issuperset(right)
+
+    @given(partition_lists)
+    def test_union_with_self_is_identity(self, values):
+        partitions = PartitionSet.of(values)
+        assert partitions.union(partitions) == partitions
+
+
+class TestPartitioningProperties:
+    @given(scalar_values, st.integers(min_value=1, max_value=64))
+    def test_partition_always_in_range(self, value, num_partitions):
+        scheme = PartitionScheme(num_partitions)
+        partition = scheme.partition_for_value(value)
+        assert 0 <= partition < num_partitions
+
+    @given(scalar_values)
+    def test_stable_hash_is_deterministic(self, value):
+        assert stable_hash(value) == stable_hash(value)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=4))
+    def test_every_partition_belongs_to_exactly_one_node(self, num_partitions, per_node):
+        scheme = PartitionScheme(num_partitions, per_node)
+        seen = []
+        for node in range(scheme.num_nodes):
+            seen.extend(scheme.partitions_for_node(node))
+        assert sorted(seen) == list(range(num_partitions))
+
+
+class TestRandomProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25)
+    def test_same_seed_reproduces_sequence(self, seed):
+        a = WorkloadRandom(seed)
+        b = WorkloadRandom(seed)
+        assert [a.integer(0, 10**6) for _ in range(10)] == [
+            b.integer(0, 10**6) for _ in range(10)
+        ]
+
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_integer_within_bounds(self, low, span):
+        rng = WorkloadRandom(1)
+        value = rng.integer(low, low + span)
+        assert low <= value <= low + span
+
+
+class TestGeometricMeanProperties:
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=10))
+    def test_bounded_by_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9

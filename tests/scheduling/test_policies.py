@@ -1,0 +1,85 @@
+"""Tests for the scheduling policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.scheduling import (
+    ArrivalOrderPolicy,
+    PendingTransaction,
+    ShortestPredictedFirstPolicy,
+    SinglePartitionFirstPolicy,
+    policy_by_name,
+)
+from repro.scheduling.policies import available_policies
+from repro.types import ProcedureRequest
+
+
+def _pending(
+    arrival: int,
+    cost_ms: float = 1.0,
+    single: bool = True,
+    deferrals: int = 0,
+) -> PendingTransaction:
+    return PendingTransaction(
+        request=ProcedureRequest.of("Proc", (arrival,)),
+        arrival_index=arrival,
+        predicted_cost_ms=cost_ms,
+        predicted_single_partition=single,
+        deferrals=deferrals,
+    )
+
+
+class TestArrivalOrderPolicy:
+    def test_orders_by_arrival(self):
+        policy = ArrivalOrderPolicy()
+        assert policy.key(_pending(0)) < policy.key(_pending(5))
+
+    def test_ignores_predictions(self):
+        policy = ArrivalOrderPolicy()
+        cheap_late = _pending(9, cost_ms=0.1)
+        expensive_early = _pending(1, cost_ms=100.0)
+        assert policy.key(expensive_early) < policy.key(cheap_late)
+
+
+class TestShortestPredictedFirstPolicy:
+    def test_orders_by_predicted_cost(self):
+        policy = ShortestPredictedFirstPolicy()
+        assert policy.key(_pending(5, cost_ms=0.5)) < policy.key(_pending(1, cost_ms=10.0))
+
+    def test_arrival_breaks_ties(self):
+        policy = ShortestPredictedFirstPolicy()
+        assert policy.key(_pending(1, cost_ms=2.0)) < policy.key(_pending(2, cost_ms=2.0))
+
+    def test_aging_promotes_deferred_transactions(self):
+        policy = ShortestPredictedFirstPolicy(aging_ms=1.0)
+        old_expensive = _pending(0, cost_ms=5.0, deferrals=10)
+        fresh_cheap = _pending(1, cost_ms=1.0, deferrals=0)
+        assert policy.key(old_expensive) < policy.key(fresh_cheap)
+
+    def test_negative_aging_rejected(self):
+        with pytest.raises(SimulationError):
+            ShortestPredictedFirstPolicy(aging_ms=-1.0)
+
+
+class TestSinglePartitionFirstPolicy:
+    def test_single_partition_preferred(self):
+        policy = SinglePartitionFirstPolicy()
+        distributed_early = _pending(0, single=False)
+        single_late = _pending(7, single=True)
+        assert policy.key(single_late) < policy.key(distributed_early)
+
+    def test_arrival_breaks_ties_within_class(self):
+        policy = SinglePartitionFirstPolicy()
+        assert policy.key(_pending(1, single=False)) < policy.key(_pending(2, single=False))
+
+
+class TestPolicyRegistry:
+    def test_every_registered_policy_instantiates(self):
+        for name in available_policies():
+            assert policy_by_name(name).name == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(SimulationError):
+            policy_by_name("round-robin")

@@ -1,0 +1,171 @@
+"""Tests for the prediction-aware transaction scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.houdini import PathEstimate
+from repro.markov.vertex import COMMIT_KEY, VertexKey
+from repro.scheduling import (
+    ArrivalOrderPolicy,
+    PredictedCost,
+    ShortestPredictedFirstPolicy,
+    SinglePartitionFirstPolicy,
+    TransactionScheduler,
+)
+from repro.sim import CostModel
+from repro.types import PartitionSet, ProcedureRequest
+
+
+def _estimate(partitions_per_query: list[list[int]], procedure: str = "Proc") -> PathEstimate:
+    """Build a synthetic terminal estimate visiting the given partitions."""
+    estimate = PathEstimate(procedure=procedure)
+    previous: list[int] = []
+    for index, partitions in enumerate(partitions_per_query):
+        key = VertexKey.query(
+            f"Q{index}", 0, PartitionSet.of(partitions), PartitionSet.of(previous)
+        )
+        estimate.vertices.append(key)
+        estimate.edge_probabilities.append(1.0)
+        for partition in partitions:
+            if partition not in previous:
+                previous.append(partition)
+        from repro.houdini.estimate import PartitionPrediction
+
+        for partition in partitions:
+            estimate.partitions.setdefault(
+                partition,
+                PartitionPrediction(
+                    partition_id=partition, access_confidence=1.0, last_access_index=index
+                ),
+            )
+    estimate.vertices.append(COMMIT_KEY)
+    estimate.edge_probabilities.append(1.0)
+    return estimate
+
+
+class TestPredictedCost:
+    def test_single_partition_costs_less_than_distributed(self):
+        model = CostModel()
+        local = PredictedCost.from_estimate(_estimate([[0], [0]]), 0, model)
+        remote = PredictedCost.from_estimate(_estimate([[0], [1]]), 0, model)
+        assert local.single_partition
+        assert not remote.single_partition
+        assert local.service_ms < remote.service_ms
+
+    def test_query_count_matches_estimate(self):
+        cost = PredictedCost.from_estimate(_estimate([[0], [0], [0]]), 0)
+        assert cost.queries == 3
+
+    def test_more_queries_cost_more(self):
+        short = PredictedCost.from_estimate(_estimate([[0]]), 0)
+        long = PredictedCost.from_estimate(_estimate([[0]] * 8), 0)
+        assert long.service_ms > short.service_ms
+
+
+class TestSchedulerBasics:
+    def test_fcfs_preserves_arrival_order(self):
+        scheduler = TransactionScheduler(ArrivalOrderPolicy())
+        for index in range(5):
+            scheduler.submit(ProcedureRequest.of("P", (index,)))
+        order = [p.arrival_index for p in scheduler.drain()]
+        assert order == [0, 1, 2, 3, 4]
+        assert scheduler.stats.reordered == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            TransactionScheduler().pop()
+
+    def test_peek_does_not_remove(self):
+        scheduler = TransactionScheduler()
+        scheduler.submit(ProcedureRequest.of("P", (0,)))
+        assert scheduler.peek() is not None
+        assert len(scheduler) == 1
+
+    def test_submit_without_estimate_has_zero_predicted_cost(self):
+        scheduler = TransactionScheduler()
+        pending = scheduler.submit(ProcedureRequest.of("P", (0,)))
+        assert pending.predicted_cost_ms == 0.0
+        assert pending.predicted_single_partition is True
+
+    def test_backlog_is_sum_of_predictions(self):
+        scheduler = TransactionScheduler(ShortestPredictedFirstPolicy())
+        scheduler.submit(ProcedureRequest.of("P", (0,)), _estimate([[0]]))
+        scheduler.submit(ProcedureRequest.of("P", (1,)), _estimate([[0], [1]]))
+        assert scheduler.predicted_backlog_ms() == pytest.approx(
+            sum(entry[2].predicted_cost_ms for entry in scheduler._heap)
+        )
+        assert scheduler.predicted_backlog_ms() > 0
+
+    def test_describe_mentions_policy(self):
+        scheduler = TransactionScheduler(SinglePartitionFirstPolicy())
+        assert "single-partition-first" in scheduler.describe()
+
+
+class TestSchedulerPolicies:
+    def test_shortest_predicted_first_reorders(self):
+        scheduler = TransactionScheduler(ShortestPredictedFirstPolicy())
+        scheduler.submit(ProcedureRequest.of("Long", (0,)), _estimate([[0]] * 10))
+        scheduler.submit(ProcedureRequest.of("Short", (1,)), _estimate([[0]]))
+        first = scheduler.pop()
+        assert first.procedure == "Short"
+        assert scheduler.stats.reordered == 1
+
+    def test_single_partition_first_reorders(self):
+        scheduler = TransactionScheduler(SinglePartitionFirstPolicy())
+        scheduler.submit(ProcedureRequest.of("Dist", (0,)), _estimate([[0], [1]]))
+        scheduler.submit(ProcedureRequest.of("Local", (1,)), _estimate([[0]]))
+        assert scheduler.pop().procedure == "Local"
+
+    def test_resubmit_counts_deferral(self):
+        scheduler = TransactionScheduler()
+        pending = scheduler.submit(ProcedureRequest.of("P", (0,)))
+        popped = scheduler.pop()
+        scheduler.resubmit(popped)
+        assert popped.deferrals == 1
+        assert len(scheduler) == 1
+        assert pending is popped
+
+    def test_sjf_minimizes_mean_waiting_time(self):
+        """The textbook SJF property, on predicted costs."""
+
+        def mean_completion(policy) -> float:
+            scheduler = TransactionScheduler(policy)
+            costs = [5, 1, 3, 1, 8, 2]
+            for index, queries in enumerate(costs):
+                scheduler.submit(
+                    ProcedureRequest.of("P", (index,)), _estimate([[0]] * queries)
+                )
+            clock = 0.0
+            completions = []
+            for pending in scheduler.drain():
+                clock += pending.predicted_cost_ms
+                completions.append(clock)
+            return sum(completions) / len(completions)
+
+        assert mean_completion(ShortestPredictedFirstPolicy()) < mean_completion(
+            ArrivalOrderPolicy()
+        )
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=30))
+    def test_every_submitted_transaction_is_dispatched_exactly_once(self, sizes):
+        scheduler = TransactionScheduler(ShortestPredictedFirstPolicy())
+        for index, queries in enumerate(sizes):
+            scheduler.submit(ProcedureRequest.of("P", (index,)), _estimate([[0]] * queries))
+        drained = [p.arrival_index for p in scheduler.drain()]
+        assert sorted(drained) == list(range(len(sizes)))
+        assert scheduler.stats.dispatched == len(sizes)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=30))
+    def test_sjf_dispatches_in_nondecreasing_cost_order(self, sizes):
+        scheduler = TransactionScheduler(ShortestPredictedFirstPolicy())
+        for index, queries in enumerate(sizes):
+            scheduler.submit(ProcedureRequest.of("P", (index,)), _estimate([[0]] * queries))
+        costs = [p.predicted_cost_ms for p in scheduler.drain()]
+        assert costs == sorted(costs)

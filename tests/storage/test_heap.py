@@ -1,0 +1,125 @@
+"""Tests for the per-partition row heap."""
+
+import pytest
+
+from repro.catalog import SecondaryIndex, Table, integer, string
+from repro.errors import DuplicateKeyError, StorageError
+from repro.storage import RowHeap
+
+
+def make_heap():
+    table = Table(
+        name="T",
+        columns=[integer("ID"), string("NAME"), integer("GROUP_ID"), integer("V", nullable=True)],
+        primary_key=["ID"],
+        partition_column="ID",
+        secondary_indexes=[SecondaryIndex("IDX_GROUP", ("GROUP_ID",))],
+    )
+    return RowHeap(table)
+
+
+class TestInsert:
+    def test_insert_and_get(self):
+        heap = make_heap()
+        row_id = heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        assert heap.get(row_id)["NAME"] == "a"
+        assert len(heap) == 1
+
+    def test_duplicate_primary_key(self):
+        heap = make_heap()
+        heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        with pytest.raises(DuplicateKeyError):
+            heap.insert({"ID": 1, "NAME": "b", "GROUP_ID": 6})
+
+    def test_insert_raw_restores_row_id(self):
+        heap = make_heap()
+        row_id = heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        row = heap.delete(row_id)
+        heap.insert_raw(row, row_id)
+        assert heap.get(row_id)["ID"] == 1
+        with pytest.raises(StorageError):
+            heap.insert_raw(row, row_id)
+
+
+class TestFindAndSelect:
+    def test_find_uses_primary_key(self):
+        heap = make_heap()
+        ids = [heap.insert({"ID": i, "NAME": f"n{i}", "GROUP_ID": i % 2}) for i in range(10)]
+        assert heap.find({"ID": 3}) == [ids[3]]
+
+    def test_find_uses_secondary_index(self):
+        heap = make_heap()
+        for i in range(10):
+            heap.insert({"ID": i, "NAME": f"n{i}", "GROUP_ID": i % 3})
+        assert sorted(heap.find({"GROUP_ID": 1})) == sorted(
+            rid for rid in heap.row_ids() if heap.get(rid)["GROUP_ID"] == 1
+        )
+
+    def test_find_full_scan_with_residual_predicate(self):
+        heap = make_heap()
+        for i in range(6):
+            heap.insert({"ID": i, "NAME": "same", "GROUP_ID": 0, "V": i})
+        assert len(heap.find({"NAME": "same", "V": 3})) == 1
+
+    def test_select_projection_order_limit(self):
+        heap = make_heap()
+        for i in range(5):
+            heap.insert({"ID": i, "NAME": f"n{i}", "GROUP_ID": 0, "V": 10 - i})
+        rows = heap.select({"GROUP_ID": 0}, output_columns=("ID",), order_by=("V", True), limit=2)
+        assert rows == [{"ID": 0}, {"ID": 1}]
+
+    def test_empty_predicate_returns_all(self):
+        heap = make_heap()
+        for i in range(3):
+            heap.insert({"ID": i, "NAME": "x", "GROUP_ID": 0})
+        assert len(heap.find({})) == 3
+
+    def test_aggregate(self):
+        heap = make_heap()
+        for i in range(4):
+            heap.insert({"ID": i, "NAME": "x", "GROUP_ID": 0, "V": i})
+        assert heap.aggregate({"GROUP_ID": 0}, "V", sum) == 6
+
+
+class TestUpdateDelete:
+    def test_update_returns_before_image(self):
+        heap = make_heap()
+        row_id = heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        before = heap.update(row_id, {"NAME": "b"})
+        assert before["NAME"] == "a"
+        assert heap.get(row_id)["NAME"] == "b"
+
+    def test_update_reindexes_secondary(self):
+        heap = make_heap()
+        row_id = heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        heap.update(row_id, {"GROUP_ID": 9})
+        assert heap.find({"GROUP_ID": 9}) == [row_id]
+        assert heap.find({"GROUP_ID": 5}) == []
+
+    def test_update_primary_key_reindexes(self):
+        heap = make_heap()
+        row_id = heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        heap.update(row_id, {"ID": 99})
+        assert heap.find({"ID": 99}) == [row_id]
+        assert heap.find({"ID": 1}) == []
+
+    def test_delete_removes_from_indexes(self):
+        heap = make_heap()
+        row_id = heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        deleted = heap.delete(row_id)
+        assert deleted["ID"] == 1
+        assert len(heap) == 0
+        assert heap.find({"GROUP_ID": 5}) == []
+        with pytest.raises(StorageError):
+            heap.delete(row_id)
+
+    def test_update_missing_row_raises(self):
+        with pytest.raises(StorageError):
+            make_heap().update(0, {"NAME": "x"})
+
+    def test_rows_iterates_copies(self):
+        heap = make_heap()
+        heap.insert({"ID": 1, "NAME": "a", "GROUP_ID": 5})
+        for row in heap.rows():
+            row["NAME"] = "mutated"
+        assert heap.get(0)["NAME"] == "a"

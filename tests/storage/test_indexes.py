@@ -1,0 +1,68 @@
+"""Tests for hash and ordered indexes."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import HashIndex, OrderedIndex
+
+
+class TestHashIndex:
+    def test_insert_and_lookup(self):
+        index = HashIndex(("a",))
+        index.insert((1,), 10)
+        index.insert((1,), 11)
+        assert sorted(index.lookup((1,))) == [10, 11]
+        assert index.lookup((2,)) == []
+        assert len(index) == 2
+
+    def test_unique_violation(self):
+        index = HashIndex(("a",), unique=True)
+        index.insert((1,), 10)
+        with pytest.raises(StorageError):
+            index.insert((1,), 11)
+
+    def test_remove(self):
+        index = HashIndex(("a",))
+        index.insert((1,), 10)
+        index.remove((1,), 10)
+        assert not index.contains((1,))
+        with pytest.raises(StorageError):
+            index.remove((1,), 10)
+
+    def test_key_of(self):
+        index = HashIndex(("a", "b"))
+        assert index.key_of({"a": 1, "b": 2, "c": 3}) == (1, 2)
+
+    def test_requires_columns(self):
+        with pytest.raises(StorageError):
+            HashIndex(())
+
+
+class TestOrderedIndex:
+    def test_range_scan_inclusive(self):
+        index = OrderedIndex(("k",))
+        for key, row_id in [((5,), 50), ((1,), 10), ((3,), 30)]:
+            index.insert(key, row_id)
+        assert list(index.range((1,), (3,))) == [10, 30]
+        assert list(index.range()) == [10, 30, 50]
+        assert list(index.range(reverse=True)) == [50, 30, 10]
+
+    def test_remove_cleans_up_keys(self):
+        index = OrderedIndex(("k",))
+        index.insert((1,), 10)
+        index.insert((1,), 11)
+        index.remove((1,), 10)
+        assert index.lookup((1,)) == [11]
+        index.remove((1,), 11)
+        assert list(index.range()) == []
+
+    def test_remove_missing_raises(self):
+        index = OrderedIndex(("k",))
+        with pytest.raises(StorageError):
+            index.remove((1,), 1)
+
+    def test_len_counts_entries(self):
+        index = OrderedIndex(("k",))
+        index.insert((1,), 1)
+        index.insert((2,), 2)
+        assert len(index) == 2

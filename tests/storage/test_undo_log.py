@@ -1,0 +1,84 @@
+"""Tests for the transient undo log (the OP3 substrate)."""
+
+import pytest
+
+from repro.catalog import Schema, Table, integer, string
+from repro.errors import UnrecoverableError
+from repro.storage import Database, UndoLog
+
+
+def make_database():
+    schema = Schema([Table(
+        name="T",
+        columns=[integer("ID"), string("NAME")],
+        primary_key=["ID"],
+        partition_column="ID",
+    )])
+    return Database(schema, 2)
+
+
+class TestRollback:
+    def test_rollback_undoes_insert_update_delete_in_reverse(self):
+        database = make_database()
+        heap = database.partition(0).heap("T")
+        original_id = heap.insert({"ID": 1, "NAME": "original"})
+
+        log = UndoLog()
+        # Insert a new row.
+        new_id = heap.insert({"ID": 2, "NAME": "new"})
+        log.record_insert("T", 0, new_id)
+        # Update the original row.
+        before = heap.update(original_id, {"NAME": "changed"})
+        log.record_update("T", 0, original_id, before)
+        # Delete the original row.
+        deleted = heap.delete(original_id)
+        log.record_delete("T", 0, original_id, deleted)
+
+        undone = log.rollback(database.partition)
+        assert undone == 3
+        assert len(heap) == 1
+        assert heap.get(original_id)["NAME"] == "original"
+
+    def test_rollback_after_disable_is_unrecoverable(self):
+        database = make_database()
+        heap = database.partition(0).heap("T")
+        log = UndoLog()
+        log.disable()
+        row_id = heap.insert({"ID": 1, "NAME": "x"})
+        log.record_insert("T", 0, row_id)
+        assert log.records_skipped == 1
+        with pytest.raises(UnrecoverableError):
+            log.rollback(database.partition)
+
+    def test_rollback_with_no_writes_after_disable_is_safe(self):
+        database = make_database()
+        log = UndoLog()
+        log.disable()
+        assert log.rollback(database.partition) == 0
+
+    def test_clear_discards_records(self):
+        log = UndoLog()
+        log.record_insert("T", 0, 1)
+        log.clear()
+        assert len(log) == 0
+        assert log.records_written == 0
+
+
+class TestCounters:
+    def test_records_written_vs_skipped(self):
+        log = UndoLog()
+        log.record_insert("T", 0, 1)
+        log.disable()
+        log.record_insert("T", 0, 2)
+        log.record_insert("T", 0, 3)
+        assert log.records_written == 1
+        assert log.records_skipped == 2
+        assert not log.enabled
+
+    def test_enable_resumes_recording(self):
+        log = UndoLog(enabled=False)
+        log.record_insert("T", 0, 1)
+        log.enable()
+        log.record_insert("T", 0, 2)
+        assert log.records_written == 1
+        assert log.records_skipped == 1

@@ -1,0 +1,111 @@
+"""Tests for the baseline execution strategies and the Houdini strategy."""
+
+import pytest
+
+from repro.strategies import (
+    AssumeDistributedStrategy,
+    AssumeSinglePartitionStrategy,
+    OracleStrategy,
+)
+from repro.txn import TransactionCoordinator
+from repro.types import ProcedureRequest
+
+
+class TestAssumeDistributed:
+    def test_locks_every_partition(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = AssumeDistributedStrategy(instance.catalog, seed=1)
+        plan = strategy.plan_initial(ProcedureRequest.of("payment", (0, 0, 0, 0, 1, 1.0)))
+        assert plan.locked_partitions is None
+        assert plan.undo_logging
+
+    def test_never_restarts(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = AssumeDistributedStrategy(instance.catalog, seed=1)
+        coordinator = TransactionCoordinator(instance.catalog, instance.database, strategy)
+        records = [
+            coordinator.execute_transaction(request)
+            for request in instance.generator.generate(60)
+        ]
+        assert all(record.restarts == 0 for record in records)
+
+
+class TestAssumeSinglePartition:
+    def test_initial_plan_uses_arrival_node_partition(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = AssumeSinglePartitionStrategy(instance.catalog, seed=1)
+        request = ProcedureRequest.of("payment", (0, 0, 0, 0, 1, 1.0), arrival_node=1)
+        plan = strategy.plan_initial(request)
+        assert len(plan.locked_partitions) == 1
+        assert plan.base_partition in (2, 3)
+
+    def test_redirect_after_single_misprediction(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = AssumeSinglePartitionStrategy(instance.catalog, seed=2)
+        coordinator = TransactionCoordinator(instance.catalog, instance.database, strategy)
+        # A payment homed at warehouse 3 (partition 3): whichever partition
+        # the strategy guesses, the transaction eventually commits.
+        record = coordinator.execute_transaction(
+            ProcedureRequest.of("payment", (3, 0, 3, 0, 1, 1.0))
+        )
+        assert record.committed
+        if record.restarts:
+            assert record.final_attempt.touched_partitions.contains(3)
+
+    def test_workload_completes_with_restarts(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = AssumeSinglePartitionStrategy(instance.catalog, seed=3)
+        coordinator = TransactionCoordinator(instance.catalog, instance.database, strategy)
+        records = [
+            coordinator.execute_transaction(request)
+            for request in instance.generator.generate(80)
+        ]
+        assert all(record.committed or record.user_aborted for record in records)
+        assert any(record.restarts > 0 for record in records)
+
+
+class TestOracle:
+    def test_probe_is_side_effect_free(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = OracleStrategy(instance.catalog, instance.database)
+        before = instance.database.total_rows("ORDERS")
+        strategy.plan_initial(
+            ProcedureRequest.of("neworder", (0, 0, 1, (1, 2), (0, 0), (1, 1)))
+        )
+        assert instance.database.total_rows("ORDERS") == before
+
+    def test_plans_minimal_lock_set_and_undo(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = OracleStrategy(instance.catalog, instance.database)
+        single = strategy.plan_initial(
+            ProcedureRequest.of("payment", (1, 0, 1, 0, 2, 5.0))
+        )
+        assert single.locked_partitions.partitions == (1,)
+        assert not single.undo_logging  # perfect information: no undo needed
+        distributed = strategy.plan_initial(
+            ProcedureRequest.of("payment", (1, 0, 2, 0, 2, 5.0))
+        )
+        assert set(distributed.locked_partitions) == {1, 2}
+        assert distributed.undo_logging
+
+    def test_oracle_never_restarts_under_load(self, tpcc_instance_factory):
+        instance = tpcc_instance_factory()
+        strategy = OracleStrategy(instance.catalog, instance.database)
+        coordinator = TransactionCoordinator(instance.catalog, instance.database, strategy)
+        records = [
+            coordinator.execute_transaction(request)
+            for request in instance.generator.generate(80)
+        ]
+        assert all(record.restarts == 0 for record in records)
+        assert sum(record.committed for record in records) > 60
+
+    def test_aborting_transaction_keeps_undo(self, tpcc_instance_factory):
+        from repro.benchmarks.tpcc import INVALID_ITEM_ID
+
+        instance = tpcc_instance_factory()
+        strategy = OracleStrategy(instance.catalog, instance.database)
+        plan = strategy.plan_initial(
+            ProcedureRequest.of("neworder", (0, 0, 1, (1, INVALID_ITEM_ID), (0, 0), (1, 1)))
+        )
+        assert plan.undo_logging
+        assert plan.predicted_abort_probability == 1.0

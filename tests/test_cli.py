@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import available_benchmarks
+from repro.cli import EXPERIMENTS, STRATEGIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_every_benchmark_is_a_valid_train_target(self):
+        parser = build_parser()
+        for name in available_benchmarks():
+            args = parser.parse_args(["train", name])
+            assert args.benchmark == name
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "tpcc"])
+        assert args.strategy == "houdini"
+        assert args.partitions == 8
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "tpcc", "--strategy", "magic"])
+
+    def test_every_registered_experiment_is_accepted(self):
+        parser = build_parser()
+        for identifier in EXPERIMENTS:
+            args = parser.parse_args(["experiment", identifier])
+            assert args.id == identifier
+
+    def test_strategies_cover_the_papers_comparisons(self):
+        assert "assume-single-partition" in STRATEGIES
+        assert "houdini-partitioned" in STRATEGIES
+        assert "oracle" in STRATEGIES
+
+
+class TestCommands:
+    def test_list_benchmarks_prints_all_three(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == {"tatp", "tpcc", "auctionmark"}
+
+    def test_train_and_inspect_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "bundle"
+        code = main(
+            ["train", "tatp", "--partitions", "2", "--trace", "120", "--output", str(target)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ArtifactBundle" in out
+        assert target.exists()
+
+        assert main(["inspect", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "tatp" in out
+        assert "states" in out
+
+    def test_train_without_output_does_not_write(self, tmp_path, capsys):
+        code = main(["train", "tatp", "--partitions", "2", "--trace", "80"])
+        assert code == 0
+        assert "artifacts written" not in capsys.readouterr().out
+
+    def test_inspect_missing_bundle_fails_cleanly(self, tmp_path, capsys):
+        code = main(["inspect", str(tmp_path / "nowhere")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_simulate_prints_summary_row(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "tatp",
+                "--strategy",
+                "assume-single-partition",
+                "--partitions",
+                "2",
+                "--trace",
+                "100",
+                "--transactions",
+                "120",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput_txn_s" in out
+        assert "strategy: assume-single-partition" in out
+
+    def test_simulate_houdini_with_threshold(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "tatp",
+                "--strategy",
+                "houdini",
+                "--partitions",
+                "2",
+                "--trace",
+                "100",
+                "--transactions",
+                "100",
+                "--threshold",
+                "0.8",
+            ]
+        )
+        assert code == 0
+        assert "committed" in capsys.readouterr().out

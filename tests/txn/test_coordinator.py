@@ -1,0 +1,80 @@
+"""Tests for the transaction coordinator's retry loop."""
+
+import pytest
+
+from repro.engine.engine import AttemptResult
+from repro.errors import TransactionError
+from repro.txn import ExecutionPlan, TransactionCoordinator
+from repro.txn.strategy import ExecutionStrategy
+from repro.types import PartitionSet, ProcedureRequest
+
+
+class ScriptedStrategy(ExecutionStrategy):
+    """Strategy whose plans are scripted for the test."""
+
+    name = "scripted"
+
+    def __init__(self, plans):
+        self.plans = list(plans)
+        self.completed = []
+        self.listener_calls = 0
+
+    def plan_initial(self, request):
+        return self.plans[0]
+
+    def plan_restart(self, request, failed_plan, failed_attempt, attempt_number):
+        if attempt_number < len(self.plans):
+            return self.plans[attempt_number]
+        return self.plans[-1]
+
+    def attempt_listeners(self, request, plan):
+        self.listener_calls += 1
+        return ()
+
+    def on_transaction_complete(self, record):
+        self.completed.append(record)
+
+
+class TestCoordinator:
+    def test_single_partition_commit(self, account_catalog, account_database):
+        strategy = ScriptedStrategy([ExecutionPlan(0, PartitionSet.of([0]))])
+        coordinator = TransactionCoordinator(account_catalog, account_database, strategy)
+        record = coordinator.execute_transaction(ProcedureRequest.of("transfer", (0, 4, 10)))
+        assert record.committed
+        assert record.restarts == 0
+        assert strategy.completed and strategy.completed[0] is record
+
+    def test_restart_after_misprediction(self, account_catalog, account_database):
+        strategy = ScriptedStrategy([
+            ExecutionPlan(0, PartitionSet.of([0])),       # too narrow: will abort
+            ExecutionPlan(0, None),                        # lock everything: succeeds
+        ])
+        coordinator = TransactionCoordinator(account_catalog, account_database, strategy)
+        record = coordinator.execute_transaction(ProcedureRequest.of("transfer", (4, 5, 10)))
+        assert record.committed
+        assert record.restarts == 1
+        assert record.attempts[0].mispredicted_partition == 1
+
+    def test_non_converging_strategy_raises(self, account_catalog, account_database):
+        strategy = ScriptedStrategy([ExecutionPlan(0, PartitionSet.of([0]))])
+        coordinator = TransactionCoordinator(
+            account_catalog, account_database, strategy, max_restarts=2
+        )
+        with pytest.raises(TransactionError):
+            coordinator.execute_transaction(ProcedureRequest.of("transfer", (4, 5, 10)))
+
+    def test_txn_ids_increment(self, account_catalog, account_database):
+        strategy = ScriptedStrategy([ExecutionPlan(0, None)])
+        coordinator = TransactionCoordinator(account_catalog, account_database, strategy)
+        first = coordinator.execute_transaction(ProcedureRequest.of("transfer", (0, 4, 1)))
+        second = coordinator.execute_transaction(ProcedureRequest.of("transfer", (0, 4, 1)))
+        assert second.txn_id == first.txn_id + 1
+
+    def test_undo_disabled_flag_propagates(self, account_catalog, account_database):
+        strategy = ScriptedStrategy([
+            ExecutionPlan(0, PartitionSet.of([0]), undo_logging=False),
+        ])
+        coordinator = TransactionCoordinator(account_catalog, account_database, strategy)
+        record = coordinator.execute_transaction(ProcedureRequest.of("transfer", (0, 4, 10)))
+        assert record.committed
+        assert record.undo_disabled

@@ -1,0 +1,86 @@
+"""Tests for the partition lock manager and two-phase-commit accounting."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.txn import PartitionLockManager, TwoPhaseCommit
+
+
+class TestPartitionLockManager:
+    def test_acquire_all_or_nothing(self):
+        locks = PartitionLockManager(4)
+        assert locks.try_acquire(1, [0, 2])
+        assert locks.holder_of(0) == 1
+        assert locks.holder_of(2) == 1
+        # Transaction 2 cannot take partition 2, so it gets nothing.
+        assert not locks.try_acquire(2, [1, 2])
+        assert locks.holder_of(1) is None
+        assert 2 in locks.waiters_of(2)
+
+    def test_release_all(self):
+        locks = PartitionLockManager(4)
+        locks.try_acquire(1, [0, 1, 2])
+        released = locks.release(1)
+        assert sorted(released) == [0, 1, 2]
+        assert locks.held_by(1) == []
+
+    def test_release_one_supports_early_prepare(self):
+        locks = PartitionLockManager(4)
+        locks.try_acquire(1, [0, 1])
+        assert locks.release_one(1, 1)
+        assert locks.holder_of(1) is None
+        assert locks.holds(1, 0)
+        assert not locks.release_one(1, 3)
+
+    def test_waiter_acquires_after_release(self):
+        locks = PartitionLockManager(2)
+        locks.try_acquire(1, [0])
+        assert not locks.try_acquire(2, [0])
+        locks.release(1)
+        assert locks.try_acquire(2, [0])
+        assert locks.waiters_of(0) == ()
+
+    def test_reacquire_by_holder_is_idempotent(self):
+        locks = PartitionLockManager(2)
+        assert locks.try_acquire(1, [0])
+        assert locks.try_acquire(1, [0])
+
+    def test_bounds_checked(self):
+        with pytest.raises(TransactionError):
+            PartitionLockManager(0)
+        with pytest.raises(TransactionError):
+            PartitionLockManager(2).holder_of(5)
+
+
+class TestTwoPhaseCommit:
+    def test_coordinator_must_participate(self):
+        with pytest.raises(TransactionError):
+            TwoPhaseCommit(coordinator_partition=5, participants=frozenset({0, 1}))
+
+    def test_prepare_round_trips_shrink_with_early_prepare(self):
+        protocol = TwoPhaseCommit(coordinator_partition=0, participants=frozenset({0, 1, 2}))
+        assert protocol.prepare_round_trips() == 2
+        assert protocol.early_prepare(1)
+        assert not protocol.early_prepare(1)
+        assert protocol.prepare_round_trips() == 1
+        assert protocol.explicit_prepare_targets() == frozenset({2})
+
+    def test_early_prepare_of_non_participant_rejected(self):
+        protocol = TwoPhaseCommit(coordinator_partition=0, participants=frozenset({0, 1}))
+        with pytest.raises(TransactionError):
+            protocol.early_prepare(3)
+
+    def test_can_commit_requires_all_votes(self):
+        protocol = TwoPhaseCommit(coordinator_partition=0, participants=frozenset({0, 1, 2}))
+        assert not protocol.can_commit()
+        protocol.record_vote(1, True)
+        protocol.record_vote(2, True)
+        assert protocol.can_commit()
+        protocol.record_vote(2, False)
+        assert not protocol.can_commit()
+
+    def test_single_partition_always_commits(self):
+        protocol = TwoPhaseCommit(coordinator_partition=0, participants=frozenset({0}))
+        assert not protocol.is_distributed
+        assert protocol.can_commit()
+        assert protocol.commit_round_trips() == 0

@@ -1,0 +1,64 @@
+"""Tests for execution plans and transaction records."""
+
+from repro.engine.engine import AttemptOutcome, AttemptResult
+from repro.txn import ExecutionPlan, TransactionRecord
+from repro.types import PartitionSet, ProcedureRequest, QueryInvocation, QueryType
+
+
+def make_attempt(outcome=AttemptOutcome.COMMITTED, partitions=(0,), queries=2):
+    invocations = [
+        QueryInvocation("Q", (1,), PartitionSet.of(partitions), counter=i, query_type=QueryType.READ)
+        for i in range(queries)
+    ]
+    return AttemptResult(
+        outcome=outcome,
+        procedure="p",
+        parameters=(1,),
+        base_partition=partitions[0],
+        touched_partitions=PartitionSet.of(partitions),
+        invocations=invocations,
+    )
+
+
+class TestExecutionPlan:
+    def test_lock_set_none_means_everything(self):
+        plan = ExecutionPlan(base_partition=0, locked_partitions=None)
+        assert plan.lock_set(4).partitions == (0, 1, 2, 3)
+        assert plan.is_distributed(4)
+        assert not plan.is_distributed(1)
+
+    def test_explicit_lock_set(self):
+        plan = ExecutionPlan(base_partition=1, locked_partitions=PartitionSet.of([1]))
+        assert not plan.is_distributed(8)
+        assert plan.locks_partition(1, 8)
+        assert not plan.locks_partition(2, 8)
+
+
+class TestTransactionRecord:
+    def test_committed_and_restart_counts(self):
+        record = TransactionRecord(txn_id=1, request=ProcedureRequest.of("p", (1,)))
+        record.plans.append(ExecutionPlan(0, PartitionSet.of([0])))
+        record.attempts.append(make_attempt(AttemptOutcome.MISPREDICTION))
+        record.plans.append(ExecutionPlan(0, None))
+        record.attempts.append(make_attempt(AttemptOutcome.COMMITTED, partitions=(0, 1)))
+        assert record.committed
+        assert record.restarts == 1
+        assert record.total_queries == 4
+        assert record.wasted_queries == 2
+        assert not record.single_partitioned
+        assert record.final_plan.locked_partitions is None
+
+    def test_user_abort_flag(self):
+        record = TransactionRecord(txn_id=2, request=ProcedureRequest.of("p", (1,)))
+        record.plans.append(ExecutionPlan(0, PartitionSet.of([0])))
+        record.attempts.append(make_attempt(AttemptOutcome.USER_ABORT))
+        assert record.user_aborted
+        assert not record.committed
+
+    def test_estimation_time_totals(self):
+        record = TransactionRecord(txn_id=3, request=ProcedureRequest.of("p", (1,)))
+        record.plans.append(ExecutionPlan(0, None, estimation_ms=0.5))
+        record.plans.append(ExecutionPlan(0, None, estimation_ms=0.25))
+        record.attempts.append(make_attempt())
+        record.attempts.append(make_attempt())
+        assert record.total_estimation_ms == 0.75

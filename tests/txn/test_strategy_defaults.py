@@ -1,0 +1,30 @@
+"""Tests for the ExecutionStrategy base-class default hooks."""
+
+from repro.txn import ExecutionPlan
+from repro.txn.strategy import ExecutionStrategy
+from repro.types import PartitionSet, ProcedureRequest
+
+
+class MinimalStrategy(ExecutionStrategy):
+    name = "minimal"
+
+    def plan_initial(self, request):
+        return ExecutionPlan(0, PartitionSet.of([0]))
+
+    def plan_restart(self, request, failed_plan, failed_attempt, attempt_number):
+        return ExecutionPlan(0, None)
+
+
+class TestStrategyDefaults:
+    def test_default_listeners_empty(self):
+        strategy = MinimalStrategy()
+        assert strategy.attempt_listeners(
+            ProcedureRequest.of("p", ()), strategy.plan_initial(None)
+        ) == ()
+
+    def test_default_completion_hook_is_noop(self):
+        strategy = MinimalStrategy()
+        assert strategy.on_transaction_complete(None) is None
+
+    def test_describe_uses_name(self):
+        assert MinimalStrategy().describe() == "minimal"

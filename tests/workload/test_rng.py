@@ -1,0 +1,71 @@
+"""Tests for the deterministic workload RNG."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import WorkloadRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = WorkloadRandom(42)
+        b = WorkloadRandom(42)
+        assert [a.integer(0, 100) for _ in range(20)] == [b.integer(0, 100) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = WorkloadRandom(1)
+        b = WorkloadRandom(2)
+        assert [a.integer(0, 1000) for _ in range(10)] != [b.integer(0, 1000) for _ in range(10)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        parent = WorkloadRandom(3)
+        child_one = parent.fork("loader")
+        child_two = WorkloadRandom(3).fork("loader")
+        assert [child_one.integer(0, 100) for _ in range(5)] == [
+            child_two.integer(0, 100) for _ in range(5)
+        ]
+
+
+class TestDistributions:
+    def test_integer_bounds(self):
+        rng = WorkloadRandom(0)
+        values = [rng.integer(3, 7) for _ in range(200)]
+        assert min(values) >= 3 and max(values) <= 7
+        with pytest.raises(WorkloadError):
+            rng.integer(5, 1)
+
+    def test_probability_validation(self):
+        rng = WorkloadRandom(0)
+        assert not rng.probability(0.0)
+        assert rng.probability(1.0)
+        with pytest.raises(WorkloadError):
+            rng.probability(1.5)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = WorkloadRandom(5)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[rng.weighted_choice((("a", 0.9), ("b", 0.1)))] += 1
+        assert counts["a"] > counts["b"] * 3
+        with pytest.raises(WorkloadError):
+            rng.weighted_choice(())
+
+    def test_nurand_in_range(self):
+        rng = WorkloadRandom(1)
+        values = [rng.nurand(255, 0, 99) for _ in range(500)]
+        assert min(values) >= 0 and max(values) <= 99
+
+    def test_zipf_skews_towards_small_values(self):
+        rng = WorkloadRandom(2)
+        values = [rng.zipf(50, skew=1.2) for _ in range(2000)]
+        assert all(1 <= v <= 50 for v in values)
+        ones = sum(1 for v in values if v == 1)
+        fifties = sum(1 for v in values if v == 50)
+        assert ones > fifties
+
+    def test_string_helpers(self):
+        rng = WorkloadRandom(3)
+        assert len(rng.numeric_string(15)) == 15
+        assert rng.numeric_string(5).isdigit()
+        value = rng.alphanumeric(3, 6)
+        assert 3 <= len(value) <= 6
