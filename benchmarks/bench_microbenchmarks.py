@@ -62,3 +62,131 @@ def test_model_construction_throughput(benchmark, artifacts):
     benchmark.pedantic(
         builder.build_for_procedure, args=(neworder_trace, "neworder"), rounds=2, iterations=1
     )
+
+
+# ----------------------------------------------------------------------
+# Machine-readable estimation-throughput tracking (BENCH_estimation.json)
+# ----------------------------------------------------------------------
+
+def _plan_throughput(artifacts, *, compiled: bool, requests, rounds: int = 5):
+    """Best-of-``rounds`` planning throughput with estimate caching disabled.
+
+    CPU time (``process_time``) with the garbage collector paused keeps the
+    number stable on busy hosts; the effective CPU speed of the machine can
+    still drift between runs, which is why the committed baseline records a
+    median and the assertions below keep a safety margin.
+    """
+    import gc
+    import time
+
+    from repro.houdini import Houdini, HoudiniConfig
+
+    houdini = Houdini(
+        artifacts.benchmark.catalog,
+        artifacts.global_provider(),
+        artifacts.mappings,
+        HoudiniConfig(
+            enable_estimate_caching=False,
+            compiled_estimation=compiled,
+            disabled_procedures=artifacts.benchmark.bundle.houdini_disabled_procedures,
+        ),
+        learning=False,
+    )
+    for request in requests[:300]:
+        houdini.plan(request)
+    gc.collect()
+    gc.disable()
+    try:
+        best = 0.0
+        best_estimation_ms = 0.0
+        for _ in range(rounds):
+            estimation_ms = 0.0
+            started = time.process_time()
+            for request in requests:
+                plan = houdini.plan(request)
+                estimation_ms += plan.estimate.estimation_ms
+            elapsed = time.process_time() - started
+            throughput = len(requests) / elapsed
+            if throughput > best:
+                # Keep both metrics from the same (best) round.
+                best = throughput
+                best_estimation_ms = estimation_ms
+    finally:
+        gc.enable()
+    return {
+        "plans_per_sec": round(best, 1),
+        "mean_estimation_ms": round(best_estimation_ms / len(requests), 6),
+    }
+
+
+def test_estimation_throughput_tracking(scale, save_result):
+    """Emit BENCH_estimation.json: the perf trajectory of the planning path.
+
+    Records plans/sec and mean wall-clock estimation time on TATP and TPC-C
+    (estimate caching disabled), the speedup against the committed pre-change
+    baseline, and an in-process ablation of the compiled statement resolvers.
+    """
+    import json
+    import os
+    from pathlib import Path
+
+    from repro import pipeline
+
+    baseline_path = (
+        Path(__file__).resolve().parent / "baselines" / "estimation_pre_compiled.json"
+    )
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    report = {
+        "protocol": baseline["protocol"],
+        "baseline": {
+            "description": baseline["description"],
+            "tatp": baseline["tatp"],
+            "tpcc": baseline["tpcc"],
+        },
+    }
+    for name in ("tatp", "tpcc"):
+        artifacts = pipeline.train(
+            name, 4, trace_transactions=min(scale.trace_transactions, 1500),
+            seed=scale.seed,
+        )
+        requests = artifacts.benchmark.generator.generate(2000)
+        current = _plan_throughput(artifacts, compiled=True, requests=requests)
+        interpreted = _plan_throughput(artifacts, compiled=False, requests=requests)
+        speedup = current["plans_per_sec"] / baseline[name]["plans_per_sec"]
+        estimation_speedup = (
+            baseline[name]["mean_estimation_ms"] / current["mean_estimation_ms"]
+        )
+        report[name] = {
+            **current,
+            "speedup_vs_pre_change_baseline": round(speedup, 2),
+            "estimation_ms_speedup_vs_baseline": round(estimation_speedup, 2),
+            "interpreted_uncompiled": interpreted,
+            "compiled_vs_interpreted": round(
+                current["plans_per_sec"] / interpreted["plans_per_sec"], 2
+            ),
+        }
+        # The compiled resolvers must beat the interpreted path in-process.
+        # The two measurement windows are adjacent but not simultaneous, so
+        # CPU-speed drift between them can still skew the ratio (typical
+        # measured values are 1.4-1.8x); the floor only guards against the
+        # fast path actually losing to the interpreted one.  The absolute
+        # speedup against the committed baseline is only asserted on hosts
+        # comparable to the one that measured the baseline (opt in via
+        # REPRO_BENCH_STRICT=1); on arbitrary CI hardware the baseline's
+        # plans/sec are not commensurable and the ratio is reported only.
+        assert report[name]["compiled_vs_interpreted"] >= 1.05
+        if os.environ.get("REPRO_BENCH_STRICT") == "1":
+            assert speedup >= 2.0
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_estimation.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    save_result(
+        "estimation_throughput",
+        "Planning throughput (plans/sec, estimate caching disabled)\n"
+        + "\n".join(
+            f"  {name}: {report[name]['plans_per_sec']:.0f} plans/s "
+            f"({report[name]['speedup_vs_pre_change_baseline']:.2f}x pre-change baseline, "
+            f"{report[name]['compiled_vs_interpreted']:.2f}x vs interpreted resolvers, "
+            f"{report[name]['mean_estimation_ms']:.4f} ms/estimate)"
+            for name in ("tatp", "tpcc")
+        ),
+    )

@@ -1,6 +1,32 @@
-"""Houdini: the on-line predictive framework (paper Section 4)."""
+"""Houdini: the on-line predictive framework (paper Section 4).
+
+Path estimation runs on the critical path of every transaction, so this
+package keeps a **compiled fast path** alongside the paper-literal
+interpreted one:
+
+* :mod:`repro.houdini.compiled` resolves each statement's catalog and
+  mapping metadata (replicated flag, partition column, literal binding,
+  partitioning-parameter index) exactly once per procedure; per candidate
+  state the estimator then performs a dict lookup plus at most one
+  ``mapping.resolve`` call.  Predictions are identical to the interpreted
+  path (``HoudiniConfig.compiled_estimation`` toggles it, and the test suite
+  asserts the equivalence).
+* :class:`~repro.markov.model.MarkovModel` precomputes probability-sorted
+  successor arrays during ``process()``.  **Cache-invalidation contract:**
+  any change to a vertex's outgoing edges (``add_path``,
+  ``record_transition``, ``merge_counts``) drops that vertex's precomputed
+  array immediately — stale orderings are never served — and marks the
+  vertex dirty; the next ``recompute_probabilities()`` re-derives
+  probabilities, successor arrays and probability tables only for the dirty
+  vertices and their ancestors.
+* :class:`~repro.types.PartitionSet` and
+  :class:`~repro.markov.vertex.VertexKey` precompute their hashes, and
+  small partition sets are interned, because those hashes and unions
+  dominate the walk's inner loop.
+"""
 
 from .cache import CachedEstimate, CacheStats, EstimateCache
+from .compiled import CompiledProcedure, CompiledStatement
 from .config import HoudiniConfig
 from .estimate import PartitionPrediction, PathEstimate
 from .estimator import PathEstimator
@@ -14,6 +40,8 @@ from .stats import HoudiniStats, ProcedureStats
 
 __all__ = [
     "Houdini",
+    "CompiledProcedure",
+    "CompiledStatement",
     "EstimateCache",
     "CacheStats",
     "CachedEstimate",

@@ -52,6 +52,13 @@ class HoudiniConfig:
     #: in on-line computation time).
     precompute_tables: bool = True
 
+    #: Whether the estimator uses per-procedure compiled statement resolvers
+    #: (:mod:`repro.houdini.compiled`) instead of re-resolving catalog and
+    #: mapping metadata on every candidate state.  Predictions are identical
+    #: either way; the flag exists for the ablation benchmark and as an
+    #: escape hatch.
+    compiled_estimation: bool = True
+
     #: Run-time model maintenance: when the observed transition distribution
     #: of a vertex matches the model with less than this accuracy, the edge
     #: and vertex probabilities are recomputed from the counters (§4.5).

@@ -15,7 +15,7 @@ from ..markov.vertex import VertexKey, VertexKind
 from ..types import PartitionId
 
 
-@dataclass
+@dataclass(slots=True)
 class PartitionPrediction:
     """Prediction for one partition derived from the estimated path."""
 
@@ -29,9 +29,12 @@ class PartitionPrediction:
     last_access_index: int
     #: Whether any predicted access is a write.
     written: bool = False
+    #: Number of estimated queries predicted to touch the partition
+    #: (maintained by the estimator's walk; OP1 picks the maximum).
+    access_count: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class PathEstimate:
     """Houdini's initial estimate for one transaction request."""
 
@@ -56,19 +59,50 @@ class PathEstimate:
     #: True when the estimate was produced by a degenerate/disabled path
     #: (e.g. Houdini disabled for the procedure or no model available).
     degenerate: bool = False
+    #: Cached ``(len(vertices), query vertices)`` pair — the optimization
+    #: selector reads :attr:`query_vertices` several times per decision.
+    _query_vertices_cache: tuple[int, list[VertexKey]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Cached ``(len(partitions), finish points)`` pair — computed once the
+    #: walk is done, read by both the decision and the run-time monitor.
+    _finish_points_cache: tuple[int, dict[PartitionId, int]] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Cached ``(len(edge_probabilities), confidence)`` pair — the walk
+    #: already maintains the running product, so it stores it here.
+    _confidence_cache: tuple[int, float] | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Online argmax over the per-partition access counts, maintained by the
+    #: estimator's walk so :meth:`base_partition` is O(1) for walked
+    #: estimates (ties keep the smaller partition id).
+    _base_partition: PartitionId | None = field(
+        default=None, repr=False, compare=False
+    )
+    _base_count: int = field(default=0, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
     def confidence(self) -> float:
         """Overall confidence: the product of the traversed edge probabilities."""
+        cached = self._confidence_cache
+        if cached is not None and cached[0] == len(self.edge_probabilities):
+            return cached[1]
         value = 1.0
         for probability in self.edge_probabilities:
             value *= probability
+        self._confidence_cache = (len(self.edge_probabilities), value)
         return value
 
     @property
     def query_vertices(self) -> list[VertexKey]:
-        return [v for v in self.vertices if v.kind is VertexKind.QUERY]
+        cached = self._query_vertices_cache
+        if cached is not None and cached[0] == len(self.vertices):
+            return cached[1]
+        result = [v for v in self.vertices if v.is_query]
+        self._query_vertices_cache = (len(self.vertices), result)
+        return result
 
     @property
     def query_count(self) -> int:
@@ -88,12 +122,28 @@ class PathEstimate:
 
     def base_partition(self) -> PartitionId | None:
         """OP1: the partition accessed by the most predicted queries."""
+        if self._base_partition is not None:
+            return self._base_partition
+        partitions = self.partitions
+        if partitions and any(p.access_count for p in partitions.values()):
+            # Estimator-built estimates carry the per-partition access counts
+            # accumulated during the walk; reuse them instead of re-counting
+            # over the query vertices.
+            if len(partitions) == 1:
+                return next(iter(partitions))
+            best = min(
+                partitions.values(),
+                key=lambda p: (-p.access_count, p.partition_id),
+            )
+            return best.partition_id
         counts: dict[PartitionId, int] = {}
         for vertex in self.query_vertices:
             for partition_id in vertex.partitions:
                 counts[partition_id] = counts.get(partition_id, 0) + 1
         if not counts:
             return None
+        if len(counts) == 1:
+            return next(iter(counts))
         # Deterministic tie-break on the partition id keeps runs reproducible.
         return min(counts, key=lambda p: (-counts[p], p))
 
@@ -106,11 +156,19 @@ class PathEstimate:
         )
 
     def finish_points(self) -> dict[PartitionId, int]:
-        """OP4: per-partition index of the last predicted access."""
-        return {
+        """OP4: per-partition index of the last predicted access.
+
+        The returned dict is cached and shared — callers must not mutate it.
+        """
+        cached = self._finish_points_cache
+        if cached is not None and cached[0] == len(self.partitions):
+            return cached[1]
+        result = {
             prediction.partition_id: prediction.last_access_index
             for prediction in self.partitions.values()
         }
+        self._finish_points_cache = (len(self.partitions), result)
+        return result
 
     def describe(self) -> str:
         """Readable multi-line summary used by examples."""

@@ -29,10 +29,16 @@ from ..catalog.statement import Operation, Statement
 from ..mapping.parameter_mapping import ParameterMapping, ParameterMappingSet
 from ..markov.model import MarkovModel
 from ..markov.vertex import VertexKey, VertexKind
-from ..types import PartitionId, PartitionSet, ProcedureRequest
+from ..types import EMPTY_PARTITION_SET, PartitionId, PartitionSet, ProcedureRequest
+from .compiled import CompiledProcedure
 from .config import HoudiniConfig
 from .estimate import PartitionPrediction, PathEstimate
 from .providers import ModelProvider
+
+
+def _pool_rank(pair: tuple[VertexKey, float]) -> tuple[float, int]:
+    """Candidate ordering: greatest probability, fewest partitions."""
+    return (pair[1], -len(pair[0].partitions))
 
 
 class PathEstimator:
@@ -49,6 +55,21 @@ class PathEstimator:
         self.provider = provider
         self.mappings = mappings
         self.config = config or HoudiniConfig()
+        #: Per-procedure compiled statement resolvers, built once on first
+        #: use.  Safe to cache for the estimator's lifetime: they depend only
+        #: on the catalog and the mappings, both fixed at construction.
+        self._compiled: dict[str, CompiledProcedure] = {}
+
+    def _compiled_for(self, procedure_name: str) -> CompiledProcedure:
+        compiled = self._compiled.get(procedure_name)
+        if compiled is None:
+            compiled = CompiledProcedure(
+                self.catalog.procedure(procedure_name),
+                self.catalog,
+                self.mappings.get(procedure_name),
+            )
+            self._compiled[procedure_name] = compiled
+        return compiled
 
     # ------------------------------------------------------------------
     def estimate(self, request: ProcedureRequest) -> PathEstimate:
@@ -64,9 +85,17 @@ class PathEstimator:
             estimate.degenerate = True
             estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
             return estimate
-        procedure = self.catalog.procedure(request.procedure)
-        mapping = self.mappings.get(request.procedure)
-        self._walk(estimate, model, procedure, mapping, request.parameters)
+        if self.config.compiled_estimation:
+            # The compiled resolvers replace every per-walk catalog/mapping
+            # lookup, so the interpreted inputs are not even fetched.
+            compiled = self._compiled_for(request.procedure)
+            procedure = None
+            mapping = None
+        else:
+            compiled = None
+            procedure = self.catalog.procedure(request.procedure)
+            mapping = self.mappings.get(request.procedure)
+        self._walk(estimate, model, procedure, mapping, request.parameters, compiled)
         estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
         return estimate
 
@@ -85,6 +114,13 @@ class PathEstimator:
         is never declared finished prematurely.
         Returns ``None`` when no mapping exists for the procedure.
         """
+        if self.config.compiled_estimation:
+            # Parity with the interpreted path below: no mapping means no
+            # answer, decided before the catalog is consulted (a request for
+            # an unmapped, uncataloged procedure must not raise here).
+            if self.mappings.get(request.procedure) is None:
+                return None
+            return self._compiled_for(request.procedure).footprint(request.parameters)
         mapping = self.mappings.get(request.procedure)
         if mapping is None:
             return None
@@ -127,54 +163,64 @@ class PathEstimator:
         self,
         estimate: PathEstimate,
         model: MarkovModel,
-        procedure: StoredProcedure,
+        procedure: StoredProcedure | None,
         mapping: ParameterMapping | None,
         parameters: Sequence[Any],
+        compiled: CompiledProcedure | None,
     ) -> None:
         current = model.begin
-        estimate.vertices.append(current)
-        accumulated = PartitionSet.of([])
+        vertices = estimate.vertices
+        probabilities = estimate.edge_probabilities
+        vertices.append(current)
+        accumulated = EMPTY_PARTITION_SET
         counters: dict[str, int] = {}
         confidence = 1.0
         query_index = 0
+        successors_of = model.successor_records
+        choose = self._choose
         for _ in range(self.config.max_path_length):
-            successors = model.successors(current)
+            successors = successors_of(current)
             if not successors:
                 break
-            chosen, probability = self._choose(
-                successors, model, procedure, mapping, parameters,
-                accumulated, counters, estimate,
+            chosen, probability = choose(
+                current, successors, model, procedure, mapping, parameters,
+                accumulated, counters, estimate, compiled,
             )
             if chosen is None:
                 break
-            estimate.vertices.append(chosen)
-            estimate.edge_probabilities.append(probability)
+            vertices.append(chosen)
+            probabilities.append(probability)
             confidence *= probability
-            confidence = min(confidence, 1.0)
-            if chosen.kind is VertexKind.QUERY:
+            if chosen.is_query:
                 self._account_for_vertex(
                     estimate, model, chosen, confidence, query_index
                 )
                 counters[chosen.name] = chosen.counter + 1
                 accumulated = accumulated.union(chosen.partitions)
                 query_index += 1
-            current = chosen
-            if current.kind in (VertexKind.COMMIT, VertexKind.ABORT):
-                estimate.predicted_abort = current.kind is VertexKind.ABORT
+            elif chosen.is_terminal:
+                estimate.predicted_abort = chosen.kind is VertexKind.ABORT
                 break
+            current = chosen
+        estimate._confidence_cache = (len(probabilities), confidence)
 
     def _choose(
         self,
-        successors: list[tuple[VertexKey, float]],
+        current: VertexKey,
+        successors: list[tuple[VertexKey, float, bool, str, int, PartitionSet, PartitionSet]],
         model: MarkovModel,
-        procedure: StoredProcedure,
+        procedure: StoredProcedure | None,
         mapping: ParameterMapping | None,
         parameters: Sequence[Any],
         accumulated: PartitionSet,
         counters: dict[str, int],
         estimate: PathEstimate,
+        compiled: CompiledProcedure | None,
     ) -> tuple[VertexKey | None, float]:
-        """Pick the next state among a vertex's successors.
+        """Pick the next state among a vertex's successor records.
+
+        ``successors`` uses the denormalized layout of
+        :meth:`~repro.markov.model.MarkovModel.successor_records`.
 
         The returned probability is the chosen edge's weight *renormalized
         over the candidate pool it was chosen from*.  A transition that the
@@ -185,30 +231,74 @@ class PathEstimator:
         fallback of §4.2) contribute their relative likelihood, which is what
         the confidence-threshold pruning of §4.3 acts on.
         """
+        estimate.work_units += len(successors)
+        if len(successors) == 1:
+            # A single successor wins regardless of the validity checks
+            # (pool = valid or consistent or successors), so the partition
+            # prediction can be skipped entirely.
+            record = successors[0]
+            return record[0], 1.0 if record[1] > 0 else 0.0
+        prediction_seed: tuple[tuple[str, int], PartitionSet | None] | None = None
+        if compiled is not None:
+            # When every non-terminal successor belongs to one statement, the
+            # prediction pins the partitions and history, so the next state
+            # is resolved with a single index probe: at most one successor
+            # can match, making it the whole valid pool (probability 1.0).
+            single_name, has_terminal = model.successor_hint(current)
+            if single_name is not None and not has_terminal:
+                expected_counter = counters.get(single_name, 0)
+                predicted = compiled.predict_partitions(
+                    single_name, expected_counter, parameters, accumulated
+                )
+                if predicted is not None:
+                    hit = model.probe_successor(
+                        current, single_name, expected_counter, accumulated, predicted
+                    )
+                    if hit is not None:
+                        return hit[0], 1.0 if hit[1] > 0 else 0.0
+                prediction_seed = ((single_name, expected_counter), predicted)
         valid: list[tuple[VertexKey, float]] = []
         consistent: list[tuple[VertexKey, float]] = []
         partition_cache: dict[tuple[str, int], PartitionSet | None] = {}
-        for key, probability in successors:
-            estimate.work_units += 1
-            if key.kind in (VertexKind.COMMIT, VertexKind.ABORT):
+        counters_get = counters.get
+        if prediction_seed is not None:
+            # Reuse the prediction the probe fast path already computed.
+            partition_cache[prediction_seed[0]] = prediction_seed[1]
+        for key, probability, is_terminal, name, counter, previous, partitions in successors:
+            if is_terminal:
                 valid.append((key, probability))
                 continue
-            expected_counter = counters.get(key.name, 0)
-            if key.counter != expected_counter:
+            expected_counter = counters_get(name, 0)
+            if counter != expected_counter:
                 continue
-            if key.previous != accumulated:
+            if previous is not accumulated and previous != accumulated:
                 continue
             consistent.append((key, probability))
-            cache_key = (key.name, expected_counter)
-            if cache_key not in partition_cache:
-                partition_cache[cache_key] = self._predict_partitions(
-                    procedure, mapping, key.name, expected_counter, parameters, accumulated
-                )
-            predicted = partition_cache[cache_key]
-            if predicted is not None and key.partitions == predicted:
+            cache_key = (name, expected_counter)
+            if cache_key in partition_cache:
+                predicted = partition_cache[cache_key]
+            else:
+                if compiled is not None:
+                    predicted = compiled.predict_partitions(
+                        name, expected_counter, parameters, accumulated
+                    )
+                else:
+                    predicted = self._predict_partitions(
+                        procedure, mapping, name, expected_counter,
+                        parameters, accumulated,
+                    )
+                partition_cache[cache_key] = predicted
+            if predicted is not None and (
+                partitions is predicted or partitions == predicted
+            ):
                 valid.append((key, probability))
-        pool = valid or consistent or successors
-        best = max(pool, key=lambda pair: (pair[1], -len(pair[0].partitions)))
+        pool = valid or consistent
+        if not pool:
+            pool = [(record[0], record[1]) for record in successors]
+        if len(pool) == 1:
+            key, probability = pool[0]
+            return key, 1.0 if probability > 0 else 0.0
+        best = max(pool, key=_pool_rank)
         total = sum(probability for _, probability in pool)
         if total <= 0:
             return best[0], 0.0
@@ -260,9 +350,12 @@ class PathEstimator:
 
     @staticmethod
     def _dominant_partition(accumulated: PartitionSet) -> PartitionId | None:
-        if len(accumulated) == 1:
-            return accumulated.partitions[0]
-        if len(accumulated) > 1:
+        """Partition the transaction's control code is assumed to run on.
+
+        The first touched partition is used deterministically (it matches how
+        the base partition is chosen); ``None`` when nothing was touched yet.
+        """
+        if accumulated.partitions:
             return accumulated.partitions[0]
         return None
 
@@ -276,18 +369,33 @@ class PathEstimator:
         query_index: int,
     ) -> None:
         vertex = model.vertex(key)
-        if vertex.table is not None:
-            estimate.abort_probability = max(estimate.abort_probability, vertex.table.abort)
+        table = vertex.table
+        if table is not None and table.abort > estimate.abort_probability:
+            estimate.abort_probability = table.abort
         is_write = vertex.query_type is not None and vertex.query_type.is_write
+        predictions = estimate.partitions
         for partition_id in key.partitions:
-            prediction = estimate.partitions.get(partition_id)
+            prediction = predictions.get(partition_id)
             if prediction is None:
-                estimate.partitions[partition_id] = PartitionPrediction(
+                predictions[partition_id] = PartitionPrediction(
                     partition_id=partition_id,
                     access_confidence=confidence,
                     last_access_index=query_index,
                     written=is_write,
+                    access_count=1,
                 )
+                count = 1
             else:
                 prediction.last_access_index = query_index
                 prediction.written = prediction.written or is_write
+                prediction.access_count += 1
+                count = prediction.access_count
+            # Online OP1 argmax (ties keep the smaller partition id).
+            best = estimate._base_partition
+            if (
+                best is None
+                or count > estimate._base_count
+                or (count == estimate._base_count and partition_id < best)
+            ):
+                estimate._base_partition = partition_id
+                estimate._base_count = count

@@ -27,7 +27,7 @@ from .runtime import HoudiniRuntime
 from .stats import HoudiniStats
 
 
-@dataclass
+@dataclass(slots=True)
 class HoudiniPlan:
     """Everything Houdini produced for one transaction attempt."""
 
@@ -79,37 +79,40 @@ class Houdini:
 
     def plan(self, request: ProcedureRequest) -> HoudiniPlan:
         """Produce the execution plan and run-time monitor for a request."""
-        footprint = self.estimator.predicted_footprint(request)
+        estimator = self.estimator
+        estimate_cache = self.estimate_cache
+        config = self.config
+        footprint = estimator.predicted_footprint(request)
         cache_key = None
         cached = None
-        if self.estimate_cache is not None:
+        if estimate_cache is not None:
             cache_key = EstimateCache.key_for(request, footprint)
-            cached = self.estimate_cache.lookup(cache_key)
+            cached = estimate_cache.lookup(cache_key)
         if cached is not None:
             # §6.3: reuse the path walk of an earlier identical-footprint
             # request; only a dictionary lookup is charged.
             estimate = cached.estimate
             decision = cached.decision
             model = None if estimate.degenerate else self.provider.model_for(request)
-            charged_ms = self.config.estimation_cache_hit_ms
+            charged_ms = config.estimation_cache_hit_ms
             source = "houdini:cached"
         else:
-            estimate = self.estimator.estimate(request)
+            estimate = estimator.estimate(request)
             model = None if estimate.degenerate else self.provider.model_for(request)
             decision = self.selector.decide(request, estimate, model)
             # The simulator charges a modelled (deterministic) estimation
             # cost; the measured wall-clock time stays on the estimate.
-            charged_ms = self.config.estimation_cost_ms(
+            charged_ms = config.estimation_cost_ms(
                 estimate.work_units, estimate.query_count
             )
             source = "houdini"
-            if self.estimate_cache is not None:
-                self.estimate_cache.store(cache_key, estimate, decision)
+            if estimate_cache is not None:
+                estimate_cache.store(cache_key, estimate, decision)
         plan = decision.as_plan(charged_ms, source=source)
         runtime = HoudiniRuntime(
             model,
             estimate,
-            self.config,
+            config,
             predicted_single_partition=decision.predicted_single_partition,
             undo_initially_disabled=decision.disable_undo,
             learn=self.learning,

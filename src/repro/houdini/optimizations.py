@@ -26,7 +26,7 @@ from .config import HoudiniConfig
 from .estimate import PathEstimate
 
 
-@dataclass
+@dataclass(slots=True)
 class OptimizationDecision:
     """Which of the four optimizations were selected for a transaction."""
 
@@ -43,11 +43,13 @@ class OptimizationDecision:
     op2_selected: bool = False
 
     def as_plan(self, estimation_ms: float, source: str) -> ExecutionPlan:
+        # The finish map is shared, not copied: plans and decisions are
+        # read-only once handed to the coordinator.
         return ExecutionPlan(
             base_partition=self.base_partition,
             locked_partitions=self.locked_partitions,
             undo_logging=not self.disable_undo,
-            finish_after_query=dict(self.finish_after_query),
+            finish_after_query=self.finish_after_query,
             estimation_ms=estimation_ms,
             source=source,
             predicted_single_partition=self.predicted_single_partition,
@@ -92,13 +94,31 @@ class OptimizationSelector:
         for prediction in estimate.partitions.values():
             if prediction.access_confidence >= threshold:
                 locked.add(prediction.partition_id)
-        reference_table = self._reference_table(estimate, model)
+        # One shared probe of the first estimated query state backs both the
+        # OP2 reference table and the OP3 support estimate.
+        model_ready = model is not None and model.processed
+        first_vertex = None
+        if model_ready:
+            query_vertices = estimate.query_vertices
+            if query_vertices:
+                first_vertex = model.find_vertex(query_vertices[0])
+            if first_vertex is not None and first_vertex.table is not None:
+                # The first query state conditions on the home partition,
+                # removing the "which home?" uncertainty the begin state
+                # mixes in.
+                reference_table = first_vertex.table
+            else:
+                reference_table = model.probability_table(model.begin)
+        else:
+            reference_table = None
         if reference_table is not None:
-            for partition_id in range(self.num_partitions):
-                if partition_id in locked:
-                    continue
-                if reference_table.access_probability(partition_id) >= threshold:
-                    locked.add(partition_id)
+            if threshold <= 0.0:
+                # access_probability >= 0 holds everywhere: lock the cluster.
+                locked.update(range(self.num_partitions))
+            else:
+                for partition_id, access in reference_table.positive_access():
+                    if access >= threshold:
+                        locked.add(partition_id)
         locked_set = PartitionSet.of(locked)
         op2_selected = len(locked_set) < self.num_partitions
         predicted_single = len(locked_set) <= 1
@@ -112,27 +132,46 @@ class OptimizationSelector:
         # transaction aborting or escaping its lock set (an OP2 misprediction
         # would force a rollback too).  Less certain transactions still get
         # the optimization later via the run-time update (§4.4).
-        escape_probability = self._escape_probability(estimate, model, locked_set)
-        # Guard against thinly-supported models: with n observed transactions
-        # an unobserved abort could still occur with probability ~1/(n+2)
-        # (Laplace), so the support must be large enough for "no abort seen"
-        # to actually mean "abort probability below tolerance".
-        support = self._estimate_support(estimate, model)
-        sampling_risk = 1.0 / (support + 2.0)
+        # The cheap gates run first; the table scans (support lookup, escape
+        # probability) only when they pass.
         disable_undo = (
             predicted_single
             and abort_probability <= self.config.abort_tolerance
-            and sampling_risk <= self.config.abort_tolerance
             and (1.0 - abort_probability) >= threshold
-            and escape_probability <= 0.0
         )
+        if disable_undo:
+            # Guard against thinly-supported models: with n observed
+            # transactions an unobserved abort could still occur with
+            # probability ~1/(n+2) (Laplace), so the support must be large
+            # enough for "no abort seen" to actually mean "abort probability
+            # below tolerance".
+            if not model_ready:
+                support = 0
+            elif first_vertex is not None:
+                support = first_vertex.hits
+            else:
+                support = model.transactions_observed
+            sampling_risk = 1.0 / (support + 2.0)
+            disable_undo = (
+                sampling_risk <= self.config.abort_tolerance
+                and self._escape_probability(
+                    estimate, model, locked_set, first_vertex
+                ) <= 0.0
+            )
 
         # OP4 -----------------------------------------------------------
-        finish_after = {
-            partition_id: index
-            for partition_id, index in estimate.finish_points().items()
-            if partition_id in locked_set.as_frozenset()
-        }
+        locked_frozen = locked_set.as_frozenset()
+        finish_points = estimate.finish_points()
+        if locked_frozen.issuperset(finish_points):
+            # Shared, not copied: decisions and finish maps are read-only
+            # once published.
+            finish_after = finish_points
+        else:
+            finish_after = {
+                partition_id: index
+                for partition_id, index in finish_points.items()
+                if partition_id in locked_frozen
+            }
 
         return OptimizationDecision(
             base_partition=base,
@@ -147,59 +186,30 @@ class OptimizationSelector:
         )
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _reference_table(estimate: PathEstimate, model: MarkovModel | None):
-        """Probability table used for off-path partitions in OP2.
-
-        Prefer the first estimated query state (it conditions on the home
-        partition, removing the "which home?" uncertainty the begin state
-        mixes in); fall back to the begin state when the path is empty.
-        """
-        if model is None or not model.processed:
-            return None
-        for key in estimate.query_vertices:
-            if model.has_vertex(key):
-                table = model.vertex(key).table
-                if table is not None:
-                    return table
-            break
-        return model.probability_table(model.begin)
-
-    @staticmethod
-    def _estimate_support(estimate: PathEstimate, model: MarkovModel | None) -> int:
-        """How many observed transactions back the estimate's first step."""
-        if model is None or not model.processed:
-            return 0
-        for key in estimate.query_vertices:
-            if model.has_vertex(key):
-                return model.vertex(key).hits
-            break
-        return model.transactions_observed
-
     def _escape_probability(
         self,
         estimate: PathEstimate,
         model: MarkovModel | None,
         locked_set: PartitionSet,
+        first_vertex=None,
     ) -> float:
-        """Largest modelled probability of touching an unlocked partition."""
+        """Largest modelled probability of touching an unlocked partition.
+
+        ``first_vertex`` may carry the caller's already-probed vertex for the
+        first query state, saving the duplicate lookup.
+        """
         if model is None or not model.processed:
             return 1.0
         locked = locked_set.as_frozenset()
-        worst = 0.0
-        for key in estimate.query_vertices:
-            if not model.has_vertex(key):
+        find_vertex = model.find_vertex
+        for index, key in enumerate(estimate.query_vertices):
+            vertex = first_vertex if index == 0 and first_vertex is not None else find_vertex(key)
+            if vertex is None or vertex.table is None:
                 return 1.0
-            table = model.vertex(key).table
-            if table is None:
-                return 1.0
-            for partition_id in range(self.num_partitions):
-                if partition_id in locked:
-                    continue
-                worst = max(worst, table.access_probability(partition_id))
-                if worst > 0.0:
-                    return worst
-        return worst
+            for partition_id, access in vertex.table.positive_access():
+                if partition_id not in locked:
+                    return access
+        return 0.0
 
     def _fallback_decision(self, request: ProcedureRequest) -> OptimizationDecision:
         """No usable estimate: run as a fully distributed transaction."""

@@ -25,12 +25,12 @@ from ..engine.context import TransactionContext
 from ..errors import MispredictionAbort
 from ..markov.model import MarkovModel
 from ..markov.vertex import ABORT_KEY, COMMIT_KEY, VertexKey
-from ..types import PartitionId, PartitionSet, QueryInvocation
+from ..types import EMPTY_PARTITION_SET, PartitionId, QueryInvocation
 from .config import HoudiniConfig
 from .estimate import PathEstimate
 
 
-@dataclass
+@dataclass(slots=True)
 class RuntimeStats:
     """What happened while monitoring one execution attempt."""
 
@@ -80,8 +80,12 @@ class HoudiniRuntime:
         self._predicted_finish_points = estimate.finish_points()
         self.stats = RuntimeStats()
         self._current: VertexKey | None = model.begin if model is not None else None
-        self._accumulated = PartitionSet.of([])
-        self._expected = list(estimate.vertices[1:]) if estimate.vertices else []
+        self._accumulated = EMPTY_PARTITION_SET
+        # Read-only view of the estimated path past the begin vertex; the
+        # walk is complete once the estimate reaches the runtime, so sharing
+        # the list (instead of copying it) is safe.
+        self._expected = estimate.vertices
+        self._expected_offset = 1
 
     # ------------------------------------------------------------------
     # QueryListener interface
@@ -123,7 +127,7 @@ class HoudiniRuntime:
             if self.learn:
                 self.model.record_transition(self._current, key)
             self.stats.transitions.append((self._current, key))
-        expected_index = self.stats.queries_observed - 1
+        expected_index = self.stats.queries_observed - 1 + self._expected_offset
         if expected_index < len(self._expected):
             if self._expected[expected_index] != key:
                 self.stats.deviated_from_estimate = True

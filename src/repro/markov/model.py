@@ -53,11 +53,32 @@ class MarkovModel:
         self._vertices: dict[VertexKey, Vertex] = {}
         self._edges: dict[VertexKey, dict[VertexKey, Edge]] = {}
         self._reverse: dict[VertexKey, set[VertexKey]] = {}
-        for key in (BEGIN_KEY, COMMIT_KEY, ABORT_KEY):
-            self._add_vertex(key, None)
         self.transactions_observed = 0
         self._processed = False
         self._stale = False
+        #: Probability-sorted successor arrays, rebuilt by :meth:`process`.
+        #: A vertex's entry is dropped the moment one of its outgoing edges
+        #: changes, so stale orderings are never served (the estimator falls
+        #: back to an on-the-fly rebuild for such vertices).
+        self._sorted_successors: dict[VertexKey, list[tuple[VertexKey, float]]] = {}
+        #: Denormalized companions of ``_sorted_successors`` (see
+        #: :meth:`successor_records`); maintained under the same contract.
+        self._successor_records: dict[VertexKey, list[tuple]] = {}
+        #: Per-vertex ``(single_query_name, has_terminal)`` hints (see
+        #: :meth:`successor_hint`); maintained under the same contract.
+        self._successor_hints: dict[VertexKey, tuple[str | None, bool]] = {}
+        #: Per-vertex probe index over the non-terminal successors, keyed by
+        #: ``(name, counter, previous, partitions)`` (see
+        #: :meth:`probe_successor`); maintained under the same contract.
+        self._successor_index: dict[VertexKey, dict[tuple, tuple[VertexKey, float]]] = {}
+        #: Vertices whose outgoing edge counts changed (or that were created)
+        #: since the last processing pass.  ``None`` means "everything" —
+        #: the model has never been processed with its current structure.
+        self._dirty: set[VertexKey] | None = None
+        #: Whether the last processing pass computed probability tables.
+        self._tables_ready = False
+        for key in (BEGIN_KEY, COMMIT_KEY, ABORT_KEY):
+            self._add_vertex(key, None)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -99,6 +120,14 @@ class MarkovModel:
         except KeyError:
             raise ModelError(f"unknown vertex {key}") from None
 
+    def find_vertex(self, key: VertexKey) -> Vertex | None:
+        """Like :meth:`vertex`, but returns ``None`` for unknown keys.
+
+        Hot-path accessor: one dict probe instead of the
+        ``has_vertex`` + ``vertex`` pair (which hashes the key twice).
+        """
+        return self._vertices.get(key)
+
     def vertices(self) -> Iterator[Vertex]:
         return iter(self._vertices.values())
 
@@ -109,11 +138,121 @@ class MarkovModel:
         return list(self._edges.get(key, {}).values())
 
     def successors(self, key: VertexKey) -> list[tuple[VertexKey, float]]:
-        """Outgoing (target, probability) pairs sorted by descending probability."""
+        """Outgoing (target, probability) pairs sorted by descending probability.
+
+        After :meth:`process` the answer comes from a precomputed array (the
+        estimator calls this for every step of every walk, so the per-call
+        rebuild-and-sort used to dominate estimation time).  Vertices whose
+        edges changed since the last processing pass are rebuilt on the fly.
+        The returned list is shared — callers must not mutate it.
+        """
+        cached = self._sorted_successors.get(key)
+        if cached is not None:
+            return cached
+        pairs = self._build_successors(key)
+        if key in self._vertices:
+            # Read-through: safe under the pop-on-mutation contract (any
+            # later edge change pops the entry again, and an incremental
+            # process() overwrites dirty entries).  Without this, run-time
+            # learning — which pops the executed vertex on every observed
+            # transition — would leave hot vertices permanently uncached.
+            self._sorted_successors[key] = pairs
+        return pairs
+
+    def successor_records(
+        self, key: VertexKey
+    ) -> list[tuple[VertexKey, float, bool, str, int, PartitionSet, PartitionSet]]:
+        """Like :meth:`successors`, with the estimator's per-candidate fields
+        denormalized into each record:
+
+        ``(key, probability, is_terminal, name, counter, previous, partitions)``
+
+        The estimator's inner loop unpacks one tuple per candidate instead of
+        performing five attribute lookups.  Same ordering and invalidation
+        contract as :meth:`successors`; the list is shared — do not mutate.
+        """
+        cached = self._successor_records.get(key)
+        if cached is not None:
+            return cached
+        records = self._build_records(self.successors(key))
+        if key in self._vertices:
+            self._successor_records[key] = records
+        return records
+
+    def successor_hint(self, key: VertexKey) -> tuple[str | None, bool]:
+        """Precomputed ``(single_query_name, has_terminal)`` for a vertex.
+
+        ``single_query_name`` is set when every non-terminal successor shares
+        one statement name — the estimator then resolves the next state with
+        a single O(1) probe of :meth:`probe_successor` instead of scanning
+        every candidate.  Same invalidation contract as :meth:`successors`.
+        """
+        cached = self._successor_hints.get(key)
+        if cached is not None:
+            return cached
+        hint = self._build_hint(self.successors(key))
+        if key in self._vertices:
+            self._successor_hints[key] = hint
+        return hint
+
+    def probe_successor(
+        self,
+        source: VertexKey,
+        name: str,
+        counter: int,
+        previous: PartitionSet,
+        partitions: PartitionSet,
+    ) -> tuple[VertexKey, float] | None:
+        """O(1) lookup of one non-terminal successor by its identity fields.
+
+        Returns the canonical ``(target, probability)`` pair, or ``None``
+        when no such successor exists.  Same invalidation contract as
+        :meth:`successors`.
+        """
+        index = self._successor_index.get(source)
+        if index is None:
+            index = self._build_index(self.successors(source))
+            if source in self._vertices:
+                self._successor_index[source] = index
+        return index.get((name, counter, previous, partitions))
+
+    @staticmethod
+    def _build_hint(pairs: list[tuple[VertexKey, float]]) -> tuple[str | None, bool]:
+        has_terminal = False
+        names: set[str] = set()
+        for key, _ in pairs:
+            if key.is_terminal:
+                has_terminal = True
+            else:
+                names.add(key.name)
+        single = next(iter(names)) if len(names) == 1 else None
+        return (single, has_terminal)
+
+    @staticmethod
+    def _build_index(
+        pairs: list[tuple[VertexKey, float]]
+    ) -> dict[tuple, tuple[VertexKey, float]]:
+        return {
+            (key.name, key.counter, key.previous, key.partitions): (key, probability)
+            for key, probability in pairs
+            if not key.is_terminal
+        }
+
+    def _build_successors(self, key: VertexKey) -> list[tuple[VertexKey, float]]:
         edges = self._edges.get(key, {})
         pairs = [(edge.target, edge.probability) for edge in edges.values()]
         pairs.sort(key=lambda pair: (-pair[1], str(pair[0])))
         return pairs
+
+    @staticmethod
+    def _build_records(
+        pairs: list[tuple[VertexKey, float]]
+    ) -> list[tuple[VertexKey, float, bool, str, int, PartitionSet, PartitionSet]]:
+        return [
+            (key, probability, key.is_terminal, key.name, key.counter,
+             key.previous, key.partitions)
+            for key, probability in pairs
+        ]
 
     def edge(self, source: VertexKey, target: VertexKey) -> Edge | None:
         return self._edges.get(source, {}).get(target)
@@ -140,6 +279,8 @@ class MarkovModel:
             self._vertices[key] = vertex
             self._edges.setdefault(key, {})
             self._reverse.setdefault(key, set())
+            if self._dirty is not None:
+                self._dirty.add(key)
         elif query_type is not None and vertex.query_type is None:
             vertex.query_type = query_type
         return vertex
@@ -152,6 +293,15 @@ class MarkovModel:
             targets[target] = edge
             self._reverse.setdefault(target, set()).add(source)
         edge.record_visit(count)
+        # The source's outgoing distribution changed: drop its precomputed
+        # successor arrays and remember it for the next (incremental)
+        # probability recomputation.
+        self._sorted_successors.pop(source, None)
+        self._successor_records.pop(source, None)
+        self._successor_hints.pop(source, None)
+        self._successor_index.pop(source, None)
+        if self._dirty is not None:
+            self._dirty.add(source)
         return edge
 
     def add_path(self, steps: Sequence[PathStep], aborted: bool) -> list[VertexKey]:
@@ -204,31 +354,129 @@ class MarkovModel:
     # Processing phase
     # ------------------------------------------------------------------
     def process(self, *, precompute_tables: bool = True) -> None:
-        """Compute edge probabilities and (optionally) probability tables."""
-        self._compute_edge_probabilities()
+        """Compute edge probabilities and (optionally) probability tables.
+
+        The first call (and any call on a model whose full structure is new,
+        e.g. right after deserialization) processes every vertex.  Subsequent
+        calls are **incremental**: only vertices whose outgoing edge counts
+        changed since the last pass — plus their ancestors, whose tables
+        depend on them — are re-derived.  Run-time model maintenance (§4.5)
+        therefore pays for the drifted part of the graph, not the whole model.
+        """
+        dirty = self._dirty
+        incremental = (
+            self._processed
+            and dirty is not None
+            and (not precompute_tables or self._tables_ready)
+        )
+        if incremental and not dirty:
+            # Nothing changed since the last pass: probabilities, successor
+            # arrays and tables are all still valid.
+            self._stale = False
+            return
+        if incremental:
+            self._compute_edge_probabilities(dirty)
+            self._refresh_successor_cache(dirty)
+        else:
+            self._compute_edge_probabilities(None)
+            self._refresh_successor_cache(None)
         if precompute_tables:
-            self._compute_probability_tables()
-            self._compute_remaining_queries()
+            order, complete = self._topological_order()
+            if not complete:
+                # Run-time placeholder edges introduced a cycle: fall back to
+                # the bounded fixed-point pass over the whole graph.
+                self._compute_probability_tables_fixed_point(order)
+                self._compute_remaining_queries(order, reset=True)
+            elif incremental:
+                affected = self._affected_closure(dirty)
+                restricted = [key for key in order if key in affected]
+                self._compute_probability_tables_ordered(restricted)
+                self._compute_remaining_queries(restricted)
+            else:
+                self._compute_probability_tables_ordered(order)
+                self._compute_remaining_queries(order)
+        self._tables_ready = precompute_tables
+        self._dirty = set()
         self._processed = True
         self._stale = False
 
     # Alias matching the paper's terminology.
     recompute_probabilities = process
 
-    def _compute_edge_probabilities(self) -> None:
-        for source, targets in self._edges.items():
+    def _compute_edge_probabilities(self, sources: set[VertexKey] | None) -> None:
+        """Recompute outgoing probabilities (for ``sources``, or everywhere)."""
+        if sources is None:
+            items = self._edges.items()
+        else:
+            items = ((key, self._edges.get(key, {})) for key in sources)
+        for _, targets in items:
             total = sum(edge.hits for edge in targets.values())
             for edge in targets.values():
                 edge.probability = edge.hits / total if total > 0 else 0.0
 
-    def _topological_order(self) -> list[VertexKey]:
+    def _refresh_successor_cache(self, sources: set[VertexKey] | None) -> None:
+        """Precompute the probability-sorted successor arrays."""
+        if sources is None:
+            self._sorted_successors = {
+                key: self._build_successors(key) for key in self._vertices
+            }
+            self._successor_records = {
+                key: self._build_records(pairs)
+                for key, pairs in self._sorted_successors.items()
+            }
+            self._successor_hints = {
+                key: self._build_hint(pairs)
+                for key, pairs in self._sorted_successors.items()
+            }
+            # The probe index is only ever consulted for vertices whose hint
+            # is (single name, no terminal successor); everything else is
+            # covered by the lazy read-through in probe_successor.
+            self._successor_index = {
+                key: self._build_index(self._sorted_successors[key])
+                for key, (single, has_terminal) in self._successor_hints.items()
+                if single is not None and not has_terminal
+            }
+        else:
+            for key in sources:
+                if key in self._vertices:
+                    pairs = self._build_successors(key)
+                    self._sorted_successors[key] = pairs
+                    self._successor_records[key] = self._build_records(pairs)
+                    hint = self._build_hint(pairs)
+                    self._successor_hints[key] = hint
+                    self._successor_index.pop(key, None)
+                    if hint[0] is not None and not hint[1]:
+                        self._successor_index[key] = self._build_index(pairs)
+
+    def _affected_closure(self, dirty: set[VertexKey]) -> set[VertexKey]:
+        """Dirty vertices plus every vertex that can reach one of them.
+
+        A vertex's probability table depends on its outgoing probabilities
+        and its descendants' tables, so a dirtied edge invalidates exactly
+        its source and the source's ancestors.
+        """
+        affected: set[VertexKey] = set()
+        stack = [key for key in dirty if key in self._vertices]
+        while stack:
+            key = stack.pop()
+            if key in affected:
+                continue
+            affected.add(key)
+            for parent in self._reverse.get(key, ()):
+                if parent not in affected:
+                    stack.append(parent)
+        return affected
+
+    def _topological_order(self) -> tuple[list[VertexKey], bool]:
         """Vertices ordered so every child precedes its parents.
 
         The paper's models are acyclic, so a reverse topological order exists
         and guarantees a vertex's table is computed only after all of its
-        children's (Section 3.2).  If run-time placeholder edges introduced a
-        cycle, the affected vertices are appended at the end and handled by a
-        bounded fixed-point pass instead.
+        children's (Section 3.2).  Returns the order plus a flag saying
+        whether it covers every vertex; if run-time placeholder edges
+        introduced a cycle, the affected vertices are appended at the end,
+        the flag is False, and the caller falls back to a bounded fixed-point
+        pass.
         """
         out_degree = {key: len(self._edges.get(key, {})) for key in self._vertices}
         ready = deque(key for key, degree in out_degree.items() if degree == 0)
@@ -244,11 +492,30 @@ class MarkovModel:
                 out_degree[parent] -= 1
                 if out_degree[parent] == 0:
                     ready.append(parent)
+        complete = len(order) == len(self._vertices)
+        if complete:
+            return order, True
         leftovers = [key for key in self._vertices if key not in seen]
-        return order + leftovers
+        return order + leftovers, False
 
-    def _compute_probability_tables(self, fixed_point_rounds: int = 4) -> None:
-        order = self._topological_order()
+    def _compute_probability_tables_ordered(self, order: Sequence[VertexKey]) -> None:
+        """Single-pass table derivation, valid when children precede parents.
+
+        This is the acyclic common case: one pass in reverse topological
+        order reaches the fixed point directly, so the bounded iteration (and
+        its per-vertex ``approx_equal`` comparisons) is skipped entirely.
+        """
+        vertices = self._vertices
+        for key in order:
+            vertices[key].table = self._table_for(key)
+
+    # Cycles only appear via run-time placeholder edges; the iteration exits
+    # as soon as a round leaves every table unchanged, so the bound is only
+    # reached while a cycle's probabilities are still converging (a self-loop
+    # of probability p closes the gap by factor p per round).
+    def _compute_probability_tables_fixed_point(
+        self, order: Sequence[VertexKey], fixed_point_rounds: int = 64
+    ) -> None:
         for _ in range(fixed_point_rounds):
             changed = False
             for key in order:
@@ -287,26 +554,35 @@ class MarkovModel:
                 entry.finish = 0.0
         return table
 
-    def _compute_remaining_queries(self) -> None:
+    def _compute_remaining_queries(
+        self, order: Sequence[VertexKey], *, reset: bool = False
+    ) -> None:
         """Annotate vertices with the expected number of remaining queries.
 
         This is the "expected remaining run time" extension sketched in the
         paper's future-work section; the cost model converts query counts to
-        time when it is used for scheduling.
+        time when it is used for scheduling.  ``order`` must list children
+        before parents (possibly restricted to the affected vertices of an
+        incremental pass — unaffected children keep their stored values);
+        ``reset`` zeroes the annotations first, which the cyclic fallback
+        uses to reproduce the old single-sweep semantics.
         """
-        order = self._topological_order()
-        remaining: dict[VertexKey, float] = {}
+        vertices = self._vertices
+        if reset:
+            for key in order:
+                vertices[key].expected_remaining_queries = 0.0
         for key in order:
+            vertex = vertices[key]
             if key.is_terminal:
-                remaining[key] = 0.0
+                vertex.expected_remaining_queries = 0.0
                 continue
-            edges = self._edges.get(key, {})
             expectation = 0.0
-            for edge in edges.values():
+            for edge in self._edges.get(key, {}).values():
                 child_cost = 1.0 if edge.target.is_query else 0.0
-                expectation += edge.probability * (child_cost + remaining.get(edge.target, 0.0))
-            remaining[key] = expectation
-            self._vertices[key].expected_remaining_queries = expectation
+                expectation += edge.probability * (
+                    child_cost + vertices[edge.target].expected_remaining_queries
+                )
+            vertex.expected_remaining_queries = expectation
 
     # ------------------------------------------------------------------
     # Maintenance support

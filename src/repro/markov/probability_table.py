@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from ..errors import ModelError
 
 
-@dataclass
+@dataclass(slots=True)
 class PartitionProbabilities:
     """Future read/write/finish probabilities for one partition."""
 
@@ -36,7 +36,7 @@ class PartitionProbabilities:
         return max(self.read, self.write)
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbabilityTable:
     """The full probability table of one vertex."""
 
@@ -44,6 +44,10 @@ class ProbabilityTable:
     single_partition: float = 0.0
     abort: float = 0.0
     partitions: list[PartitionProbabilities] = field(default_factory=list)
+    #: Lazily cached output of :meth:`positive_access`.
+    _positive_access: tuple[tuple[int, float], ...] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -72,6 +76,24 @@ class ProbabilityTable:
 
     def access_probability(self, partition_id: int) -> float:
         return self.partition(partition_id).access()
+
+    def positive_access(self) -> tuple[tuple[int, float], ...]:
+        """Cached ``(partition, access probability)`` pairs with access > 0.
+
+        Tables are only mutated during the model's processing phase, never
+        once published on a vertex, so the cache cannot go stale for on-line
+        readers.  The optimization selector iterates this instead of probing
+        every partition of every table on the estimated path.
+        """
+        cached = self._positive_access
+        if cached is None:
+            cached = tuple(
+                (partition_id, entry.read if entry.read >= entry.write else entry.write)
+                for partition_id, entry in enumerate(self.partitions)
+                if entry.read > 0.0 or entry.write > 0.0
+            )
+            self._positive_access = cached
+        return cached
 
     def accessed_partitions(self, threshold: float) -> list[int]:
         """Partitions whose future access probability meets ``threshold``."""

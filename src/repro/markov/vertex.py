@@ -30,13 +30,28 @@ class VertexKind(Enum):
 
 @dataclass(frozen=True)
 class VertexKey:
-    """Hashable identity of an execution state."""
+    """Hashable identity of an execution state.
+
+    Keys are used as dictionary keys throughout the model and the estimator's
+    inner loop, so the hash is computed once at construction and the
+    ``is_query`` / ``is_terminal`` classifications are precomputed attributes
+    rather than per-access enum comparisons.
+    """
 
     kind: VertexKind
     name: str = ""
     counter: int = 0
     partitions: PartitionSet = EMPTY_PARTITION_SET
     previous: PartitionSet = EMPTY_PARTITION_SET
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.kind, self.name, self.counter, self.partitions, self.previous)),
+        )
+        object.__setattr__(self, "is_query", self.kind is VertexKind.QUERY)
+        object.__setattr__(self, "is_terminal", self.kind.is_terminal)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -53,14 +68,6 @@ class VertexKey:
             partitions=partitions,
             previous=previous,
         )
-
-    @property
-    def is_terminal(self) -> bool:
-        return self.kind.is_terminal
-
-    @property
-    def is_query(self) -> bool:
-        return self.kind is VertexKind.QUERY
 
     def accessed_partitions(self) -> PartitionSet:
         """All partitions the transaction has touched once it leaves this state."""
@@ -81,12 +88,21 @@ class VertexKey:
         return f"{self.name}#{self.counter}@{self.partitions}|prev={self.previous}"
 
 
+def _vertex_key_hash(self: VertexKey) -> int:
+    return self._hash  # type: ignore[attr-defined]
+
+
+# Installed after class creation so the dataclass machinery cannot replace it
+# with the default field-tuple hash.
+VertexKey.__hash__ = _vertex_key_hash  # type: ignore[method-assign]
+
+
 BEGIN_KEY = VertexKey(kind=VertexKind.BEGIN)
 COMMIT_KEY = VertexKey(kind=VertexKind.COMMIT)
 ABORT_KEY = VertexKey(kind=VertexKind.ABORT)
 
 
-@dataclass
+@dataclass(slots=True)
 class Vertex:
     """A vertex plus the bookkeeping attached to it during construction."""
 
@@ -110,7 +126,7 @@ class Vertex:
         return self.key.is_query
 
 
-@dataclass
+@dataclass(slots=True)
 class Edge:
     """A directed edge between two execution states."""
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from ..types import PartitionId, PartitionSet
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionPlan:
     """Pre-execution decisions for one transaction attempt."""
 

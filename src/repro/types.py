@@ -40,7 +40,6 @@ class QueryType(Enum):
         return self is QueryType.WRITE
 
 
-@dataclass(frozen=True)
 class PartitionSet:
     """An immutable, hashable, ordered set of partition identifiers.
 
@@ -48,16 +47,56 @@ class PartitionSet:
     the partitions the transaction accessed previously, so these sets must be
     hashable and cheap to compare.  The canonical representation is a sorted
     tuple.
+
+    These sets are hashed and unioned in the inner loop of Houdini's path
+    estimation, so the implementation trades a little generality for speed:
+    the hash is computed once at construction, the empty set and small
+    singleton sets are interned (making equality checks and dict probes
+    pointer comparisons in the common case), and :meth:`union` returns an
+    existing operand whenever the result would equal it.
     """
 
-    partitions: tuple[PartitionId, ...] = ()
+    __slots__ = ("partitions", "_hash", "_frozen")
 
+    partitions: tuple[PartitionId, ...]
+
+    def __init__(self, partitions: tuple[PartitionId, ...] = ()) -> None:
+        object.__setattr__(self, "partitions", tuple(partitions))
+        object.__setattr__(self, "_hash", hash(self.partitions))
+        object.__setattr__(self, "_frozen", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"PartitionSet is immutable (cannot set {name!r})")
+
+    def __reduce__(self):
+        # The default slots-based pickling would go through the blocked
+        # __setattr__; reconstruct through the constructor instead (also
+        # keeps pickled/deep-copied instances out of the intern tables,
+        # which is fine — equality is by value).
+        return (PartitionSet, (self.partitions,))
+
+    # ------------------------------------------------------------------
     @staticmethod
     def of(values: Sequence[PartitionId] | frozenset[PartitionId]) -> "PartitionSet":
-        return PartitionSet(tuple(sorted(set(values))))
+        if type(values) in (set, frozenset):
+            return _interned(tuple(sorted(values)))
+        return _interned(tuple(sorted(set(values))))
 
     def union(self, other: "PartitionSet") -> "PartitionSet":
-        return PartitionSet.of(set(self.partitions) | set(other.partitions))
+        mine, theirs = self.partitions, other.partitions
+        if not theirs or mine == theirs:
+            return self
+        if not mine:
+            return other
+        if len(theirs) == 1 and theirs[0] in mine:
+            return self
+        merged = set(mine)
+        merged.update(theirs)
+        if len(merged) == len(mine):
+            return self
+        if len(merged) == len(theirs):
+            return other
+        return _interned(tuple(sorted(merged)))
 
     def contains(self, partition_id: PartitionId) -> bool:
         return partition_id in self.partitions
@@ -66,7 +105,21 @@ class PartitionSet:
         return set(self.partitions) >= set(other.partitions)
 
     def as_frozenset(self) -> frozenset[PartitionId]:
-        return frozenset(self.partitions)
+        frozen = self._frozen
+        if frozen is None:
+            frozen = frozenset(self.partitions)
+            object.__setattr__(self, "_frozen", frozen)
+        return frozen
+
+    def __eq__(self, other: Any) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, PartitionSet):
+            return self.partitions == other.partitions
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __iter__(self):
         return iter(self.partitions)
@@ -77,12 +130,36 @@ class PartitionSet:
     def __bool__(self) -> bool:
         return bool(self.partitions)
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PartitionSet(partitions={self.partitions!r})"
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         inner = ", ".join(str(p) for p in self.partitions)
         return "{" + inner + "}"
 
 
 EMPTY_PARTITION_SET = PartitionSet()
+
+#: Interned singleton sets, keyed by partition id.  Partition counts are
+#: small (the paper's clusters run tens of partitions), so interning every
+#: id below this limit covers all of them without unbounded growth.
+_INTERN_SINGLETON_LIMIT = 1024
+_SINGLETON_SETS: dict[PartitionId, PartitionSet] = {}
+
+
+def _interned(partitions: tuple[PartitionId, ...]) -> PartitionSet:
+    """Return a canonical instance for empty / small singleton tuples."""
+    if not partitions:
+        return EMPTY_PARTITION_SET
+    if len(partitions) == 1:
+        pid = partitions[0]
+        if isinstance(pid, int) and 0 <= pid < _INTERN_SINGLETON_LIMIT:
+            cached = _SINGLETON_SETS.get(pid)
+            if cached is None:
+                cached = PartitionSet(partitions)
+                _SINGLETON_SETS[pid] = cached
+            return cached
+    return PartitionSet(partitions)
 
 
 @dataclass(frozen=True)

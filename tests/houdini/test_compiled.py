@@ -1,0 +1,240 @@
+"""Tests for the compiled estimation fast path (houdini/compiled.py).
+
+The compiled resolvers must be *observationally identical* to the
+interpreted estimator — same predictions, same estimates, same footprints —
+they only move the catalog/mapping resolution from per-candidate-state to
+per-procedure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import (
+    Catalog,
+    Operation,
+    PartitionScheme,
+    ProcedureParameter,
+    Schema,
+    Statement,
+    StoredProcedure,
+    Table,
+    integer,
+    param,
+)
+from repro.houdini import GlobalModelProvider, HoudiniConfig, PathEstimator
+from repro.houdini.compiled import CONST, DOMINANT, MAPPED, UNKNOWN, CompiledProcedure
+from repro.mapping import MappingEntry, ParameterMapping, ParameterMappingSet
+from repro.types import PartitionSet, ProcedureRequest
+
+# ----------------------------------------------------------------------
+# Synthetic catalog covering every resolver kind.
+# ----------------------------------------------------------------------
+
+
+class KitchenSinkProcedure(StoredProcedure):
+    name = "kitchen_sink"
+    parameters = (
+        ProcedureParameter("key"),
+        ProcedureParameter("ids", is_array=True),
+    )
+    statements = {
+        "ReadReplicated": Statement(
+            name="ReadReplicated", table="LOOKUP", operation=Operation.SELECT,
+            where={"L_ID": param(0)},
+        ),
+        "WriteReplicated": Statement(
+            name="WriteReplicated", table="LOOKUP", operation=Operation.UPDATE,
+            where={"L_ID": param(0)}, set_values={"L_VALUE": param(0)},
+        ),
+        "ReadLiteral": Statement(
+            name="ReadLiteral", table="DATA", operation=Operation.SELECT,
+            where={"D_ID": 7},
+        ),
+        "ReadMapped": Statement(
+            name="ReadMapped", table="DATA", operation=Operation.SELECT,
+            where={"D_ID": param(0)},
+        ),
+        "ReadUnmapped": Statement(
+            name="ReadUnmapped", table="DATA", operation=Operation.SELECT,
+            where={"D_ID": param(1)},
+        ),
+        "Broadcast": Statement(
+            name="Broadcast", table="DATA", operation=Operation.SELECT,
+            where={"D_VALUE": param(0)},
+        ),
+        "ReadUnpartitioned": Statement(
+            name="ReadUnpartitioned", table="FLAT", operation=Operation.SELECT,
+            where={"F_ID": param(0)},
+        ),
+    }
+
+    def run(self, ctx, key, ids):  # pragma: no cover - never executed
+        return None
+
+
+def make_catalog() -> Catalog:
+    schema = Schema([
+        Table(
+            name="LOOKUP",
+            columns=[integer("L_ID"), integer("L_VALUE")],
+            primary_key=["L_ID"],
+            replicated=True,
+        ),
+        Table(
+            name="DATA",
+            columns=[integer("D_ID"), integer("D_VALUE")],
+            primary_key=["D_ID"],
+            partition_column="D_ID",
+        ),
+        Table(
+            name="FLAT",
+            columns=[integer("F_ID")],
+            primary_key=["F_ID"],
+        ),
+    ])
+    return Catalog(schema, PartitionScheme(4, 2), [KitchenSinkProcedure()])
+
+
+def make_mapping() -> ParameterMapping:
+    return ParameterMapping(
+        procedure="kitchen_sink",
+        entries=[
+            MappingEntry(
+                statement="ReadMapped", query_param_index=0,
+                procedure_param_index=0, array_aligned=False, coefficient=1.0,
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def catalog():
+    return make_catalog()
+
+
+@pytest.fixture
+def compiled(catalog):
+    return CompiledProcedure(
+        catalog.procedure("kitchen_sink"), catalog, make_mapping()
+    )
+
+
+class TestResolverKinds:
+    def test_kinds_resolved_at_compile_time(self, compiled):
+        kinds = {name: cs.kind for name, cs in compiled.statements.items()}
+        assert kinds == {
+            "ReadReplicated": DOMINANT,
+            "WriteReplicated": CONST,
+            "ReadLiteral": CONST,
+            "ReadMapped": MAPPED,
+            "ReadUnmapped": UNKNOWN,
+            "Broadcast": CONST,
+            "ReadUnpartitioned": CONST,
+        }
+
+    def test_const_resolvers(self, compiled, catalog):
+        scheme = catalog.scheme
+        empty = PartitionSet.of([])
+        all_parts = scheme.all_partitions()
+        assert compiled.predict_partitions("WriteReplicated", 0, (1, ()), empty) == all_parts
+        assert compiled.predict_partitions("Broadcast", 0, (1, ()), empty) == all_parts
+        assert compiled.predict_partitions("ReadLiteral", 0, (1, ()), empty) == \
+            PartitionSet.of([scheme.partition_for_value(7)])
+        assert compiled.predict_partitions("ReadUnpartitioned", 0, (1, ()), empty) == \
+            PartitionSet.of([0])
+
+    def test_dominant_uses_first_touched_partition(self, compiled):
+        assert compiled.predict_partitions(
+            "ReadReplicated", 0, (1, ()), PartitionSet.of([2, 3])
+        ) == PartitionSet.of([2])
+        assert compiled.predict_partitions(
+            "ReadReplicated", 0, (1, ()), PartitionSet.of([])
+        ) is None
+
+    def test_mapped_and_unknown(self, compiled, catalog):
+        empty = PartitionSet.of([])
+        assert compiled.predict_partitions("ReadMapped", 0, (9, ()), empty) == \
+            PartitionSet.of([catalog.scheme.partition_for_value(9)])
+        assert compiled.predict_partitions("ReadMapped", 0, (None, ()), empty) is None
+        assert compiled.predict_partitions("ReadUnmapped", 0, (9, ()), empty) is None
+
+    def test_footprint_is_all_when_any_statement_is_unpredictable(self, compiled, catalog):
+        # WriteReplicated / Broadcast / ReadUnmapped force the full range.
+        assert compiled.footprint((5, ())) == frozenset(range(4))
+
+    def test_footprint_none_without_mapping(self, catalog):
+        compiled = CompiledProcedure(
+            catalog.procedure("kitchen_sink"), catalog, None
+        )
+        assert compiled.footprint((5, ())) is None
+
+
+class TestEquivalenceWithInterpreter:
+    """Compiled predictions must match the interpreted reference exactly."""
+
+    def _estimators(self, artifacts):
+        provider = GlobalModelProvider(artifacts.models)
+        compiled = PathEstimator(
+            artifacts.benchmark.catalog, provider, artifacts.mappings,
+            HoudiniConfig(compiled_estimation=True),
+        )
+        interpreted = PathEstimator(
+            artifacts.benchmark.catalog, provider, artifacts.mappings,
+            HoudiniConfig(compiled_estimation=False),
+        )
+        return compiled, interpreted
+
+    def _assert_identical(self, artifacts, count=150):
+        compiled, interpreted = self._estimators(artifacts)
+        requests = artifacts.benchmark.generator.generate(count)
+        for request in requests:
+            fast = compiled.estimate(request)
+            slow = interpreted.estimate(request)
+            assert fast.vertices == slow.vertices
+            assert fast.edge_probabilities == slow.edge_probabilities
+            assert fast.abort_probability == slow.abort_probability
+            assert fast.predicted_abort == slow.predicted_abort
+            assert fast.work_units == slow.work_units
+            assert fast.touched_partitions() == slow.touched_partitions()
+            assert fast.base_partition() == slow.base_partition()
+            for pid, prediction in fast.partitions.items():
+                other = slow.partitions[pid]
+                assert prediction.access_confidence == other.access_confidence
+                assert prediction.last_access_index == other.last_access_index
+                assert prediction.written == other.written
+            assert compiled.predicted_footprint(request) == \
+                interpreted.predicted_footprint(request)
+
+    def test_tpcc_estimates_identical(self, tpcc_artifacts):
+        self._assert_identical(tpcc_artifacts)
+
+    def test_tatp_estimates_identical(self, tatp_artifacts):
+        self._assert_identical(tatp_artifacts)
+
+    def test_predict_partitions_equivalence(self, tpcc_artifacts):
+        catalog = tpcc_artifacts.benchmark.catalog
+        provider = GlobalModelProvider(tpcc_artifacts.models)
+        estimator = PathEstimator(
+            catalog, provider, tpcc_artifacts.mappings, HoudiniConfig()
+        )
+        requests = tpcc_artifacts.benchmark.generator.generate(25)
+        for procedure_name, mapping in tpcc_artifacts.mappings.items():
+            procedure = catalog.procedure(procedure_name)
+            compiled = CompiledProcedure(procedure, catalog, mapping)
+            for request in requests:
+                if request.procedure != procedure_name:
+                    continue
+                for statement_name in procedure.statements:
+                    for counter in (0, 1, 2):
+                        for accumulated in (
+                            PartitionSet.of([]),
+                            PartitionSet.of([1]),
+                            PartitionSet.of([0, 2]),
+                        ):
+                            assert compiled.predict_partitions(
+                                statement_name, counter, request.parameters, accumulated
+                            ) == estimator._predict_partitions(
+                                procedure, mapping, statement_name, counter,
+                                request.parameters, accumulated,
+                            )

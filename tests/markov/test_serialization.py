@@ -146,3 +146,64 @@ class TestTrainedModelsRoundTrip:
             assert restored.edge_count() == model.edge_count()
             # The restored model supports estimation immediately.
             assert restored.processed
+
+
+@pytest.fixture(scope="module")
+def pristine_tpcc_artifacts():
+    """Freshly trained models, untouched by other tests' run-time learning.
+
+    The byte-identical guarantee below holds for a model processed in one
+    pass from its counters; the shared session artifacts may have been
+    incrementally recomputed by learning tests, which can differ from a full
+    reprocess in the last ulp.
+    """
+    from repro import pipeline
+
+    return pipeline.train("tpcc", 4, trace_transactions=600, seed=11)
+
+
+class TestDeserializedEstimates:
+    """A deserialized model must be *observationally byte-identical* for
+    Houdini: path estimates built from the round-tripped models must match
+    the originals exactly (vertices, probabilities, partition predictions,
+    expected remaining queries) — guards the regenerate-on-load design."""
+
+    def test_tpcc_round_trip_estimates_are_identical(self, pristine_tpcc_artifacts):
+        from repro.houdini import GlobalModelProvider, HoudiniConfig, PathEstimator
+
+        tpcc_artifacts = pristine_tpcc_artifacts
+        catalog = tpcc_artifacts.benchmark.catalog
+        restored_models = models_from_dict(models_to_dict(tpcc_artifacts.models))
+        original = PathEstimator(
+            catalog,
+            GlobalModelProvider(tpcc_artifacts.models),
+            tpcc_artifacts.mappings,
+            HoudiniConfig(),
+        )
+        restored = PathEstimator(
+            catalog,
+            GlobalModelProvider(restored_models),
+            tpcc_artifacts.mappings,
+            HoudiniConfig(),
+        )
+        for name, model in tpcc_artifacts.models.items():
+            twin = restored_models[name]
+            for vertex in model.vertices():
+                assert twin.vertex(vertex.key).expected_remaining_queries == \
+                    vertex.expected_remaining_queries
+        for request in tpcc_artifacts.benchmark.generator.generate(150):
+            mine = original.estimate(request)
+            theirs = restored.estimate(request)
+            assert mine.vertices == theirs.vertices
+            assert mine.edge_probabilities == theirs.edge_probabilities
+            assert mine.abort_probability == theirs.abort_probability
+            assert mine.predicted_abort == theirs.predicted_abort
+            assert mine.work_units == theirs.work_units
+            assert mine.touched_partitions() == theirs.touched_partitions()
+            assert mine.finish_points() == theirs.finish_points()
+            for pid, prediction in mine.partitions.items():
+                other = theirs.partitions[pid]
+                assert prediction.access_confidence == other.access_confidence
+                assert prediction.last_access_index == other.last_access_index
+                assert prediction.written == other.written
+                assert prediction.access_count == other.access_count

@@ -1,0 +1,182 @@
+"""Regression tests for the precomputed successor tables.
+
+Guards the cache-invalidation contract: any run-time mutation of a vertex's
+outgoing edges (``record_transition``, ``add_path``, ``merge_counts``) must
+drop that vertex's precomputed arrays immediately, and the next
+``recompute_probabilities()`` must refresh them — a stale ordering must
+never be served.
+"""
+
+from __future__ import annotations
+
+from repro.markov import MarkovModel, PathStep
+from repro.markov.vertex import VertexKey
+from repro.types import PartitionSet, QueryType
+
+
+def step(name: str, partition: int, previous: list[int], counter: int = 0) -> PathStep:
+    return PathStep(
+        statement=name,
+        query_type=QueryType.READ,
+        partitions=PartitionSet.of([partition]),
+        previous=PartitionSet.of(previous),
+        counter=counter,
+    )
+
+
+def key_of(name: str, partition: int, previous: list[int], counter: int = 0) -> VertexKey:
+    return VertexKey.query(
+        name, counter, PartitionSet.of([partition]), PartitionSet.of(previous)
+    )
+
+
+def build_branching_model() -> MarkovModel:
+    """Begin forks to A@0 (frequent) and A@1 (rare)."""
+    model = MarkovModel("proc", 4)
+    for _ in range(9):
+        model.add_path([step("A", 0, [])], aborted=False)
+    model.add_path([step("A", 1, [])], aborted=False)
+    model.process()
+    return model
+
+
+class TestSuccessorCache:
+    def test_successors_sorted_by_probability(self):
+        model = build_branching_model()
+        successors = model.successors(model.begin)
+        assert [k for k, _ in successors] == [key_of("A", 0, []), key_of("A", 1, [])]
+        assert [p for _, p in successors] == [0.9, 0.1]
+        # Served from the precomputed table: identical list object per call.
+        assert model.successors(model.begin) is successors
+
+    def test_refreshed_after_record_transition_and_recompute(self):
+        model = build_branching_model()
+        before = model.successors(model.begin)
+        # Run-time learning flips the distribution towards A@1.
+        model.record_transition(model.begin, key_of("A", 1, []), count=90)
+        # The stale precomputed ordering must not be served even before the
+        # recompute: the vertex falls back to an on-the-fly rebuild.
+        assert model.successors(model.begin) is not before
+        model.recompute_probabilities()
+        after = model.successors(model.begin)
+        assert [k for k, _ in after] == [key_of("A", 1, []), key_of("A", 0, [])]
+        assert after[0][1] == 0.91
+        # Untouched vertices keep serving their precomputed arrays.
+        assert model.successors(key_of("A", 0, [])) is model.successors(key_of("A", 0, []))
+
+    def test_refreshed_after_add_path_and_recompute(self):
+        model = build_branching_model()
+        for _ in range(90):
+            model.add_path([step("B", 2, [])], aborted=False)
+        model.recompute_probabilities()
+        successors = model.successors(model.begin)
+        assert successors[0][0] == key_of("B", 2, [])
+        assert successors[0][1] == 0.9
+
+    def test_new_edge_visible_before_recompute(self):
+        model = build_branching_model()
+        target = key_of("C", 3, [])
+        model.record_transition(model.begin, target)
+        targets = [k for k, _ in model.successors(model.begin)]
+        assert target in targets  # present immediately, probability still 0.0
+        assert model.edge_probability(model.begin, target) == 0.0
+
+    def test_records_hint_and_probe_follow_the_same_contract(self):
+        model = build_branching_model()
+        records = model.successor_records(model.begin)
+        assert [(r[0], r[1]) for r in records] == model.successors(model.begin)
+        for key, probability, is_terminal, name, counter, previous, partitions in records:
+            assert (key.is_terminal, key.name, key.counter, key.previous, key.partitions) == \
+                (is_terminal, name, counter, previous, partitions)
+        single_name, has_terminal = model.successor_hint(model.begin)
+        assert single_name == "A" and not has_terminal
+        hit = model.probe_successor(
+            model.begin, "A", 0, PartitionSet.of([]), PartitionSet.of([0])
+        )
+        assert hit is not None and hit[0] == key_of("A", 0, []) and hit[1] == 0.9
+        assert model.probe_successor(
+            model.begin, "A", 1, PartitionSet.of([]), PartitionSet.of([0])
+        ) is None
+        # After a mutation + recompute the probe sees the new distribution.
+        model.record_transition(model.begin, key_of("A", 1, []), count=90)
+        model.recompute_probabilities()
+        hit = model.probe_successor(
+            model.begin, "A", 0, PartitionSet.of([]), PartitionSet.of([1])
+        )
+        assert hit is not None and hit[1] == 0.91
+
+
+class TestIncrementalRecompute:
+    def test_incremental_recompute_matches_full_rebuild(self):
+        """Dirty-set recompute must equal processing a fresh model."""
+        incremental = build_branching_model()
+        incremental.record_transition(incremental.begin, key_of("A", 1, []), count=5)
+        incremental.record_transition(
+            key_of("A", 1, []), incremental.commit, count=5
+        )
+        incremental.recompute_probabilities()
+
+        fresh = MarkovModel("proc", 4)
+        for _ in range(9):
+            fresh.add_path([step("A", 0, [])], aborted=False)
+        fresh.add_path([step("A", 1, [])], aborted=False)
+        fresh.record_transition(fresh.begin, key_of("A", 1, []), count=5)
+        fresh.record_transition(key_of("A", 1, []), fresh.commit, count=5)
+        fresh.process()
+
+        for vertex in fresh.vertices():
+            mine = incremental.vertex(vertex.key)
+            assert mine.expected_remaining_queries == vertex.expected_remaining_queries
+            if vertex.table is None:
+                assert mine.table is None
+            else:
+                assert mine.table is not None
+                assert mine.table.approx_equal(vertex.table, tolerance=0.0)
+            assert incremental.successors(vertex.key) == fresh.successors(vertex.key)
+
+    def test_noop_recompute_keeps_everything(self):
+        model = build_branching_model()
+        successors = model.successors(model.begin)
+        table = model.probability_table(model.begin)
+        model.recompute_probabilities()
+        assert model.successors(model.begin) is successors
+        assert model.probability_table(model.begin) is table
+
+
+class TestReadThroughCaching:
+    def test_fallback_rebuilds_are_recached(self):
+        """Run-time learning pops cache entries per transition; the next
+        read must re-cache so hot vertices don't stay uncached forever."""
+        model = build_branching_model()
+        model.record_transition(model.begin, key_of("A", 1, []))
+        first = model.successors(model.begin)
+        assert model.successors(model.begin) is first
+        records = model.successor_records(model.begin)
+        assert model.successor_records(model.begin) is records
+        hint = model.successor_hint(model.begin)
+        assert model.successor_hint(model.begin) is hint
+        # A further mutation invalidates the re-cached entries again.
+        model.record_transition(model.begin, key_of("A", 1, []))
+        assert model.successors(model.begin) is not first
+
+    def test_unknown_vertex_is_not_cached(self):
+        model = build_branching_model()
+        ghost = key_of("Ghost", 0, [])
+        assert model.successors(ghost) == []
+        assert ghost not in model._sorted_successors
+
+
+class TestPickling:
+    def test_partition_sets_and_models_pickle(self):
+        import copy
+        import pickle
+
+        from repro.types import PartitionSet
+
+        partitions = PartitionSet.of([2, 1])
+        clone = pickle.loads(pickle.dumps(partitions))
+        assert clone == partitions and hash(clone) == hash(partitions)
+        assert copy.deepcopy(partitions) == partitions
+        model = build_branching_model()
+        restored = pickle.loads(pickle.dumps(model))
+        assert restored.successors(restored.begin) == model.successors(model.begin)
