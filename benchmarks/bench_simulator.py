@@ -1,0 +1,110 @@
+"""Simulator-throughput tracking (BENCH_simulator.json).
+
+Measures end-to-end simulated transactions per wall second through the
+event-driven runtime — closed-loop clients, scheduler routing, functional
+execution through the coordinator, cost-model replay, metric finalization —
+under the default FCFS configuration, and tracks the result against the
+committed pre-change baseline in ``benchmarks/baselines/``.
+
+Protocol (must match the committed baseline's):
+
+* TATP and TPC-C at 16 partitions (the paper's fixed-size cluster), four
+  clients per partition;
+* Houdini strategy with global models (``learning=False`` so repeated
+  rounds are comparable), default :class:`HoudiniConfig` / ``CostModel``;
+* 2000 transactions per run, best of three rounds with fresh artifacts,
+  CPU time (GC paused).
+
+The absolute speedup against the committed baseline is only asserted on
+hosts comparable to the one that measured the baseline (opt in via
+``REPRO_BENCH_STRICT=1``) — wall-clock throughput is not commensurable
+across machines, so on arbitrary CI hardware the ratio is reported only.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro import pipeline
+from repro.sim import ClusterSimulator, SimulatorConfig
+from repro.strategies import HoudiniStrategy
+
+PARTITIONS = 16
+TRANSACTIONS = 2000
+ROUNDS = 3
+
+
+def _measure(benchmark_name: str, scale) -> dict:
+    """Best-of-``ROUNDS`` wall throughput of one simulator configuration."""
+    best = 0.0
+    simulated = 0.0
+    for _ in range(ROUNDS):
+        artifacts = pipeline.train(
+            benchmark_name, PARTITIONS,
+            trace_transactions=min(scale.trace_transactions, 1500), seed=0,
+        )
+        strategy = HoudiniStrategy(pipeline.make_houdini(artifacts, learning=False))
+        simulator = ClusterSimulator(
+            artifacts.benchmark.catalog,
+            artifacts.benchmark.database,
+            artifacts.benchmark.generator,
+            strategy,
+            config=SimulatorConfig(total_transactions=TRANSACTIONS),
+            benchmark_name=benchmark_name,
+        )
+        gc.collect()
+        gc.disable()
+        started = time.process_time()
+        result = simulator.run()
+        elapsed = time.process_time() - started
+        gc.enable()
+        assert result.total_transactions == TRANSACTIONS
+        throughput = TRANSACTIONS / elapsed
+        if throughput > best:
+            best = throughput
+            simulated = result.throughput_txn_per_sec
+    return {
+        "wall_txns_per_sec": round(best, 1),
+        "simulated_throughput_txn_s": round(simulated, 1),
+    }
+
+
+def test_simulator_throughput_tracking(scale, save_result):
+    """Emit BENCH_simulator.json: the perf trajectory of the event runtime."""
+    baseline_path = (
+        Path(__file__).resolve().parent / "baselines" / "simulator_pre_event_loop.json"
+    )
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    report = {
+        "protocol": baseline["protocol"],
+        "baseline": {
+            "description": baseline["description"],
+            "tatp": baseline["tatp"],
+            "tpcc": baseline["tpcc"],
+        },
+    }
+    for name in ("tatp", "tpcc"):
+        current = _measure(name, scale)
+        speedup = current["wall_txns_per_sec"] / baseline[name]["wall_txns_per_sec"]
+        report[name] = {
+            **current,
+            "speedup_vs_pre_change_baseline": round(speedup, 2),
+        }
+        if os.environ.get("REPRO_BENCH_STRICT") == "1":
+            assert speedup >= 1.5
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    save_result(
+        "simulator_throughput",
+        f"Simulator throughput (wall txns/s, {PARTITIONS} partitions, houdini strategy)\n"
+        + "\n".join(
+            f"  {name}: {report[name]['wall_txns_per_sec']:.0f} txns/s "
+            f"({report[name]['speedup_vs_pre_change_baseline']:.2f}x pre-change baseline, "
+            f"simulated {report[name]['simulated_throughput_txn_s']:.0f} txn/s)"
+            for name in ("tatp", "tpcc")
+        ),
+    )

@@ -1,20 +1,23 @@
-"""OLTP benchmarks used by the paper's evaluation: TATP, TPC-C, AuctionMark.
+"""OLTP benchmarks: the paper's TATP, TPC-C and AuctionMark, plus SmallBank.
 
 Each benchmark exposes a :class:`~repro.benchmarks.base.BenchmarkBundle`;
 :func:`get_benchmark` looks one up by name and
-:func:`available_benchmarks` lists them all.
+:func:`available_benchmarks` lists them all.  SmallBank is not part of the
+paper's evaluation; it is included for its 40% two-customer mix, which
+stresses multi-partition scheduling much harder than the paper's workloads.
 """
 
 from __future__ import annotations
 
 from ..errors import WorkloadError
 from .base import BenchmarkBundle, BenchmarkInstance
-from . import auctionmark, tatp, tpcc
+from . import auctionmark, smallbank, tatp, tpcc
 
 _REGISTRY: dict[str, BenchmarkBundle] = {
     tatp.BUNDLE.name: tatp.BUNDLE,
     tpcc.BUNDLE.name: tpcc.BUNDLE,
     auctionmark.BUNDLE.name: auctionmark.BUNDLE,
+    smallbank.BUNDLE.name: smallbank.BUNDLE,
 }
 
 
@@ -24,7 +27,8 @@ def available_benchmarks() -> tuple[str, ...]:
 
 
 def get_benchmark(name: str) -> BenchmarkBundle:
-    """Look up a benchmark bundle by name (``tatp``, ``tpcc``, ``auctionmark``)."""
+    """Look up a benchmark bundle by name (``tatp``, ``tpcc``, ``auctionmark``,
+    ``smallbank``)."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -41,4 +45,5 @@ __all__ = [
     "tatp",
     "tpcc",
     "auctionmark",
+    "smallbank",
 ]

@@ -1,0 +1,105 @@
+"""SmallBank request generator.
+
+The default mix follows the classic SmallBank specification: 60% of
+requests are single-customer transactions, 40% name two customers
+(Amalgamate + SendPayment).  Two-customer picks draw each customer
+independently, so at ``P`` partitions roughly ``(P-1)/P`` of them are
+distributed — a much higher multi-partition rate than TATP or TPC-C, which
+is exactly the stress the scheduling layer needs.  An optional hotspot
+skews account picks toward a small set of hot customers.
+"""
+
+from __future__ import annotations
+
+from ...catalog.schema import Catalog
+from ...types import PartitionId, ProcedureRequest
+from ...workload.generator import WorkloadGenerator
+from ...workload.rng import WorkloadRandom
+from .schema import SmallBankConfig
+
+
+class SmallBankGenerator(WorkloadGenerator):
+    """Generates SmallBank procedure requests."""
+
+    benchmark = "smallbank"
+
+    DEFAULT_MIX = (
+        ("Amalgamate", 0.15),
+        ("Balance", 0.15),
+        ("DepositChecking", 0.15),
+        ("SendPayment", 0.25),
+        ("TransactSavings", 0.15),
+        ("WriteCheck", 0.15),
+    )
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: SmallBankConfig,
+        rng: WorkloadRandom | None = None,
+        mix=None,
+    ) -> None:
+        super().__init__(catalog, rng)
+        self.config = config
+        self._mix = tuple(mix) if mix is not None else self.DEFAULT_MIX
+
+    # ------------------------------------------------------------------
+    @property
+    def mix(self):
+        return self._mix
+
+    def next_request(self) -> ProcedureRequest:
+        procedure = self.rng.weighted_choice(self._mix)
+        builder = getattr(self, f"_make_{procedure}")
+        return builder()
+
+    def home_partition(self, request: ProcedureRequest) -> PartitionId:
+        """Home partition of the first customer the request names."""
+        return self.catalog.scheme.partition_for_value(request.parameters[0])
+
+    # ------------------------------------------------------------------
+    def _random_account(self) -> int:
+        config = self.config
+        if config.hotspot_accounts > 0 and self.rng.probability(
+            config.hotspot_probability
+        ):
+            return self.rng.integer(0, min(config.hotspot_accounts, config.num_accounts) - 1)
+        return self.rng.integer(0, config.num_accounts - 1)
+
+    def _account_pair(self) -> tuple[int, int]:
+        first = self._random_account()
+        second = self._random_account()
+        while second == first:
+            second = self.rng.integer(0, self.config.num_accounts - 1)
+        return first, second
+
+    def _amount(self, low: int = 1, high: int = 100) -> float:
+        return float(self.rng.integer(low, high))
+
+    def _make_Balance(self) -> ProcedureRequest:
+        return ProcedureRequest.of("Balance", (self._random_account(),))
+
+    def _make_DepositChecking(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "DepositChecking", (self._random_account(), self._amount())
+        )
+
+    def _make_TransactSavings(self) -> ProcedureRequest:
+        # Mostly deposits, some withdrawals (which can abort on overdraft).
+        amount = self._amount()
+        if self.rng.probability(0.4):
+            amount = -amount
+        return ProcedureRequest.of("TransactSavings", (self._random_account(), amount))
+
+    def _make_WriteCheck(self) -> ProcedureRequest:
+        return ProcedureRequest.of(
+            "WriteCheck", (self._random_account(), self._amount(1, 150))
+        )
+
+    def _make_Amalgamate(self) -> ProcedureRequest:
+        first, second = self._account_pair()
+        return ProcedureRequest.of("Amalgamate", (first, second))
+
+    def _make_SendPayment(self) -> ProcedureRequest:
+        first, second = self._account_pair()
+        return ProcedureRequest.of("SendPayment", (first, second, self._amount()))

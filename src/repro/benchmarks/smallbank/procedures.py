@@ -1,0 +1,224 @@
+"""SmallBank stored procedures.
+
+The six classic SmallBank transactions.  Four are single-customer (always
+single-partitioned under customer-id partitioning); Amalgamate and
+SendPayment name *two* customers and become distributed whenever the two ids
+hash to different partitions — the partitions are fully predictable from the
+input parameters, so Houdini should identify both the base partition and the
+two-partition lock set up front.
+
+TransactSavings, WriteCheck and SendPayment can abort on insufficient funds
+(legitimate user aborts that exercise undo logging and the OP3 guard).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...catalog.procedure import ExecutionContext, ProcedureParameter, StoredProcedure
+from ...catalog.statement import Operation, Statement, delta, param
+from ...errors import UserAbort
+
+
+class Balance(StoredProcedure):
+    """Total balance of one customer (read-only, single-partitioned)."""
+
+    name = "Balance"
+    read_only = True
+    parameters = (ProcedureParameter("custid"),)
+    statements = {
+        "GetSavingsBalance": Statement(
+            name="GetSavingsBalance", table="SAVINGS", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+        "GetCheckingBalance": Statement(
+            name="GetCheckingBalance", table="CHECKING", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+    }
+
+    def run(self, ctx: ExecutionContext, custid) -> Any:
+        savings = ctx.execute("GetSavingsBalance", [custid])
+        checking = ctx.execute("GetCheckingBalance", [custid])
+        if not savings or not checking:
+            raise UserAbort("unknown customer")
+        return savings[0]["BAL"] + checking[0]["BAL"]
+
+
+class DepositChecking(StoredProcedure):
+    """Deposit into a checking account (single-partitioned write)."""
+
+    name = "DepositChecking"
+    parameters = (ProcedureParameter("custid"), ProcedureParameter("amount"))
+    statements = {
+        "GetAccount": Statement(
+            name="GetAccount", table="ACCOUNTS", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("NAME",),
+        ),
+        "UpdateCheckingBalance": Statement(
+            name="UpdateCheckingBalance", table="CHECKING", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": delta(1)},
+        ),
+    }
+
+    def run(self, ctx: ExecutionContext, custid, amount) -> Any:
+        if amount < 0:
+            raise UserAbort("negative deposit")
+        account = ctx.execute("GetAccount", [custid])
+        if not account:
+            raise UserAbort("unknown customer")
+        ctx.execute("UpdateCheckingBalance", [custid, amount])
+        return True
+
+
+class TransactSavings(StoredProcedure):
+    """Credit/debit a savings account; aborts on overdraft."""
+
+    name = "TransactSavings"
+    parameters = (ProcedureParameter("custid"), ProcedureParameter("amount"))
+    statements = {
+        "GetSavingsBalance": Statement(
+            name="GetSavingsBalance", table="SAVINGS", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+        "UpdateSavingsBalance": Statement(
+            name="UpdateSavingsBalance", table="SAVINGS", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": delta(1)},
+        ),
+    }
+
+    def run(self, ctx: ExecutionContext, custid, amount) -> Any:
+        rows = ctx.execute("GetSavingsBalance", [custid])
+        if not rows:
+            raise UserAbort("unknown customer")
+        balance = rows[0]["BAL"] + amount
+        if balance < 0:
+            raise UserAbort("insufficient savings funds")
+        ctx.execute("UpdateSavingsBalance", [custid, amount])
+        return balance
+
+
+class WriteCheck(StoredProcedure):
+    """Cash a check against the combined balance; overdrafts pay a penalty."""
+
+    name = "WriteCheck"
+    parameters = (ProcedureParameter("custid"), ProcedureParameter("amount"))
+    statements = {
+        "GetSavingsBalance": Statement(
+            name="GetSavingsBalance", table="SAVINGS", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+        "GetCheckingBalance": Statement(
+            name="GetCheckingBalance", table="CHECKING", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+        "UpdateCheckingBalance": Statement(
+            name="UpdateCheckingBalance", table="CHECKING", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": delta(1)},
+        ),
+    }
+
+    def run(self, ctx: ExecutionContext, custid, amount) -> Any:
+        savings = ctx.execute("GetSavingsBalance", [custid])
+        checking = ctx.execute("GetCheckingBalance", [custid])
+        if not savings or not checking:
+            raise UserAbort("unknown customer")
+        total = savings[0]["BAL"] + checking[0]["BAL"]
+        debit = amount + 1.0 if total < amount else amount
+        ctx.execute("UpdateCheckingBalance", [custid, -debit])
+        return total - debit
+
+
+class Amalgamate(StoredProcedure):
+    """Move all of customer 0's funds into customer 1's checking account.
+
+    Touches both customers' partitions — distributed whenever the two ids
+    hash to different partitions.
+    """
+
+    name = "Amalgamate"
+    parameters = (ProcedureParameter("custid0"), ProcedureParameter("custid1"))
+    statements = {
+        "GetSavingsBalance": Statement(
+            name="GetSavingsBalance", table="SAVINGS", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+        "GetCheckingBalance": Statement(
+            name="GetCheckingBalance", table="CHECKING", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+        "ZeroSavingsBalance": Statement(
+            name="ZeroSavingsBalance", table="SAVINGS", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": 0.0},
+        ),
+        "ZeroCheckingBalance": Statement(
+            name="ZeroCheckingBalance", table="CHECKING", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": 0.0},
+        ),
+        "CreditCheckingBalance": Statement(
+            name="CreditCheckingBalance", table="CHECKING", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": delta(1)},
+        ),
+    }
+
+    def run(self, ctx: ExecutionContext, custid0, custid1) -> Any:
+        savings = ctx.execute("GetSavingsBalance", [custid0])
+        checking = ctx.execute("GetCheckingBalance", [custid0])
+        if not savings or not checking:
+            raise UserAbort("unknown customer")
+        total = savings[0]["BAL"] + checking[0]["BAL"]
+        ctx.execute("ZeroSavingsBalance", [custid0])
+        ctx.execute("ZeroCheckingBalance", [custid0])
+        ctx.execute("CreditCheckingBalance", [custid1, total])
+        return total
+
+
+class SendPayment(StoredProcedure):
+    """Checking-to-checking transfer between two customers.
+
+    Aborts when the sender's checking balance is insufficient; distributed
+    whenever sender and receiver live on different partitions.
+    """
+
+    name = "SendPayment"
+    parameters = (
+        ProcedureParameter("custid0"),
+        ProcedureParameter("custid1"),
+        ProcedureParameter("amount"),
+    )
+    statements = {
+        "GetCheckingBalance": Statement(
+            name="GetCheckingBalance", table="CHECKING", operation=Operation.SELECT,
+            where={"CUSTID": param(0)}, output_columns=("BAL",),
+        ),
+        "DebitCheckingBalance": Statement(
+            name="DebitCheckingBalance", table="CHECKING", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": delta(1)},
+        ),
+        "CreditCheckingBalance": Statement(
+            name="CreditCheckingBalance", table="CHECKING", operation=Operation.UPDATE,
+            where={"CUSTID": param(0)}, set_values={"BAL": delta(1)},
+        ),
+    }
+
+    def run(self, ctx: ExecutionContext, custid0, custid1, amount) -> Any:
+        rows = ctx.execute("GetCheckingBalance", [custid0])
+        if not rows:
+            raise UserAbort("unknown customer")
+        if rows[0]["BAL"] < amount:
+            raise UserAbort("insufficient checking funds")
+        ctx.execute("DebitCheckingBalance", [custid0, -amount])
+        ctx.execute("CreditCheckingBalance", [custid1, amount])
+        return True
+
+
+def make_procedures() -> list[StoredProcedure]:
+    """All six SmallBank stored procedures."""
+    return [
+        Amalgamate(),
+        Balance(),
+        DepositChecking(),
+        SendPayment(),
+        TransactSavings(),
+        WriteCheck(),
+    ]

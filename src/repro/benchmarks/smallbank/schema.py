@@ -1,0 +1,68 @@
+"""SmallBank schema.
+
+SmallBank models a retail bank: one ACCOUNTS row per customer plus a
+SAVINGS and a CHECKING balance row, all partitioned on the customer id.
+Single-customer procedures are always single-partitioned; the two-customer
+procedures (Amalgamate, SendPayment) touch two partitions whenever the
+customers hash to different partitions, which makes the workload a direct
+stress test for multi-partition scheduling and the OP1/OP2 predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...catalog.column import floating, integer, string
+from ...catalog.schema import Schema
+from ...catalog.table import Table
+
+
+@dataclass
+class SmallBankConfig:
+    """Scaling knobs for the SmallBank reproduction."""
+
+    num_partitions: int = 4
+    accounts_per_partition: int = 100
+    #: Fraction of account picks drawn from the hotspot (skew knob).
+    hotspot_probability: float = 0.25
+    #: Number of accounts forming the hotspot.
+    hotspot_accounts: int = 10
+    #: Initial balance range.
+    initial_balance_min: float = 100.0
+    initial_balance_max: float = 5000.0
+
+    @property
+    def num_accounts(self) -> int:
+        return self.num_partitions * self.accounts_per_partition
+
+
+def make_schema() -> Schema:
+    schema = Schema()
+    schema.add_table(Table(
+        name="ACCOUNTS",
+        columns=[
+            integer("CUSTID"),
+            string("NAME"),
+        ],
+        primary_key=["CUSTID"],
+        partition_column="CUSTID",
+    ))
+    schema.add_table(Table(
+        name="SAVINGS",
+        columns=[
+            integer("CUSTID"),
+            floating("BAL"),
+        ],
+        primary_key=["CUSTID"],
+        partition_column="CUSTID",
+    ))
+    schema.add_table(Table(
+        name="CHECKING",
+        columns=[
+            integer("CUSTID"),
+            floating("BAL"),
+        ],
+        primary_key=["CUSTID"],
+        partition_column="CUSTID",
+    ))
+    return schema

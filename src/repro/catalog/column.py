@@ -27,15 +27,22 @@ class ColumnType(Enum):
 
     def python_types(self) -> tuple[type, ...]:
         """Return the Python types accepted for values of this column type."""
-        if self in (ColumnType.INTEGER, ColumnType.BIGINT, ColumnType.TIMESTAMP):
-            return (int,)
-        if self is ColumnType.FLOAT:
-            return (int, float)
-        if self is ColumnType.STRING:
-            return (str,)
-        if self is ColumnType.BOOLEAN:
-            return (bool,)
-        raise CatalogError(f"unhandled column type {self!r}")  # pragma: no cover
+        try:
+            return _PYTHON_TYPES[self]
+        except KeyError:  # pragma: no cover - all members covered below
+            raise CatalogError(f"unhandled column type {self!r}") from None
+
+
+#: Accepted Python types per column type (row validation runs for every
+#: insert the benchmarks execute, so this lookup must not branch per call).
+_PYTHON_TYPES: dict[ColumnType, tuple[type, ...]] = {
+    ColumnType.INTEGER: (int,),
+    ColumnType.BIGINT: (int,),
+    ColumnType.TIMESTAMP: (int,),
+    ColumnType.FLOAT: (int, float),
+    ColumnType.STRING: (str,),
+    ColumnType.BOOLEAN: (bool,),
+}
 
 
 @dataclass(frozen=True)
@@ -64,6 +71,11 @@ class Column:
             raise CatalogError("column name must be non-empty")
         if not isinstance(self.col_type, ColumnType):
             raise CatalogError(f"col_type must be a ColumnType, got {self.col_type!r}")
+        # Exact-class fast path used inline by Table.new_row /
+        # Table.validate_update: a value whose concrete class is listed here
+        # is valid with a single identity check; anything else (None,
+        # bool-for-int, genuine errors) goes through validate_value.
+        object.__setattr__(self, "_exact_types", self.col_type.python_types())
 
     def validate_value(self, value: Any) -> None:
         """Raise :class:`CatalogError` if ``value`` is not valid for this column."""

@@ -103,8 +103,22 @@ class PartitionEstimator:
     (Houdini's initial path estimation via parameter mappings).
     """
 
+    #: Resolver kinds cached per statement (see :meth:`_resolver_for`).
+    _REPLICATED_READ = 0
+    _FIXED = 1
+    _PARAM = 2
+
     def __init__(self, scheme: PartitionScheme) -> None:
         self.scheme = scheme
+        self._all = scheme.all_partitions()
+        self._singletons = tuple(
+            PartitionSet.of([pid]) for pid in range(scheme.num_partitions)
+        )
+        #: Per-statement resolution of the catalog-determined part of
+        #: :meth:`partitions_for` (replication, partition column, literal vs
+        #: parameter binding).  Keyed by statement identity; the statement is
+        #: pinned in the value so the id cannot be recycled.
+        self._resolvers: dict[int, tuple[Statement, int, Any]] = {}
 
     # ------------------------------------------------------------------
     def partitions_for(
@@ -122,34 +136,52 @@ class PartitionEstimator:
         accessed at the home partition of the bound partitioning-column
         value; if the statement has no binding on the partitioning column the
         access is a broadcast to every partition.
+
+        The catalog-determined part of this decision is resolved once per
+        statement and cached; the per-call work for the common case is one
+        parameter fetch plus a hash.
         """
+        resolver = self._resolvers.get(id(statement))
+        if resolver is None:
+            resolver = self._resolver_for(table, statement)
+            self._resolvers[id(statement)] = resolver
+        _, kind, payload = resolver
+        if kind == self._FIXED:
+            return payload
+        if kind == self._PARAM:
+            if payload >= len(parameters):
+                raise CatalogError(
+                    f"statement {statement.name!r} expects at least {payload + 1} parameters"
+                )
+            value = parameters[payload]
+            if value is None:
+                return self._all
+            return self._singletons[stable_hash(value) % self.scheme.num_partitions]
+        # _REPLICATED_READ: local to wherever the control code runs.
+        if base_partition is not None:
+            return self._singletons[base_partition]
+        return self._all
+
+    def _resolver_for(self, table: Table, statement: Statement) -> tuple[Statement, int, Any]:
         if table.replicated:
             if statement.operation is Operation.SELECT:
-                if base_partition is not None:
-                    return PartitionSet.of([base_partition])
-                return self.scheme.all_partitions()
-            return self.scheme.all_partitions()
-
+                return (statement, self._REPLICATED_READ, None)
+            return (statement, self._FIXED, self._all)
         partition_column = table.partition_column
         if partition_column is None:
             # Unpartitioned, unreplicated tables live on partition zero.
-            return PartitionSet.of([0])
-
+            return (statement, self._FIXED, self._singletons[0])
         literal = statement.partitioning_literal(partition_column)
         if literal is not None:
-            return PartitionSet.of([self.scheme.partition_for_value(literal)])
-
+            return (
+                statement,
+                self._FIXED,
+                self._singletons[self.scheme.partition_for_value(literal)],
+            )
         index = statement.partitioning_parameter_index(partition_column)
         if index is None:
-            return self.scheme.all_partitions()
-        if index >= len(parameters):
-            raise CatalogError(
-                f"statement {statement.name!r} expects at least {index + 1} parameters"
-            )
-        value = parameters[index]
-        if value is None:
-            return self.scheme.all_partitions()
-        return PartitionSet.of([self.scheme.partition_for_value(value)])
+            return (statement, self._FIXED, self._all)
+        return (statement, self._PARAM, index)
 
     # ------------------------------------------------------------------
     def partition_for_row(self, table: Table, row: dict[str, Any]) -> PartitionId:

@@ -68,6 +68,12 @@ def delta(index: int) -> ColumnDelta:
     return ColumnDelta(index)
 
 
+#: Binding-plan kinds produced by :meth:`Statement._compile`.
+_BIND_LITERAL = 0
+_BIND_PARAM = 1
+_BIND_DELTA = 2
+
+
 @dataclass(frozen=True)
 class Statement:
     """A single parameterized query belonging to a stored procedure.
@@ -124,6 +130,41 @@ class Statement:
             raise CatalogError(f"statement {self.name!r}: insert_values only valid for INSERT")
         if self.operation is not Operation.UPDATE and self.set_values:
             raise CatalogError(f"statement {self.name!r}: set_values only valid for UPDATE")
+        # Statements are bound for every query the engine executes, so the
+        # ParameterRef/ColumnDelta classification is resolved once here into
+        # flat (column, kind, payload) plans instead of per bind call.
+        object.__setattr__(
+            self,
+            "_query_type",
+            QueryType.WRITE if self.operation.is_write else QueryType.READ,
+        )
+        object.__setattr__(self, "_where_plan", self._compile(self.where))
+        object.__setattr__(self, "_insert_plan", self._compile(self.insert_values))
+        object.__setattr__(
+            self, "_set_plan", self._compile(self.set_values, allow_delta=True)
+        )
+
+    @staticmethod
+    def _compile(
+        bindings: Mapping[str, Any], *, allow_delta: bool = False
+    ) -> tuple[tuple[tuple[str, int, Any], ...], int]:
+        """Flatten a binding map into ((column, kind, payload), ...), max_param.
+
+        ``ColumnDelta`` values are only meaningful in SET assignments; in any
+        other position they bind as literals, as the uncompiled resolver did.
+        """
+        plan = []
+        max_param = -1
+        for column, value in bindings.items():
+            if isinstance(value, ParameterRef):
+                plan.append((column, _BIND_PARAM, value.index))
+                max_param = max(max_param, value.index)
+            elif allow_delta and isinstance(value, ColumnDelta):
+                plan.append((column, _BIND_DELTA, value.index))
+                max_param = max(max_param, value.index)
+            else:
+                plan.append((column, _BIND_LITERAL, value))
+        return tuple(plan), max_param
 
     # ------------------------------------------------------------------
     # Classification helpers
@@ -131,7 +172,7 @@ class Statement:
     @property
     def query_type(self) -> QueryType:
         """READ/WRITE classification used by the Markov probability tables."""
-        return QueryType.WRITE if self.operation.is_write else QueryType.READ
+        return self._query_type
 
     @property
     def is_write(self) -> bool:
@@ -155,16 +196,28 @@ class Statement:
     # ------------------------------------------------------------------
     def bind_where(self, parameters: Sequence[Any]) -> dict[str, Any]:
         """Resolve the WHERE predicates against concrete parameter values."""
+        plan, max_param = self._where_plan
+        if max_param >= len(parameters):
+            raise CatalogError(
+                f"statement expected parameter index {max_param} but only "
+                f"{len(parameters)} parameters were supplied"
+            )
         return {
-            column: self._resolve(value, parameters)
-            for column, value in self.where.items()
+            column: parameters[payload] if kind else payload
+            for column, kind, payload in plan
         }
 
     def bind_insert(self, parameters: Sequence[Any]) -> dict[str, Any]:
         """Resolve INSERT values against concrete parameter values."""
+        plan, max_param = self._insert_plan
+        if max_param >= len(parameters):
+            raise CatalogError(
+                f"statement expected parameter index {max_param} but only "
+                f"{len(parameters)} parameters were supplied"
+            )
         return {
-            column: self._resolve(value, parameters)
-            for column, value in self.insert_values.items()
+            column: parameters[payload] if kind else payload
+            for column, kind, payload in plan
         }
 
     def bind_set(self, parameters: Sequence[Any]) -> dict[str, Any]:
@@ -173,12 +226,20 @@ class Statement:
         :class:`ColumnDelta` assignments remain wrapped so that the executor
         can apply them additively to the current row value.
         """
+        plan, max_param = self._set_plan
+        if max_param >= len(parameters):
+            raise CatalogError(
+                f"statement expected parameter index {max_param} but only "
+                f"{len(parameters)} parameters were supplied"
+            )
         resolved: dict[str, Any] = {}
-        for column, value in self.set_values.items():
-            if isinstance(value, ColumnDelta):
-                resolved[column] = BoundDelta(self._parameter_at(parameters, value.index))
+        for column, kind, payload in plan:
+            if kind == _BIND_PARAM:
+                resolved[column] = parameters[payload]
+            elif kind == _BIND_DELTA:
+                resolved[column] = BoundDelta(parameters[payload])
             else:
-                resolved[column] = self._resolve(value, parameters)
+                resolved[column] = payload
         return resolved
 
     def partitioning_parameter_index(self, partition_column: str) -> int | None:

@@ -125,7 +125,9 @@ class Table:
                 raise CatalogError(
                     f"insert into {self.name!r} missing required column {column.name!r}"
                 )
-            column.validate_value(value)
+            if type(value) not in column._exact_types:
+                # Slow path covers None/nullability, bool-vs-int and errors.
+                column.validate_value(value)
             row[column.name] = value
         return row
 
@@ -137,7 +139,8 @@ class Table:
         """Validate an UPDATE's column assignments against this table."""
         for name, value in assignments.items():
             column = self.column(name)
-            column.validate_value(value)
+            if type(value) not in column._exact_types:
+                column.validate_value(value)
 
     def indexed_column_sets(self) -> Iterable[tuple[str, ...]]:
         """Yield the column tuples that have an index (primary key first)."""

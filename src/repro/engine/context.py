@@ -45,6 +45,7 @@ class TransactionContext:
         base_partition: PartitionId = 0,
         locked_partitions: PartitionSet | None = None,
         undo_enabled: bool = True,
+        executor: StatementExecutor | None = None,
     ) -> None:
         self.catalog = catalog
         self.database = database
@@ -56,7 +57,11 @@ class TransactionContext:
         #: means every partition is available (a fully distributed txn).
         self.locked_partitions = locked_partitions
         self.undo_log = UndoLog(enabled=undo_enabled)
-        self.executor = StatementExecutor(catalog, database)
+        # The statement executor is stateless; the engine shares one across
+        # attempts instead of allocating one per transaction.
+        self.executor = executor or StatementExecutor(catalog, database)
+        #: Direct table lookup (statement.table is catalog-validated).
+        self._tables = catalog.schema._tables
         self.invocations: list[QueryInvocation] = []
         self.touched_partitions: set[PartitionId] = set()
         self._statement_counters: dict[str, int] = {}
@@ -88,7 +93,7 @@ class TransactionContext:
             the transaction with a larger lock set (Section 2, OP2).
         """
         statement = self.procedure.statement(statement_name)
-        table = self.catalog.schema.table(statement.table)
+        table = self._tables[statement.table]
         partitions = self.catalog.estimator.partitions_for(
             table, statement, parameters, base_partition=self.base_partition
         )
@@ -104,7 +109,7 @@ class TransactionContext:
             query_type=statement.query_type,
         )
         self.invocations.append(invocation)
-        self.touched_partitions.update(partitions)
+        self.touched_partitions.update(partitions.partitions)
         for listener in self._listeners:
             listener(self, invocation)
         return rows
@@ -144,7 +149,7 @@ class TransactionContext:
         if self.locked_partitions is None:
             return
         allowed = self.locked_partitions.as_frozenset()
-        for partition_id in partitions:
+        for partition_id in partitions.partitions:
             if partition_id not in allowed:
                 if self.undo_log.records_skipped > 0:
                     # The transaction already wrote data without undo records

@@ -23,6 +23,7 @@ from ..errors import MispredictionAbort, UserAbort
 from ..storage.partition_store import Database
 from ..types import PartitionId, PartitionSet, ProcedureRequest, QueryInvocation
 from .context import QueryListener, TransactionContext
+from .executor import StatementExecutor
 
 
 class AttemptOutcome(Enum):
@@ -69,6 +70,8 @@ class ExecutionEngine:
     def __init__(self, catalog: Catalog, database: Database) -> None:
         self.catalog = catalog
         self.database = database
+        #: One stateless statement executor shared by every attempt.
+        self.executor = StatementExecutor(catalog, database)
 
     def new_context(
         self,
@@ -91,6 +94,7 @@ class ExecutionEngine:
             base_partition=base_partition,
             locked_partitions=locked_partitions,
             undo_enabled=undo_enabled,
+            executor=self.executor,
         )
 
     # ------------------------------------------------------------------

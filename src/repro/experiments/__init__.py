@@ -6,6 +6,7 @@ from .figure11 import Figure11Result, run_figure11
 from .figure12 import Figure12Result, run_figure12
 from .figure13 import Figure13Result, run_figure13
 from .model_figures import ModelFigureResult, run_model_figures
+from .scheduling_policies import SchedulingPoliciesResult, run_scheduling_policies
 from .summary import SummaryResult, run_summary
 from .table03 import Table3Result, run_table03
 from .table04 import Table4Result, run_table04
@@ -28,6 +29,8 @@ __all__ = [
     "Figure13Result",
     "run_model_figures",
     "ModelFigureResult",
+    "run_scheduling_policies",
+    "SchedulingPoliciesResult",
     "run_summary",
     "SummaryResult",
 ]

@@ -1,0 +1,100 @@
+"""Prediction-aware scheduling in the event-driven runtime (paper §8).
+
+The paper's future-work section proposes annotating queued transactions with
+their predicted execution properties and scheduling them intelligently.
+This experiment runs the closed-loop simulator — the same event-driven
+runtime the throughput figures use — under each registered queue policy, and
+once more with admission control, on the SmallBank mix (whose 40%
+two-customer transactions give the scheduler real multi-partition decisions
+to make).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import pipeline
+from ..scheduling import AdmissionLimits
+from ..scheduling.policies import available_policies
+from .common import ExperimentScale, format_table
+
+
+@dataclass
+class SchedulingPoliciesResult:
+    """Throughput and queue behaviour per scheduling configuration."""
+
+    scale: ExperimentScale
+    benchmark: str = "smallbank"
+    #: configuration name -> summary metrics.
+    rows: dict[str, dict] = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = [
+            "configuration", "txn/s", "avg latency (ms)", "reordered",
+            "deferred", "rejected",
+        ]
+        table_rows = []
+        for name, metrics in self.rows.items():
+            table_rows.append([
+                name,
+                round(metrics["throughput"], 1),
+                round(metrics["avg_latency_ms"], 3),
+                metrics["reordered"],
+                metrics["deferred"],
+                metrics["rejected"],
+            ])
+        return (
+            f"Scheduling policies under the event-driven runtime ({self.benchmark})\n"
+            + format_table(headers, table_rows)
+        )
+
+
+def run_scheduling_policies(
+    scale: ExperimentScale | None = None, benchmark: str = "smallbank"
+) -> SchedulingPoliciesResult:
+    """Run every queue policy (plus one admission configuration) once."""
+    scale = scale or ExperimentScale.from_env()
+    result = SchedulingPoliciesResult(scale=scale, benchmark=benchmark)
+    configurations: list[tuple[str, str | None, AdmissionLimits | None]] = [
+        (name, name, None) for name in available_policies()
+    ]
+    configurations.append(
+        (
+            "fcfs+admission",
+            None,
+            AdmissionLimits(max_in_flight=2 * scale.accuracy_partitions, max_deferrals=256),
+        )
+    )
+    for label, policy, limits in configurations:
+        artifacts = pipeline.train(
+            benchmark,
+            scale.accuracy_partitions,
+            trace_transactions=scale.trace_transactions,
+            seed=scale.seed,
+        )
+        strategy = pipeline.make_strategy("houdini", artifacts)
+        simulation = pipeline.simulate(
+            artifacts,
+            strategy,
+            transactions=scale.simulated_transactions,
+            policy=policy,
+            admission_limits=limits,
+        )
+        result.rows[label] = {
+            "throughput": simulation.throughput_txn_per_sec,
+            "avg_latency_ms": simulation.average_latency_ms,
+            "reordered": simulation.scheduler_stats.reordered
+            if simulation.scheduler_stats else 0,
+            "deferred": simulation.admission_stats.deferred
+            if simulation.admission_stats else 0,
+            "rejected": simulation.rejected,
+        }
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run_scheduling_policies().format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

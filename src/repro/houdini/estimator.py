@@ -41,6 +41,18 @@ def _pool_rank(pair: tuple[VertexKey, float]) -> tuple[float, int]:
     return (pair[1], -len(pair[0].partitions))
 
 
+def _position_rank(entry: tuple) -> int:
+    """Sort grouped candidates back into canonical record order."""
+    return entry[0]
+
+
+#: Successor count from which the per-name group index beats the linear
+#: record scan in :meth:`PathEstimator._choose` (measured on TPC-C, whose
+#: branch vertices fan out 2-4 ways — too narrow for the index — and on
+#: run-time-grown models, where placeholder vertices fan out much wider).
+_GROUPED_CHOICE_MIN_FANOUT = 8
+
+
 class PathEstimator:
     """Builds initial path estimates from Markov models + parameter mappings."""
 
@@ -257,6 +269,18 @@ class PathEstimator:
                     if hit is not None:
                         return hit[0], 1.0 if hit[1] > 0 else 0.0
                 prediction_seed = ((single_name, expected_counter), predicted)
+            elif len(successors) >= _GROUPED_CHOICE_MIN_FANOUT:
+                # Multi-name (or terminal-bearing) vertex with a wide
+                # fan-out: resolve each candidate name with one probe of the
+                # per-name group index instead of scanning every successor
+                # record.  Pool membership and ordering are identical to the
+                # full scan below (positions restore the canonical record
+                # order); below the fan-out threshold the plain scan is
+                # cheaper than the group bookkeeping.
+                return self._choose_grouped(
+                    current, successors, model, parameters, accumulated,
+                    counters, compiled,
+                )
         valid: list[tuple[VertexKey, float]] = []
         consistent: list[tuple[VertexKey, float]] = []
         partition_cache: dict[tuple[str, int], PartitionSet | None] = {}
@@ -295,6 +319,63 @@ class PathEstimator:
         pool = valid or consistent
         if not pool:
             pool = [(record[0], record[1]) for record in successors]
+        if len(pool) == 1:
+            key, probability = pool[0]
+            return key, 1.0 if probability > 0 else 0.0
+        best = max(pool, key=_pool_rank)
+        total = sum(probability for _, probability in pool)
+        if total <= 0:
+            return best[0], 0.0
+        return best[0], best[1] / total
+
+    def _choose_grouped(
+        self,
+        current: VertexKey,
+        successors: list,
+        model: MarkovModel,
+        parameters: Sequence[Any],
+        accumulated: PartitionSet,
+        counters: dict[str, int],
+        compiled: CompiledProcedure,
+    ) -> tuple[VertexKey | None, float]:
+        """Multi-name candidate selection via the per-name group index.
+
+        Behaviourally identical to the record scan in :meth:`_choose`: the
+        valid pool is (terminals + per-name partition matches), the
+        consistent pool is the counter/history-matching candidates, and both
+        are kept in canonical record order so tie-breaking and probability
+        renormalization agree with the interpreted path bit-for-bit.
+        """
+        groups, names, terminals = model.successor_groups(current)
+        counters_get = counters.get
+        valid: list[tuple] = list(terminals)
+        consistent_groups: list[tuple] = []
+        for name in names:
+            expected_counter = counters_get(name, 0)
+            group = groups.get((name, expected_counter, accumulated))
+            if not group:
+                continue
+            consistent_groups.append(group)
+            predicted = compiled.predict_partitions(
+                name, expected_counter, parameters, accumulated
+            )
+            if predicted is None:
+                continue
+            for position, key, probability, partitions in group:
+                if partitions is predicted or partitions == predicted:
+                    valid.append((position, key, probability))
+        if valid:
+            if len(valid) > 1:
+                valid.sort(key=_position_rank)
+            pool = [(entry[1], entry[2]) for entry in valid]
+        else:
+            consistent = [entry for group in consistent_groups for entry in group]
+            if consistent:
+                if len(consistent) > 1:
+                    consistent.sort(key=_position_rank)
+                pool = [(entry[1], entry[2]) for entry in consistent]
+            else:
+                pool = [(record[0], record[1]) for record in successors]
         if len(pool) == 1:
             key, probability = pool[0]
             return key, 1.0 if probability > 0 else 0.0
@@ -368,7 +449,8 @@ class PathEstimator:
         confidence: float,
         query_index: int,
     ) -> None:
-        vertex = model.vertex(key)
+        # The chosen key always comes from the model's own successor records.
+        vertex = model.find_vertex(key)
         table = vertex.table
         if table is not None and table.abort > estimate.abort_probability:
             estimate.abort_probability = table.abort

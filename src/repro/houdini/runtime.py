@@ -101,9 +101,15 @@ class HoudiniRuntime:
             invocation.partitions,
             self._accumulated,
         )
+        # One model probe serves both the advance and the update decisions.
+        vertex = self.model.find_vertex(key)
+        if vertex is None:
+            vertex = self.model.add_placeholder(key, invocation.query_type)
+            self.stats.placeholders_added += 1
+            self.stats.deviated_from_estimate = True
         self._advance(key, invocation)
         self._accumulated = self._accumulated.union(invocation.partitions)
-        self._issue_updates(context, key)
+        self._issue_updates(context, key, vertex)
 
     # ------------------------------------------------------------------
     def _check_finished_partitions(self, invocation: QueryInvocation) -> None:
@@ -119,25 +125,21 @@ class HoudiniRuntime:
 
     def _advance(self, key: VertexKey, invocation: QueryInvocation) -> None:
         assert self.model is not None
-        if not self.model.has_vertex(key):
-            self.model.add_placeholder(key, invocation.query_type)
-            self.stats.placeholders_added += 1
-            self.stats.deviated_from_estimate = True
         if self._current is not None:
             if self.learn:
                 self.model.record_transition(self._current, key)
             self.stats.transitions.append((self._current, key))
         expected_index = self.stats.queries_observed - 1 + self._expected_offset
         if expected_index < len(self._expected):
-            if self._expected[expected_index] != key:
+            expected = self._expected[expected_index]
+            # Interned query keys make the match an identity check.
+            if expected is not key and expected != key:
                 self.stats.deviated_from_estimate = True
         else:
             self.stats.deviated_from_estimate = True
         self._current = key
 
-    def _issue_updates(self, context: TransactionContext, key: VertexKey) -> None:
-        assert self.model is not None
-        vertex = self.model.vertex(key)
+    def _issue_updates(self, context: TransactionContext, key: VertexKey, vertex) -> None:
         table = vertex.table
         if table is None:
             return

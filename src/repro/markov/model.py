@@ -71,6 +71,10 @@ class MarkovModel:
         #: ``(name, counter, previous, partitions)`` (see
         #: :meth:`probe_successor`); maintained under the same contract.
         self._successor_index: dict[VertexKey, dict[tuple, tuple[VertexKey, float]]] = {}
+        #: Per-vertex *per-name* successor grouping (see
+        #: :meth:`successor_groups`), the multi-name extension of the probe
+        #: index; maintained under the same contract.
+        self._successor_groups: dict[VertexKey, tuple[dict, tuple, tuple]] = {}
         #: Vertices whose outgoing edge counts changed (or that were created)
         #: since the last processing pass.  ``None`` means "everything" —
         #: the model has never been processed with its current structure.
@@ -205,6 +209,10 @@ class MarkovModel:
     ) -> tuple[VertexKey, float] | None:
         """O(1) lookup of one non-terminal successor by its identity fields.
 
+        Works for vertices whose successors span *multiple* statement names
+        (the index is keyed by the full identity, name included); the
+        estimator pairs it with :meth:`successor_groups` to resolve each
+        candidate name with one probe instead of scanning every candidate.
         Returns the canonical ``(target, probability)`` pair, or ``None``
         when no such successor exists.  Same invalidation contract as
         :meth:`successors`.
@@ -215,6 +223,34 @@ class MarkovModel:
             if source in self._vertices:
                 self._successor_index[source] = index
         return index.get((name, counter, previous, partitions))
+
+    def successor_groups(
+        self, key: VertexKey
+    ) -> tuple[dict, tuple[str, ...], tuple]:
+        """Per-name index over a vertex's successors (multi-name fast path).
+
+        Returns ``(groups, names, terminals)``:
+
+        * ``groups`` maps ``(name, counter, previous)`` to the tuple of
+          matching successor records ``(position, key, probability,
+          partitions)``, where ``position`` is the record's rank in
+          :meth:`successor_records` order (used to keep candidate pools in
+          canonical order);
+        * ``names`` lists the distinct non-terminal statement names in
+          first-appearance order;
+        * ``terminals`` lists the terminal successors as ``(position, key,
+          probability)``.
+
+        Same invalidation contract as :meth:`successors`; the returned
+        structures are shared — do not mutate.
+        """
+        cached = self._successor_groups.get(key)
+        if cached is not None:
+            return cached
+        groups = self._build_groups(self.successor_records(key))
+        if key in self._vertices:
+            self._successor_groups[key] = groups
+        return groups
 
     @staticmethod
     def _build_hint(pairs: list[tuple[VertexKey, float]]) -> tuple[str | None, bool]:
@@ -237,6 +273,31 @@ class MarkovModel:
             for key, probability in pairs
             if not key.is_terminal
         }
+
+    @staticmethod
+    def _build_groups(
+        records: list[tuple[VertexKey, float, bool, str, int, PartitionSet, PartitionSet]]
+    ) -> tuple[dict, tuple[str, ...], tuple]:
+        groups: dict[tuple, list] = {}
+        names: list[str] = []
+        terminals: list[tuple] = []
+        for position, record in enumerate(records):
+            key, probability, is_terminal, name, counter, previous, partitions = record
+            if is_terminal:
+                terminals.append((position, key, probability))
+                continue
+            group_key = (name, counter, previous)
+            bucket = groups.get(group_key)
+            if bucket is None:
+                groups[group_key] = bucket = []
+                if name not in names:
+                    names.append(name)
+            bucket.append((position, key, probability, partitions))
+        return (
+            {group_key: tuple(bucket) for group_key, bucket in groups.items()},
+            tuple(names),
+            tuple(terminals),
+        )
 
     def _build_successors(self, key: VertexKey) -> list[tuple[VertexKey, float]]:
         edges = self._edges.get(key, {})
@@ -300,6 +361,7 @@ class MarkovModel:
         self._successor_records.pop(source, None)
         self._successor_hints.pop(source, None)
         self._successor_index.pop(source, None)
+        self._successor_groups.pop(source, None)
         if self._dirty is not None:
             self._dirty.add(source)
         return edge
@@ -428,25 +490,35 @@ class MarkovModel:
                 key: self._build_hint(pairs)
                 for key, pairs in self._sorted_successors.items()
             }
-            # The probe index is only ever consulted for vertices whose hint
-            # is (single name, no terminal successor); everything else is
-            # covered by the lazy read-through in probe_successor.
+            # The probe index is consulted for vertices whose hint is
+            # (single name, no terminal successor); the per-name groups cover
+            # the complementary multi-name / terminal-bearing vertices.
+            # Everything else is covered by the lazy read-throughs.
             self._successor_index = {
                 key: self._build_index(self._sorted_successors[key])
                 for key, (single, has_terminal) in self._successor_hints.items()
                 if single is not None and not has_terminal
+            }
+            self._successor_groups = {
+                key: self._build_groups(self._successor_records[key])
+                for key, (single, has_terminal) in self._successor_hints.items()
+                if single is None or has_terminal
             }
         else:
             for key in sources:
                 if key in self._vertices:
                     pairs = self._build_successors(key)
                     self._sorted_successors[key] = pairs
-                    self._successor_records[key] = self._build_records(pairs)
+                    records = self._build_records(pairs)
+                    self._successor_records[key] = records
                     hint = self._build_hint(pairs)
                     self._successor_hints[key] = hint
                     self._successor_index.pop(key, None)
+                    self._successor_groups.pop(key, None)
                     if hint[0] is not None and not hint[1]:
                         self._successor_index[key] = self._build_index(pairs)
+                    else:
+                        self._successor_groups[key] = self._build_groups(records)
 
     def _affected_closure(self, dirty: set[VertexKey]) -> set[VertexKey]:
         """Dirty vertices plus every vertex that can reach one of them.

@@ -28,6 +28,20 @@ class VertexKind(Enum):
         return self in (VertexKind.COMMIT, VertexKind.ABORT)
 
 
+#: Small integer codes hashed in place of the enum members (see
+#: :meth:`VertexKey.__post_init__`).
+_KIND_CODES = {kind: code for code, kind in enumerate(VertexKind)}
+
+#: Intern table for query-state keys (see :meth:`VertexKey.query`).  Grows
+#: with the number of distinct execution states observed — the same order of
+#: magnitude as the Markov models themselves — but, being process-global, it
+#: would outlive discarded models, so interning stops at a bound (further
+#: keys are constructed uncached; interning is only an optimization, equality
+#: stays value-based).
+_QUERY_KEY_INTERN: dict[tuple, "VertexKey"] = {}
+_QUERY_KEY_INTERN_LIMIT = 262_144
+
+
 @dataclass(frozen=True)
 class VertexKey:
     """Hashable identity of an execution state.
@@ -45,10 +59,16 @@ class VertexKey:
     previous: PartitionSet = EMPTY_PARTITION_SET
 
     def __post_init__(self) -> None:
+        # Hash the kind's code point rather than the enum member: enum
+        # hashing is a Python-level call, and query keys are constructed for
+        # every monitored query invocation.
         object.__setattr__(
             self,
             "_hash",
-            hash((self.kind, self.name, self.counter, self.partitions, self.previous)),
+            hash(
+                (_KIND_CODES[self.kind], self.name, self.counter,
+                 self.partitions, self.previous)
+            ),
         )
         object.__setattr__(self, "is_query", self.kind is VertexKind.QUERY)
         object.__setattr__(self, "is_terminal", self.kind.is_terminal)
@@ -61,13 +81,27 @@ class VertexKey:
         partitions: PartitionSet,
         previous: PartitionSet,
     ) -> "VertexKey":
-        return VertexKey(
-            kind=VertexKind.QUERY,
-            name=name,
-            counter=counter,
-            partitions=partitions,
-            previous=previous,
-        )
+        """Interned constructor for query-state keys.
+
+        The runtime monitor and the estimator construct one key per query
+        they look at, almost always one that already exists in some model;
+        interning turns the duplicate construction (dataclass init + 5-tuple
+        hash) into a single dict probe and makes later dict lookups hit the
+        pointer-equality fast path.
+        """
+        probe = (name, counter, partitions, previous)
+        key = _QUERY_KEY_INTERN.get(probe)
+        if key is None:
+            key = VertexKey(
+                kind=VertexKind.QUERY,
+                name=name,
+                counter=counter,
+                partitions=partitions,
+                previous=previous,
+            )
+            if len(_QUERY_KEY_INTERN) < _QUERY_KEY_INTERN_LIMIT:
+                _QUERY_KEY_INTERN[probe] = key
+        return key
 
     def accessed_partitions(self) -> PartitionSet:
         """All partitions the transaction has touched once it leaves this state."""

@@ -19,6 +19,8 @@ from .houdini.providers import ModelProvider
 from .mapping import ParameterMappingSet, build_parameter_mappings
 from .markov import MarkovModel, build_models_from_trace
 from .modelpart import ModelPartitioner, PartitionedModelProvider, PartitionerConfig
+from .scheduling.admission import AdmissionLimits
+from .scheduling.policies import SchedulingPolicy
 from .sim import ClusterSimulator, CostModel, SimulationResult, SimulatorConfig
 from .strategies import (
     AssumeDistributedStrategy,
@@ -200,8 +202,17 @@ def simulate(
     transactions: int = 2000,
     cost_model: CostModel | None = None,
     clients_per_partition: int = 4,
+    policy: "SchedulingPolicy | str | None" = None,
+    admission_limits: "AdmissionLimits | None" = None,
 ) -> SimulationResult:
-    """Run the closed-loop simulator for one configuration."""
+    """Run the closed-loop simulator for one configuration.
+
+    ``policy`` selects the node scheduler's queue discipline (name or
+    instance; default FCFS) and ``admission_limits`` enables admission
+    control — both run inside the event-driven runtime, so prediction-aware
+    scheduling experiments go through the same loop as the paper's
+    throughput sweeps.
+    """
     instance = artifacts.benchmark
     simulator = ClusterSimulator(
         instance.catalog,
@@ -212,6 +223,8 @@ def simulate(
         config=SimulatorConfig(
             clients_per_partition=clients_per_partition,
             total_transactions=transactions,
+            policy=policy,
+            admission_limits=admission_limits,
         ),
         benchmark_name=instance.name,
     )

@@ -8,9 +8,19 @@ on top of Houdini's initial path estimates:
 
 * :class:`TransactionScheduler` orders a partition's work queue by a
   pluggable policy (arrival order, predicted-shortest-job-first,
-  single-partition-first);
+  single-partition-first).  The queue is a binary heap (incrementally
+  sorted under submissions); predicted costs are cached per *transaction
+  class* — the (procedure, predicted path, base partition) signature — and
+  policy sort keys are composed from a per-class component, so neither is
+  re-derived per dispatch;
 * :class:`AdmissionController` limits how much predicted work and how many
   distributed transactions are outstanding at once, deferring the rest.
+
+Both run *inside* the simulator's event loop (:mod:`repro.sim`): every
+simulated submission is queued here, prediction-aware policies gate
+dispatch on predicted partition availability (woken by
+``PARTITION_RELEASE`` events), and admission capacity is released by
+``TXN_COMPLETE`` events.
 """
 
 from .admission import (

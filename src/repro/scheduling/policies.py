@@ -3,8 +3,18 @@
 A policy turns one :class:`~repro.scheduling.scheduler.PendingTransaction`
 into a sort key; the scheduler dispatches the pending transaction with the
 smallest key.  All policies fall back to arrival order so that equal-priority
-transactions are served fairly and no transaction starves behind an endless
-stream of "better" ones with the same key.
+transactions are served fairly.
+
+Keys decompose into a *class component* and a *per-transaction* component.
+The class component (:meth:`SchedulingPolicy.class_key`) depends only on the
+transaction's predicted class — its procedure's predicted cost and partition
+profile — and is precomputed once per class by the scheduler instead of
+being re-derived for every submission and dispatch.
+:meth:`SchedulingPolicy.compose_key` combines a class component with the
+per-transaction fields (arrival index, admission deferrals); for every
+policy ``compose_key(class_key(p), p) == key(p)`` — :meth:`key` remains the
+single-call reference derivation, and the test suite holds the two paths
+equal.
 """
 
 from __future__ import annotations
@@ -23,10 +33,26 @@ class SchedulingPolicy(ABC):
 
     #: Registry name used by :func:`policy_by_name` and the CLI.
     name: str = "policy"
+    #: Whether the policy consults predicted cost/partition annotations.
+    #: The simulator only derives path estimates for queued requests when
+    #: this is set (FCFS runs estimate-free).
+    uses_predictions: bool = False
+    #: Whether dispatch order provably equals arrival order.  Lets the
+    #: scheduler skip its queue-jump bookkeeping (``stats.reordered`` is 0
+    #: by construction).
+    preserves_arrival_order: bool = False
 
     @abstractmethod
     def key(self, pending: "PendingTransaction") -> tuple:
-        """Sort key for one pending transaction."""
+        """Sort key for one pending transaction (reference derivation)."""
+
+    def class_key(self, pending: "PendingTransaction") -> tuple:
+        """Key component shared by every transaction of the same class."""
+        return ()
+
+    def compose_key(self, class_part: tuple, pending: "PendingTransaction") -> tuple:
+        """Full dispatch key from a precomputed class component."""
+        return self.key(pending)
 
     def describe(self) -> str:
         return self.name
@@ -36,8 +62,12 @@ class ArrivalOrderPolicy(SchedulingPolicy):
     """First-come first-served — what a plain work queue does."""
 
     name = "fcfs"
+    preserves_arrival_order = True
 
     def key(self, pending: "PendingTransaction") -> tuple:
+        return (pending.arrival_index,)
+
+    def compose_key(self, class_part: tuple, pending: "PendingTransaction") -> tuple:
         return (pending.arrival_index,)
 
 
@@ -48,11 +78,20 @@ class ShortestPredictedFirstPolicy(SchedulingPolicy):
     of predicted queries weighted by the cost model), which is exactly the
     "expected remaining run time" annotation the paper proposes for
     intelligent scheduling.  Classic shortest-job-first trade-off: mean
-    latency drops, but long transactions can be delayed; the arrival-index
-    tie-break plus the optional ``aging_ms`` credit bound that delay.
+    latency drops, but long transactions can be delayed indefinitely behind
+    an endless stream of shorter ones.
+
+    ``aging_ms`` bounds that starvation: every later arrival concedes a
+    fixed ``aging_ms`` credit to everything already waiting (implemented as
+    a surcharge on the arrival index, which keeps keys static and therefore
+    heap-compatible), so a waiting transaction overtakes any newer one once
+    the arrival gap exceeds their cost difference divided by ``aging_ms``.
+    Transactions pushed back by admission control additionally earn an
+    ``aging_ms`` credit per deferral.
     """
 
     name = "shortest-predicted"
+    uses_predictions = True
 
     def __init__(self, aging_ms: float = 0.0) -> None:
         if aging_ms < 0:
@@ -62,6 +101,17 @@ class ShortestPredictedFirstPolicy(SchedulingPolicy):
     def key(self, pending: "PendingTransaction") -> tuple:
         cost = pending.predicted_cost_ms
         if self.aging_ms > 0:
+            cost += self.aging_ms * pending.arrival_index
+            cost -= self.aging_ms * pending.deferrals
+        return (cost, pending.arrival_index)
+
+    def class_key(self, pending: "PendingTransaction") -> tuple:
+        return (pending.predicted_cost_ms,)
+
+    def compose_key(self, class_part: tuple, pending: "PendingTransaction") -> tuple:
+        cost = class_part[0]
+        if self.aging_ms > 0:
+            cost += self.aging_ms * pending.arrival_index
             cost -= self.aging_ms * pending.deferrals
         return (cost, pending.arrival_index)
 
@@ -77,9 +127,16 @@ class SinglePartitionFirstPolicy(SchedulingPolicy):
     """
 
     name = "single-partition-first"
+    uses_predictions = True
 
     def key(self, pending: "PendingTransaction") -> tuple:
         return (0 if pending.predicted_single_partition else 1, pending.arrival_index)
+
+    def class_key(self, pending: "PendingTransaction") -> tuple:
+        return (0 if pending.predicted_single_partition else 1,)
+
+    def compose_key(self, class_part: tuple, pending: "PendingTransaction") -> tuple:
+        return (class_part[0], pending.arrival_index)
 
 
 _POLICIES: dict[str, type[SchedulingPolicy]] = {

@@ -5,18 +5,40 @@ Each request is annotated with the properties Houdini predicted for it — how
 many queries it will run, which partitions it needs, how long it is expected
 to take — and a :class:`~repro.scheduling.policies.SchedulingPolicy` decides
 which pending transaction to dispatch next.
+
+Two caches keep the per-submission work constant:
+
+* predicted costs are derived once per *transaction class* — the (procedure,
+  predicted path, base partition) signature of the estimate — instead of
+  re-walking the estimate through the cost model for every request;
+* policy sort keys are composed from a per-class component precomputed by
+  the policy (:meth:`SchedulingPolicy.class_key`), so dispatch never
+  re-derives class properties.
+
+The ready queue itself is a binary heap, i.e. it stays incrementally sorted
+under submissions; dispatch is O(log n).
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from ..houdini.estimate import PathEstimate
-from ..sim.cost_model import CostModel
 from ..types import PartitionId, ProcedureRequest
 from .policies import ArrivalOrderPolicy, SchedulingPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.cost_model import CostModel
+
+
+def _default_cost_model() -> "CostModel":
+    # Imported lazily: the simulator imports this package at module load, so
+    # a module-level import of repro.sim here would be circular.
+    from ..sim.cost_model import CostModel
+
+    return CostModel()
 
 
 @dataclass(frozen=True)
@@ -32,7 +54,7 @@ class PredictedCost:
     def from_estimate(
         estimate: PathEstimate,
         base_partition: PartitionId,
-        cost_model: CostModel | None = None,
+        cost_model: "CostModel | None" = None,
     ) -> "PredictedCost":
         """Convert a path estimate into predicted service time.
 
@@ -41,7 +63,7 @@ class PredictedCost:
         the property the paper's expected-remaining-run-time annotation
         needs.
         """
-        model = cost_model or CostModel()
+        model = cost_model or _default_cost_model()
         service_ms = model.planning_ms + model.setup_ms
         for key in estimate.query_vertices:
             service_ms += model.query_cost(key.partitions, base_partition)
@@ -56,7 +78,7 @@ class PredictedCost:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingTransaction:
     """One queued request plus the predictions attached to it."""
 
@@ -69,6 +91,9 @@ class PendingTransaction:
     estimate: PathEstimate | None = None
     #: How many times admission control pushed this transaction back.
     deferrals: int = 0
+    #: Simulated submission time, stamped by the event-driven simulator so
+    #: latencies include queueing delay.
+    submit_time_ms: float = 0.0
 
     @property
     def procedure(self) -> str:
@@ -77,15 +102,23 @@ class PendingTransaction:
 
 @dataclass
 class SchedulerStats:
-    """Counters describing one scheduler's activity."""
+    """Counters describing one scheduler's activity.
+
+    ``dispatched`` counts transactions that actually left the queue for
+    execution — a pop that is pushed back (admission deferral or a
+    partition-blocked requeue) is counted under ``requeued``, and a pop that
+    admission control rejected outright under ``rejected``.
+    """
 
     submitted: int = 0
     dispatched: int = 0
     reordered: int = 0
+    requeued: int = 0
+    rejected: int = 0
 
     @property
     def pending(self) -> int:
-        return self.submitted - self.dispatched
+        return self.submitted - self.dispatched - self.rejected
 
 
 class TransactionScheduler:
@@ -95,14 +128,25 @@ class TransactionScheduler:
         self,
         policy: SchedulingPolicy | None = None,
         *,
-        cost_model: CostModel | None = None,
+        cost_model: "CostModel | None" = None,
     ) -> None:
         self.policy = policy or ArrivalOrderPolicy()
-        self.cost_model = cost_model or CostModel()
+        self.cost_model = cost_model or _default_cost_model()
         self.stats = SchedulerStats()
         self._arrivals = 0
         self._heap: list[tuple[tuple, int, PendingTransaction]] = []
         self._sequence = 0
+        #: Predicted costs per transaction class (see :meth:`submit`).
+        self._cost_cache: dict[tuple, PredictedCost] = {}
+        #: Policy class-key components per transaction class.
+        self._class_keys: dict[tuple, tuple] = {}
+        #: Arrival indexes still queued (lazy-deletion heap) plus the popped
+        #: multiset, for O(log n) queue-jump detection in :meth:`pop`.
+        #: Skipped entirely for policies that provably dispatch in arrival
+        #: order (FCFS): ``reordered`` is 0 by construction.
+        self._track_reorder = not self.policy.preserves_arrival_order
+        self._arrival_heap: list[int] = []
+        self._consumed: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -123,7 +167,7 @@ class TransactionScheduler:
         pending = PendingTransaction(request=request, arrival_index=self._arrivals)
         self._arrivals += 1
         if estimate is not None and not estimate.degenerate:
-            cost = PredictedCost.from_estimate(estimate, base_partition, self.cost_model)
+            cost = self._predicted_cost(request.procedure, estimate, base_partition)
             pending.predicted_cost_ms = cost.service_ms
             pending.predicted_queries = cost.queries
             pending.predicted_partitions = cost.partitions
@@ -133,14 +177,63 @@ class TransactionScheduler:
         self.stats.submitted += 1
         return pending
 
+    def _predicted_cost(
+        self, procedure: str, estimate: PathEstimate, base_partition: PartitionId
+    ) -> PredictedCost:
+        """Per-class cache around :meth:`PredictedCost.from_estimate`.
+
+        Two requests whose estimates walk the same vertex path from the same
+        base partition share one conversion — the transaction-class
+        granularity the paper's scheduling sketch needs.
+        """
+        key = (procedure, base_partition, tuple(estimate.vertices))
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = PredictedCost.from_estimate(estimate, base_partition, self.cost_model)
+            self._cost_cache[key] = cost
+        return cost
+
     def resubmit(self, pending: PendingTransaction) -> None:
         """Return a deferred transaction to the queue (admission control)."""
         pending.deferrals += 1
+        self.stats.dispatched -= 1
+        self.stats.requeued += 1
+        self._push(pending)
+
+    def note_rejected(self, pending: PendingTransaction) -> None:
+        """Reclassify a popped transaction as rejected, not dispatched."""
+        self.stats.dispatched -= 1
+        self.stats.rejected += 1
+
+    def requeue(self, pending: PendingTransaction) -> None:
+        """Return a transaction without counting a deferral.
+
+        Used by the event-driven simulator for partition-blocked dispatches:
+        waiting for a busy partition is not an admission push-back, so it
+        must not eat into the ``max_deferrals`` rejection budget.
+        """
+        self.stats.dispatched -= 1
+        self.stats.requeued += 1
         self._push(pending)
 
     def _push(self, pending: PendingTransaction) -> None:
+        policy = self.policy
+        class_signature = (
+            pending.procedure,
+            pending.predicted_cost_ms,
+            pending.predicted_single_partition,
+        )
+        class_part = self._class_keys.get(class_signature)
+        if class_part is None:
+            class_part = policy.class_key(pending)
+            self._class_keys[class_signature] = class_part
         self._sequence += 1
-        heapq.heappush(self._heap, (self.policy.key(pending), self._sequence, pending))
+        heapq.heappush(
+            self._heap,
+            (policy.compose_key(class_part, pending), self._sequence, pending),
+        )
+        if self._track_reorder:
+            heapq.heappush(self._arrival_heap, pending.arrival_index)
 
     # ------------------------------------------------------------------
     def pop(self) -> PendingTransaction:
@@ -149,7 +242,23 @@ class TransactionScheduler:
             raise IndexError("pop from an empty TransactionScheduler")
         _, __, pending = heapq.heappop(self._heap)
         self.stats.dispatched += 1
-        if any(entry[2].arrival_index < pending.arrival_index for entry in self._heap):
+        if not self._track_reorder:
+            return pending
+        arrival = pending.arrival_index
+        consumed = self._consumed
+        consumed[arrival] = consumed.get(arrival, 0) + 1
+        arrival_heap = self._arrival_heap
+        while arrival_heap:
+            top = arrival_heap[0]
+            count = consumed.get(top, 0)
+            if not count:
+                break
+            heapq.heappop(arrival_heap)
+            if count == 1:
+                del consumed[top]
+            else:
+                consumed[top] = count - 1
+        if arrival_heap and arrival_heap[0] < arrival:
             # An older transaction is still waiting: the policy jumped the queue.
             self.stats.reordered += 1
         return pending

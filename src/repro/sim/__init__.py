@@ -1,6 +1,38 @@
-"""Cluster simulator: cost model, closed-loop driver, metrics."""
+"""Cluster simulator: a discrete-event runtime over a cost model.
+
+The package has four pieces:
+
+* :mod:`~repro.sim.events` — the event vocabulary.  The run loop is a single
+  binary heap of ``(time, kind, tiebreak, payload)`` entries with three
+  kinds: ``CLIENT_READY`` (a closed-loop client submits its next request to
+  the node scheduler), ``TXN_COMPLETE`` (an in-flight transaction reached
+  its simulated end: admission capacity is released and the completion is
+  recorded — the completion stream is therefore produced already ordered by
+  end time) and ``PARTITION_RELEASE`` (a partition's busy window ended,
+  waking partition-blocked dispatches).  Kind codes double as
+  same-timestamp priorities.
+* :class:`~repro.sim.simulator.ClusterSimulator` — the closed-loop driver.
+  Every submission is routed through a
+  :class:`~repro.scheduling.scheduler.TransactionScheduler`; under the
+  default FCFS policy the runtime reproduces the legacy greedy driver's
+  results exactly (held by ``tests/sim/test_event_runtime.py``), while
+  prediction-aware policies and admission control run inside the same loop.
+* :class:`~repro.sim.cost_model.CostModel` — simulated-time constants plus
+  the per-(procedure, plan-shape) *cost-schedule cache*: everything except a
+  plan's estimation overhead depends only on the attempt's shape (base
+  partition, lock set, invocation partition sequence, undo count, commit
+  flag, early-prepared partitions), so it is derived once per shape.
+  Invalidation contract: cached schedules bake in the model's constants —
+  call :meth:`~repro.sim.cost_model.CostModel.clear_schedule_cache` after
+  mutating any constant on a live instance (the ablation benchmarks build a
+  fresh ``CostModel`` per configuration instead).  Workloads whose shapes
+  are near-unique bypass the cache automatically after a probation window.
+* :class:`~repro.sim.metrics.SimulationResult` — metrics, accumulated in
+  flat arrays during the run and materialized once at the end.
+"""
 
 from .cost_model import AttemptTiming, CostModel
+from .events import CLIENT_READY, PARTITION_RELEASE, TXN_COMPLETE
 from .metrics import ProcedureBreakdown, SimulationResult
 from .simulator import ClusterSimulator, SimulatorConfig
 
@@ -11,4 +43,7 @@ __all__ = [
     "SimulatorConfig",
     "SimulationResult",
     "ProcedureBreakdown",
+    "CLIENT_READY",
+    "TXN_COMPLETE",
+    "PARTITION_RELEASE",
 ]

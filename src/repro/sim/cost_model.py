@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from ..engine.engine import AttemptResult
 from ..txn.plan import ExecutionPlan
-from ..types import PartitionId
+from ..types import PartitionId, PartitionSet
 
 
 @dataclass
@@ -56,20 +56,58 @@ class CostModel:
     #: never uses (resources held idle; keeps "lock everything" honest).
     unused_lock_ms: float = 0.05
 
+    #: Cost-schedule cache, keyed by (procedure-independent) *plan shape* —
+    #: base partition, lock set, the sequence of per-invocation partition
+    #: sets, undo records, commit flag and early-prepared partitions — the
+    #: same normalization the compiled estimator uses for its footprints.
+    #: Cached values bake in the model's constants: mutate any constant on a
+    #: live instance and you must call :meth:`clear_schedule_cache` (the
+    #: ablation benchmarks construct a fresh ``CostModel`` per configuration
+    #: instead).
+    _schedule_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Adaptive bypass: workloads whose plan shapes are near-unique (e.g.
+    #: TPC-C NewOrder item arrays) would pay key construction on every call
+    #: and hit never; after a probation window with a poor hit rate the
+    #: cache stops being consulted.
+    _cache_checks: int = field(default=0, init=False, repr=False, compare=False)
+    _cache_hits: int = field(default=0, init=False, repr=False, compare=False)
+    _cache_bypassed: bool = field(default=False, init=False, repr=False, compare=False)
+
+    #: Probation length and minimum hit rate for the schedule cache.
+    _CACHE_PROBATION = 512
+    _CACHE_MIN_HIT_RATE = 0.25
+
+    def clear_schedule_cache(self) -> None:
+        """Drop cached cost schedules (required after mutating constants)."""
+        self._schedule_cache.clear()
+        self._cache_checks = 0
+        self._cache_hits = 0
+        self._cache_bypassed = False
+
     # ------------------------------------------------------------------
     def query_cost(self, partitions, base_partition: PartitionId) -> float:
         """Simulated cost of one query given the partitions it touches."""
-        partition_list = list(partitions)
+        if type(partitions) is PartitionSet:
+            partition_list = partitions.partitions
+        else:
+            partition_list = tuple(partitions)
         if not partition_list:
             return self.query_local_ms
         cost = 0.0
-        remote = [p for p in partition_list if p != base_partition]
-        local = [p for p in partition_list if p == base_partition]
+        local = False
+        remote = 0
+        for partition_id in partition_list:
+            if partition_id == base_partition:
+                local = True
+            else:
+                remote += 1
         if local:
             cost += self.query_local_ms
         if remote:
             cost += self.query_remote_ms
-            cost += self.broadcast_per_partition_ms * max(0, len(remote) - 1)
+            cost += self.broadcast_per_partition_ms * (remote - 1)
         return cost
 
     # ------------------------------------------------------------------
@@ -79,9 +117,64 @@ class CostModel:
         attempt: AttemptResult,
         num_partitions: int,
     ) -> "AttemptTiming":
-        """Break one execution attempt down into simulated time components."""
-        base = plan.base_partition
+        """Break one execution attempt down into simulated time components.
+
+        Everything except the plan's estimation overhead depends only on the
+        attempt's *shape*; that part is computed once per shape and cached,
+        so a saturated simulation run pays the full derivation only for the
+        first transaction of each (procedure, plan-shape) class.
+        """
         lock_set = plan.lock_set(num_partitions)
+        if self._cache_bypassed:
+            schedule = self._compute_schedule(plan.base_partition, lock_set, attempt)
+        else:
+            key = (
+                plan.base_partition,
+                lock_set,
+                tuple(invocation.partitions for invocation in attempt.invocations),
+                attempt.undo_records_written,
+                attempt.committed,
+                attempt.finished_partitions,
+            )
+            schedule = self._schedule_cache.get(key)
+            self._cache_checks += 1
+            if schedule is None:
+                schedule = self._compute_schedule(plan.base_partition, lock_set, attempt)
+                self._schedule_cache[key] = schedule
+                if (
+                    self._cache_checks >= self._CACHE_PROBATION
+                    and self._cache_hits < self._cache_checks * self._CACHE_MIN_HIT_RATE
+                ):
+                    self._cache_bypassed = True
+                    self._schedule_cache.clear()
+            else:
+                self._cache_hits += 1
+        execution_ms, coordination_ms, base_total_ms, release_plan = schedule
+        estimation_ms = plan.estimation_ms
+        total_ms = base_total_ms + estimation_ms
+        release_offsets: dict[PartitionId, float] = {}
+        for partition_id, early_release in release_plan:
+            if early_release is None:
+                release_offsets[partition_id] = total_ms
+            else:
+                release_offsets[partition_id] = min(early_release, total_ms)
+        return AttemptTiming(
+            estimation_ms=estimation_ms,
+            planning_ms=self.planning_ms,
+            execution_ms=execution_ms,
+            coordination_ms=coordination_ms,
+            setup_ms=self.setup_ms,
+            total_ms=total_ms,
+            release_offsets=release_offsets,
+        )
+
+    def _compute_schedule(
+        self,
+        base: PartitionId,
+        lock_set,
+        attempt: AttemptResult,
+    ) -> tuple[float, float, float, tuple]:
+        """Derive the estimation-independent cost schedule of one shape."""
         execution_ms = 0.0
         per_partition_last_use: dict[PartitionId, float] = {}
         elapsed = 0.0
@@ -89,7 +182,7 @@ class CostModel:
             cost = self.query_cost(invocation.partitions, base)
             elapsed += cost
             execution_ms += cost
-            for partition_id in invocation.partitions:
+            for partition_id in invocation.partitions.partitions:
                 per_partition_last_use[partition_id] = elapsed
         undo_ms = self.undo_record_ms * attempt.undo_records_written
         execution_ms += undo_ms
@@ -109,31 +202,20 @@ class CostModel:
         if not attempt.committed:
             coordination_ms += self.abort_ms
 
-        planning_ms = self.planning_ms
-        setup_ms = self.setup_ms
-        total_ms = execution_ms + coordination_ms + planning_ms + setup_ms + plan.estimation_ms
-
-        # When was each locked partition released?  Early-prepared partitions
-        # (OP4) are released right after their last use; everything else is
-        # held until the end of the attempt.
-        release_offsets: dict[PartitionId, float] = {}
-        for partition_id in lock_set:
-            if partition_id in attempt.finished_partitions and attempt.committed:
-                release_offsets[partition_id] = min(
-                    per_partition_last_use.get(partition_id, 0.0) + self.two_phase_commit_ms,
-                    total_ms,
-                )
-            else:
-                release_offsets[partition_id] = total_ms
-        return AttemptTiming(
-            estimation_ms=plan.estimation_ms,
-            planning_ms=planning_ms,
-            execution_ms=execution_ms,
-            coordination_ms=coordination_ms,
-            setup_ms=setup_ms,
-            total_ms=total_ms,
-            release_offsets=release_offsets,
+        base_total_ms = execution_ms + coordination_ms + self.planning_ms + self.setup_ms
+        # Per-partition release plan: early-prepared partitions (OP4) are
+        # released right after their last use plus the commit round; held
+        # partitions (None) only at the end of the attempt.
+        release_plan = tuple(
+            (
+                partition_id,
+                per_partition_last_use.get(partition_id, 0.0) + self.two_phase_commit_ms
+                if (partition_id in attempt.finished_partitions and attempt.committed)
+                else None,
+            )
+            for partition_id in lock_set
         )
+        return (execution_ms, coordination_ms, base_total_ms, release_plan)
 
 
 @dataclass

@@ -1,0 +1,39 @@
+"""Event types for the discrete-event cluster simulator.
+
+The simulator's run loop is a single binary heap of timestamped events.
+Three event kinds exist:
+
+* ``PARTITION_RELEASE`` — a partition's simulated busy window ended.  Only
+  scheduled while a prediction-aware policy holds partition-blocked
+  transactions (their predicted partitions are busy); it wakes the
+  dispatcher at the earliest predicted release so blocked work starts as
+  soon as its partitions free — possibly before the blocking transaction
+  fully completes (early-prepared partitions release early).
+  Admission-deferred transactions are retried by ``TXN_COMPLETE`` draining
+  instead, since admission capacity only changes at completions.
+* ``TXN_COMPLETE`` — an in-flight transaction reached its simulated end
+  time: admission capacity is released, the completion is recorded (the
+  completion stream is therefore produced already ordered by end time), and
+  the issuing closed-loop client is scheduled to become ready again.
+* ``CLIENT_READY`` — a closed-loop client submits its next request to the
+  node's :class:`~repro.scheduling.scheduler.TransactionScheduler`.
+
+Heap entries are ``(time, kind, tiebreak, payload)`` tuples.  The kind codes
+double as same-timestamp priorities: releases and completions are processed
+before new submissions at the same instant, so capacity freed at time *t* is
+usable by a client that becomes ready at *t*.  ``CLIENT_READY`` ties break on
+the client id, which reproduces the legacy driver's "lowest-index ready
+client submits first" order exactly.
+"""
+
+from __future__ import annotations
+
+#: A partition's busy window ended (payload: ``None``).
+PARTITION_RELEASE = 0
+#: An in-flight transaction finished (payload: ``(client_id, committed,
+#: pending)``).
+TXN_COMPLETE = 1
+#: A closed-loop client submits its next request (payload: ``None``).
+CLIENT_READY = 2
+
+__all__ = ["PARTITION_RELEASE", "TXN_COMPLETE", "CLIENT_READY"]

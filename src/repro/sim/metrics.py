@@ -1,9 +1,20 @@
-"""Simulation metrics: throughput, latency and the Fig. 11 time breakdown."""
+"""Simulation metrics: throughput, latency and the Fig. 11 time breakdown.
+
+The event-driven simulator accumulates these figures in flat per-procedure
+arrays while it runs and materializes one :class:`SimulationResult` (plus
+its :class:`ProcedureBreakdown` entries) when the run finishes; the classes
+here are the stable, introspectable surface the experiments consume.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import mean
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scheduling.admission import AdmissionStats
+    from ..scheduling.scheduler import SchedulerStats
 
 
 @dataclass
@@ -66,6 +77,12 @@ class SimulationResult:
     #: Post-warm-up measurement window used for throughput.
     window_committed: int = 0
     window_duration_ms: float = 0.0
+    #: Transactions rejected outright by admission control (0 when admission
+    #: control is disabled, the default).
+    rejected: int = 0
+    #: Scheduler / admission activity for the run (filled by the simulator).
+    scheduler_stats: "SchedulerStats | None" = None
+    admission_stats: "AdmissionStats | None" = None
 
     # ------------------------------------------------------------------
     @property

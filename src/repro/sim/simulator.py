@@ -1,4 +1,4 @@
-"""Closed-loop cluster simulator.
+"""Closed-loop cluster simulator: a discrete-event runtime.
 
 Reproduces the paper's throughput experiments without the Wisconsin cluster:
 transactions are executed *functionally* against the real in-memory database
@@ -6,20 +6,47 @@ through the transaction coordinator (so mispredictions, restarts, aborts and
 optimization updates all really happen), and their *timing* is replayed
 through the cost model onto a set of single-threaded partition resources.
 
-The workload driver is closed-loop, matching the paper's setup of "four
-client threads per partition to ensure that the workload queues at each node
-are always full": each simulated client submits its next request the moment
-its previous one completes.  A transaction starts once every partition in its
-lock set is free; partitions are released at commit — or earlier when the
-early-prepare optimization (OP4) declared the transaction finished with them,
-which is how speculative execution shows up in the timing model.
+The run loop is a single binary event heap (see :mod:`repro.sim.events`)
+processing client-ready, transaction-complete and partition-release events
+in timestamp order.  The workload driver is closed-loop, matching the
+paper's setup of "four client threads per partition to ensure that the
+workload queues at each node are always full": each simulated client submits
+its next request the moment its previous one completes.  Every submission is
+routed through a :class:`~repro.scheduling.scheduler.TransactionScheduler`,
+so queue policies and admission control are exercised by throughput runs:
+
+* under the default FCFS policy with no admission limits the scheduler is
+  pass-through and the runtime reproduces the legacy greedy driver's results
+  exactly (``tests/sim`` holds them equal metric-by-metric);
+* a prediction-aware policy annotates each request with its Houdini path
+  estimate (:meth:`~repro.txn.strategy.ExecutionStrategy.preview_estimate`),
+  dispatches by predicted cost/partition profile, and *partition-gates*
+  dispatch — a transaction whose predicted partitions are busy waits for a
+  ``PARTITION_RELEASE`` event while ready work behind it runs;
+* admission limits defer or reject transactions whose predicted resource
+  usage would overload the node, with capacity released on completion.
+
+A transaction starts once every partition in its lock set is free;
+partitions are released at commit — or earlier when the early-prepare
+optimization (OP4) declared the transaction finished with them, which is how
+speculative execution shows up in the timing model.
+
+Metric updates are batched: the loop appends to flat accumulator arrays and
+the :class:`~repro.sim.metrics.SimulationResult` is materialized once per
+run.  Completions are recorded at ``TXN_COMPLETE`` events, i.e. already
+ordered by end time, so the warm-up window needs one linear pass instead of
+a sort.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 from ..catalog.schema import Catalog
+from ..scheduling.admission import AdmissionController, AdmissionDecision, AdmissionLimits
+from ..scheduling.policies import SchedulingPolicy, policy_by_name
+from ..scheduling.scheduler import TransactionScheduler
 from ..storage.partition_store import Database
 from ..txn.coordinator import TransactionCoordinator
 from ..txn.record import TransactionRecord
@@ -27,7 +54,11 @@ from ..txn.strategy import ExecutionStrategy
 from ..types import ProcedureRequest
 from ..workload.generator import WorkloadGenerator
 from .cost_model import CostModel
-from .metrics import SimulationResult
+from .events import CLIENT_READY, PARTITION_RELEASE, TXN_COMPLETE
+from .metrics import ProcedureBreakdown, SimulationResult
+
+#: Accumulator slots per procedure (see ``_replay_timing``).
+_TXNS, _EST, _PLAN, _EXEC, _COORD, _OTHER = range(6)
 
 
 @dataclass
@@ -43,6 +74,11 @@ class SimulatorConfig:
     warmup_fraction: float = 0.1
     #: Think time between a client's transactions (0 = saturated, as in the paper).
     client_think_time_ms: float = 0.0
+    #: Queue policy for the node scheduler: a registry name, a policy
+    #: instance, or ``None`` for first-come first-served.
+    policy: SchedulingPolicy | str | None = None
+    #: Admission-control limits; ``None`` disables admission control.
+    admission_limits: AdmissionLimits | None = None
 
 
 class ClusterSimulator:
@@ -67,38 +103,218 @@ class ClusterSimulator:
         self.config = config or SimulatorConfig()
         self.benchmark_name = benchmark_name or generator.benchmark
         self.coordinator = TransactionCoordinator(catalog, database, strategy)
+        #: Populated by :meth:`run` (scheduler + admission introspection).
+        self.scheduler: TransactionScheduler | None = None
+        self.admission: AdmissionController | None = None
+
+    # ------------------------------------------------------------------
+    def _make_policy(self) -> SchedulingPolicy | None:
+        policy = self.config.policy
+        if policy is None or isinstance(policy, SchedulingPolicy):
+            return policy
+        return policy_by_name(policy)
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
+        config = self.config
         num_partitions = self.catalog.num_partitions
         num_nodes = self.catalog.scheme.num_nodes
-        num_clients = max(1, self.config.clients_per_partition * num_partitions)
+        num_clients = max(1, config.clients_per_partition * num_partitions)
+        total = config.total_transactions
+        think = config.client_think_time_ms
+
+        policy = self._make_policy()
+        scheduler = TransactionScheduler(policy, cost_model=self.cost_model)
+        limits = config.admission_limits
+        admission = AdmissionController(limits) if limits is not None else None
+        self.scheduler = scheduler
+        self.admission = admission
+        # Prediction-aware configurations annotate submissions with path
+        # estimates and gate dispatch on predicted partition availability.
+        need_estimates = (
+            policy is not None and policy.uses_predictions
+        ) or admission is not None
+        gate_on_partitions = policy is not None and policy.uses_predictions
+
         partition_free = [0.0] * num_partitions
-        client_ready = [0.0] * num_clients
-        completions: list[tuple[float, bool]] = []
         result = SimulationResult(
             strategy=self.strategy.name,
             benchmark=self.benchmark_name,
             num_partitions=num_partitions,
             simulated_duration_ms=0.0,
         )
-        for index in range(self.config.total_transactions):
-            client_id = min(range(num_clients), key=lambda c: client_ready[c])
-            submit_time = client_ready[client_id]
-            request = self.generator.next_request()
-            request = ProcedureRequest(
-                procedure=request.procedure,
-                parameters=request.parameters,
-                client_id=client_id,
-                arrival_node=client_id % num_nodes,
+
+        # Batched accumulators, folded into `result` once at the end.
+        latencies: list[float] = []
+        completions: list[tuple[float, bool]] = []
+        breakdown_acc: dict[str, list] = {}
+        counters = {
+            "committed": 0, "user_aborted": 0, "restarts": 0, "escalations": 0,
+            "undo_disabled": 0, "early_prepared": 0, "single_partition": 0,
+            "distributed": 0, "rejected": 0,
+        }
+
+        generator = self.generator
+        coordinator = self.coordinator
+        strategy = self.strategy
+        redirect_ms = self.cost_model.redirect_ms
+        submitted = 0
+        complete_seq = 0
+        #: Earliest scheduled partition-release wakeup (deduplication).
+        next_wakeup = [float("inf")]
+
+        # The initial event list — every client ready at t=0, client-id
+        # tie-break — is already heap-ordered.
+        events: list[tuple] = [(0.0, CLIENT_READY, c, None) for c in range(num_clients)]
+
+        def drain(now: float) -> None:
+            """Dispatch every queued transaction that may start at ``now``."""
+            nonlocal complete_seq
+            blocked: list = []
+            blocked_until = float("inf")
+            while scheduler:
+                pending = scheduler.pop()
+                if gate_on_partitions and pending.predicted_partitions:
+                    ready_at = now
+                    for partition_id in pending.predicted_partitions:
+                        if partition_id < num_partitions:
+                            free_at = partition_free[partition_id]
+                            if free_at > ready_at:
+                                ready_at = free_at
+                    if ready_at > now:
+                        blocked.append(pending)
+                        if ready_at < blocked_until:
+                            blocked_until = ready_at
+                        continue
+                if admission is not None:
+                    decision = admission.decide(pending)
+                    if decision is AdmissionDecision.DEFER:
+                        blocked.append(pending)
+                        pending.deferrals += 1
+                        continue
+                    if decision is AdmissionDecision.REJECT:
+                        scheduler.note_rejected(pending)
+                        counters["rejected"] += 1
+                        # The closed-loop client backs off one redirect
+                        # round-trip, then issues a fresh request.
+                        heappush(
+                            events,
+                            (now + redirect_ms, CLIENT_READY,
+                             pending.request.client_id, None),
+                        )
+                        continue
+                record = coordinator.execute_transaction(pending.request)
+                end = self._replay_timing(record, now, partition_free, breakdown_acc)
+                latencies.append(end - pending.submit_time_ms)
+                self._account_record(record, counters)
+                complete_seq += 1
+                heappush(
+                    events,
+                    (end, TXN_COMPLETE, complete_seq,
+                     (pending.request.client_id, record.committed, pending)),
+                )
+            for pending in blocked:
+                scheduler.requeue(pending)
+            if blocked_until != float("inf") and blocked_until < next_wakeup[0]:
+                next_wakeup[0] = blocked_until
+                heappush(events, (blocked_until, PARTITION_RELEASE, 0, None))
+
+        if admission is None and not gate_on_partitions:
+            # Pass-through fast path: dispatch follows submission immediately
+            # (no capacity gate can block it), so each client's completion is
+            # folded into its next CLIENT_READY event — one heap entry per
+            # transaction.  Submissions still go through the scheduler, so
+            # the policy orders them and the stats stay live.
+            replay = self._replay_timing
+            scheduler_submit = scheduler.submit
+            scheduler_pop = scheduler.pop
+            next_request = generator.next_request
+            execute = coordinator.execute_transaction
+            while events:
+                now, _, client_id, payload = heappop(events)
+                if payload is not None:
+                    completions.append(payload)
+                if submitted >= total:
+                    continue
+                submitted += 1
+                raw = next_request()
+                request = ProcedureRequest(
+                    raw.procedure, raw.parameters, client_id, client_id % num_nodes
+                )
+                # need_estimates is necessarily False here: this path runs
+                # only without admission control and with a non-predictive
+                # policy, so submissions carry no estimate.
+                pending = scheduler_submit(request)
+                pending.submit_time_ms = now
+                pending = scheduler_pop()
+                record = execute(pending.request)
+                end = replay(record, now, partition_free, breakdown_acc)
+                latencies.append(end - pending.submit_time_ms)
+                self._account_record(record, counters)
+                heappush(
+                    events,
+                    (end + think, CLIENT_READY, pending.request.client_id,
+                     (end, record.committed)),
+                )
+        else:
+            while events:
+                now, kind, tiebreak, payload = heappop(events)
+                if kind == CLIENT_READY:
+                    if submitted >= total:
+                        continue
+                    submitted += 1
+                    raw = generator.next_request()
+                    request = ProcedureRequest(
+                        raw.procedure, raw.parameters, tiebreak, tiebreak % num_nodes
+                    )
+                    estimate = (
+                        strategy.preview_estimate(request) if need_estimates else None
+                    )
+                    base_partition = 0
+                    if estimate is not None and not estimate.degenerate:
+                        base_partition = estimate.base_partition() or 0
+                    pending = scheduler.submit(
+                        request, estimate, base_partition=base_partition
+                    )
+                    pending.submit_time_ms = now
+                    drain(now)
+                elif kind == TXN_COMPLETE:
+                    client_id, was_committed, pending = payload
+                    if admission is not None:
+                        admission.release(pending)
+                    completions.append((now, was_committed))
+                    heappush(events, (now + think, CLIENT_READY, client_id, None))
+                    if scheduler:
+                        drain(now)
+                else:  # PARTITION_RELEASE
+                    if next_wakeup[0] <= now:
+                        next_wakeup[0] = float("inf")
+                    if scheduler:
+                        drain(now)
+
+        # Fold the accumulators into the result object.
+        result.latencies_ms = latencies
+        result.committed = counters["committed"]
+        result.user_aborted = counters["user_aborted"]
+        result.restarts = counters["restarts"]
+        result.escalations = counters["escalations"]
+        result.undo_disabled = counters["undo_disabled"]
+        result.early_prepared = counters["early_prepared"]
+        result.single_partition = counters["single_partition"]
+        result.distributed = counters["distributed"]
+        result.rejected = counters["rejected"]
+        for procedure, acc in breakdown_acc.items():
+            result.breakdowns[procedure] = ProcedureBreakdown(
+                procedure=procedure,
+                transactions=acc[_TXNS],
+                estimation_ms=acc[_EST],
+                planning_ms=acc[_PLAN],
+                execution_ms=acc[_EXEC],
+                coordination_ms=acc[_COORD],
+                other_ms=acc[_OTHER],
             )
-            record = self.coordinator.execute_transaction(request)
-            end_time = self._replay_timing(record, submit_time, partition_free, result)
-            latency = end_time - submit_time
-            result.latencies_ms.append(latency)
-            completions.append((end_time, record.committed))
-            client_ready[client_id] = end_time + self.config.client_think_time_ms
-            self._account_record(record, result)
+        result.scheduler_stats = scheduler.stats
+        result.admission_stats = admission.stats if admission is not None else None
         self._finalize_window(completions, result)
         return result
 
@@ -108,80 +324,101 @@ class ClusterSimulator:
         record: TransactionRecord,
         submit_time: float,
         partition_free: list[float],
-        result: SimulationResult,
+        breakdown_acc: dict[str, list],
     ) -> float:
         """Schedule every attempt of a transaction onto the partitions."""
         num_partitions = self.catalog.num_partitions
+        attempt_timing = self.cost_model.attempt_timing
         clock = submit_time
-        breakdown = result.breakdown_for(record.procedure)
-        for attempt_index, (plan, attempt) in enumerate(record.attempt_pairs()):
-            timing = self.cost_model.attempt_timing(plan, attempt, num_partitions)
-            lock_set = list(plan.lock_set(num_partitions))
+        acc = breakdown_acc.get(record.procedure)
+        if acc is None:
+            acc = [0, 0.0, 0.0, 0.0, 0.0, 0.0]
+            breakdown_acc[record.procedure] = acc
+        pairs = record.attempt_pairs()
+        last_index = len(pairs) - 1
+        for attempt_index, (plan, attempt) in enumerate(pairs):
+            timing = attempt_timing(plan, attempt, num_partitions)
+            lock_set = plan.lock_set(num_partitions).partitions
             ready = clock + plan.estimation_ms + timing.planning_ms
-            start = max([ready] + [partition_free[p] for p in lock_set])
+            start = ready
             for partition_id in lock_set:
-                partition_free[partition_id] = start + timing.release_offsets[partition_id]
+                free_at = partition_free[partition_id]
+                if free_at > start:
+                    start = free_at
+            release_offsets = timing.release_offsets
+            for partition_id in lock_set:
+                partition_free[partition_id] = start + release_offsets[partition_id]
             # Escalated partitions (OP3 safety valve) are acquired late: the
             # transaction stalls until they are free, on top of its own work.
             stall = 0.0
-            for partition_id in attempt.escalated_partitions:
-                if partition_id not in lock_set:
-                    acquire_at = max(start, partition_free[partition_id])
-                    stall = max(stall, acquire_at - start)
-                    partition_free[partition_id] = start + timing.total_ms + stall
+            escalated = attempt.escalated_partitions
+            if escalated:
+                lock_members = set(lock_set)
+                for partition_id in escalated:
+                    if partition_id not in lock_members:
+                        acquire_at = max(start, partition_free[partition_id])
+                        stall = max(stall, acquire_at - start)
+                        partition_free[partition_id] = start + timing.total_ms + stall
             end = start + timing.total_ms + stall
             clock = end
-            if attempt_index < len(record.attempts) - 1:
+            if attempt_index < last_index:
                 # The attempt was thrown away; the next one starts after a
                 # redirect round-trip.
                 clock += self.cost_model.redirect_ms
-            breakdown.transactions += 1
-            breakdown.estimation_ms += timing.estimation_ms
-            breakdown.planning_ms += timing.planning_ms
-            breakdown.execution_ms += timing.execution_ms
-            breakdown.coordination_ms += timing.coordination_ms
-            breakdown.other_ms += timing.setup_ms
+            acc[_TXNS] += 1
+            acc[_EST] += timing.estimation_ms
+            acc[_PLAN] += timing.planning_ms
+            acc[_EXEC] += timing.execution_ms
+            acc[_COORD] += timing.coordination_ms
+            acc[_OTHER] += timing.setup_ms
         return clock
 
     # ------------------------------------------------------------------
-    def _account_record(self, record: TransactionRecord, result: SimulationResult) -> None:
+    @staticmethod
+    def _account_record(record: TransactionRecord, counters: dict) -> None:
         if record.committed:
-            result.committed += 1
+            counters["committed"] += 1
         else:
-            result.user_aborted += 1
-        result.restarts += record.restarts
-        result.escalations += sum(
-            1 for attempt in record.attempts if attempt.escalated_partitions
-        )
+            counters["user_aborted"] += 1
+        counters["restarts"] += record.restarts
+        escalations = 0
+        for attempt in record.attempts:
+            if attempt.escalated_partitions:
+                escalations += 1
+        counters["escalations"] += escalations
         if record.undo_disabled:
-            result.undo_disabled += 1
+            counters["undo_disabled"] += 1
         if record.early_prepared_partitions:
-            result.early_prepared += 1
+            counters["early_prepared"] += 1
         if record.single_partitioned:
-            result.single_partition += 1
+            counters["single_partition"] += 1
         else:
-            result.distributed += 1
+            counters["distributed"] += 1
 
     def _finalize_window(
         self, completions: list[tuple[float, bool]], result: SimulationResult
     ) -> None:
-        """Compute the post-warm-up measurement window (paper: 60s warm-up)."""
+        """Compute the post-warm-up measurement window (paper: 60s warm-up).
+
+        ``completions`` is produced by ``TXN_COMPLETE`` events, i.e. already
+        ordered by end time — one linear pass, no sort.
+        """
         if not completions:
             result.simulated_duration_ms = 0.0
             return
-        finished = sorted(completions)
-        result.simulated_duration_ms = finished[-1][0]
+        last_end = completions[-1][0]
+        result.simulated_duration_ms = last_end
         warmup_index = min(
-            int(len(finished) * self.config.warmup_fraction), len(finished) - 1
+            int(len(completions) * self.config.warmup_fraction), len(completions) - 1
         )
-        warmup_time = finished[warmup_index][0] if warmup_index > 0 else 0.0
-        window = finished[-1][0] - warmup_time
+        warmup_time = completions[warmup_index][0] if warmup_index > 0 else 0.0
+        window = last_end - warmup_time
         if window <= 0:
             # Degenerate (single transaction): fall back to the full run.
-            result.window_duration_ms = finished[-1][0]
-            result.window_committed = sum(1 for _, committed in finished if committed)
+            result.window_duration_ms = last_end
+            result.window_committed = sum(1 for _, committed in completions if committed)
             return
         result.window_duration_ms = window
         result.window_committed = sum(
-            1 for end, committed in finished if committed and end > warmup_time
+            1 for end, committed in completions if committed and end > warmup_time
         )

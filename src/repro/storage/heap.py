@@ -14,6 +14,11 @@ from ..errors import DuplicateKeyError, StorageError
 from ..catalog.table import Table
 from .indexes import HashIndex, OrderedIndex
 
+#: Shared empty list for the no-affected-indexes common case.
+_NO_INDEXES: list = []
+#: Shared empty row list for primary-key misses.
+_NO_ROWS: list = []
+
 
 class RowHeap:
     """All rows of one table stored on one partition."""
@@ -28,6 +33,18 @@ class RowHeap:
         self._secondary: dict[str, HashIndex | OrderedIndex] = {}
         for index in table.secondary_indexes:
             self._secondary[index.name] = HashIndex(tuple(index.columns), unique=index.unique)
+        #: Non-unique indexes over proper prefixes of the primary key, built
+        #: lazily the first time a predicate covers that prefix (OLTP code
+        #: like TPC-C's ORDER_LINE or TATP's CALL_FORWARDING constantly looks
+        #: rows up by a PK prefix, which would otherwise be a full scan).
+        #: Keyed by prefix length; maintained by every mutation thereafter.
+        self._prefix: dict[int, HashIndex] = {}
+        #: Precomputed column sets consulted on every ``find``.
+        self._pk_columns: tuple[str, ...] = tuple(table.primary_key or ())
+        self._pk_set: frozenset[str] = frozenset(self._pk_columns)
+        self._secondary_sets: tuple[tuple[HashIndex | OrderedIndex, frozenset[str]], ...] = tuple(
+            (index, frozenset(index.columns)) for index in self._secondary.values()
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -49,22 +66,56 @@ class RowHeap:
         except KeyError:
             raise StorageError(f"no row with id {row_id} in table {self.table.name!r}") from None
 
+    def row(self, row_id: int) -> dict[str, Any]:
+        """The *live* row dict — read-only, executor fast path only."""
+        try:
+            return self._rows[row_id]
+        except KeyError:
+            raise StorageError(f"no row with id {row_id} in table {self.table.name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Primary-key fast path (compiled executor access plans)
+    # ------------------------------------------------------------------
+    def pk_row_ids(self, key: tuple[Any, ...]) -> list[int]:
+        """Row ids carrying an exact primary-key tuple.
+
+        Returns the live index bucket (possibly a shared empty list):
+        callers that mutate the heap while iterating must copy it first.
+        """
+        if self._primary is None:
+            raise StorageError(f"table {self.table.name!r} has no primary key")
+        return self._primary.lookup_readonly(key)
+
+    def pk_rows(self, key: tuple[Any, ...]) -> list[dict[str, Any]]:
+        """Live row dicts for an exact primary-key tuple (read-only)."""
+        if self._primary is None:
+            raise StorageError(f"table {self.table.name!r} has no primary key")
+        bucket = self._primary.lookup_readonly(key)
+        if not bucket:
+            return _NO_ROWS
+        rows = self._rows
+        return [rows[row_id] for row_id in bucket]
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def insert(self, values: dict[str, Any]) -> int:
         """Insert a row (validated against the table) and return its row id."""
         row = self.table.new_row(values)
-        if self._primary is not None:
-            key = self._primary.key_of(row)
-            if self._primary.contains(key):
+        primary = self._primary
+        key = None
+        if primary is not None:
+            key = primary.key_of(row)
+            if primary.contains(key):
                 raise DuplicateKeyError(self.table.name, key)
         row_id = self._next_row_id
         self._next_row_id += 1
         self._rows[row_id] = row
-        if self._primary is not None:
-            self._primary.insert(self._primary.key_of(row), row_id)
+        if primary is not None:
+            primary.insert(key, row_id)
         for index in self._secondary.values():
+            index.insert(index.key_of(row), row_id)
+        for index in self._prefix.values():
             index.insert(index.key_of(row), row_id)
         return row_id
 
@@ -72,35 +123,62 @@ class RowHeap:
         """Re-insert a previously deleted row under its original id (undo)."""
         if row_id in self._rows:
             raise StorageError(f"row id {row_id} already present")
-        self._rows[row_id] = dict(row)
+        stored = dict(row)
+        self._rows[row_id] = stored
         self._next_row_id = max(self._next_row_id, row_id + 1)
         if self._primary is not None:
             self._primary.insert(self._primary.key_of(row), row_id)
         for index in self._secondary.values():
             index.insert(index.key_of(row), row_id)
+        for index in self._prefix.values():
+            index.insert(index.key_of(stored), row_id)
 
-    def update(self, row_id: int, assignments: dict[str, Any]) -> dict[str, Any]:
-        """Apply column assignments to a row, returning its *previous* image."""
+    def update(
+        self,
+        row_id: int,
+        assignments: dict[str, Any],
+        *,
+        validate: bool = True,
+        capture_before: bool = True,
+    ) -> dict[str, Any] | None:
+        """Apply column assignments to a row, returning its *previous* image.
+
+        ``validate=False`` skips the per-call type validation; callers (the
+        statement executor) use it after validating a shared assignment dict
+        once for a whole multi-row update.  ``capture_before=False`` skips
+        building the previous-image copy and returns ``None`` — for updates
+        whose undo logging is disabled (OP3), where the image would be
+        dropped anyway.
+        """
         if row_id not in self._rows:
             raise StorageError(f"no row with id {row_id} in table {self.table.name!r}")
-        self.table.validate_update(assignments)
+        if validate:
+            self.table.validate_update(assignments)
         current = self._rows[row_id]
-        before = dict(current)
-        reindex_primary = self._primary is not None and any(
-            column in self.table.primary_key for column in assignments
+        reindex_primary = self._primary is not None and not self._pk_set.isdisjoint(
+            assignments
         )
         affected_secondary = [
-            index for index in self._secondary.values()
+            index for index, column_set in self._secondary_sets
+            if not column_set.isdisjoint(assignments)
+        ] if self._secondary else _NO_INDEXES
+        affected_prefix = [
+            index for index in self._prefix.values()
             if any(column in index.columns for column in assignments)
-        ]
+        ] if self._prefix else _NO_INDEXES
         if reindex_primary:
-            self._primary.remove(self._primary.key_of(before), row_id)
+            self._primary.remove(self._primary.key_of(current), row_id)
         for index in affected_secondary:
-            index.remove(index.key_of(before), row_id)
+            index.remove(index.key_of(current), row_id)
+        for index in affected_prefix:
+            index.remove(index.key_of(current), row_id)
+        before = dict(current) if capture_before else None
         current.update(assignments)
         if reindex_primary:
             self._primary.insert(self._primary.key_of(current), row_id)
         for index in affected_secondary:
+            index.insert(index.key_of(current), row_id)
+        for index in affected_prefix:
             index.insert(index.key_of(current), row_id)
         return before
 
@@ -113,6 +191,8 @@ class RowHeap:
             self._primary.remove(self._primary.key_of(row), row_id)
         for index in self._secondary.values():
             index.remove(index.key_of(row), row_id)
+        for index in self._prefix.values():
+            index.remove(index.key_of(row), row_id)
         return row
 
     # ------------------------------------------------------------------
@@ -122,31 +202,86 @@ class RowHeap:
         """Return the row ids matching conjunctive equality predicates.
 
         Uses the primary-key index when the predicate covers it, a secondary
-        index when one matches a subset of the predicate columns, and falls
-        back to a sequential scan otherwise.
+        index when one matches a subset of the predicate columns, a lazily
+        built primary-key *prefix* index when the predicate covers a proper
+        prefix of the primary key, and falls back to a sequential scan
+        otherwise.
         """
         if not predicate:
             return list(self._rows.keys())
-        candidates = self._candidate_ids(predicate)
+        candidates, exact = self._candidate_ids(predicate)
+        if exact:
+            # The index key covers every predicate column, so the candidates
+            # already satisfy the predicate — no per-row verification needed.
+            return candidates
+        rows = self._rows
         matching = []
         for row_id in candidates:
-            row = self._rows.get(row_id)
+            row = rows.get(row_id)
             if row is None:
                 continue
             if all(row.get(column) == value for column, value in predicate.items()):
                 matching.append(row_id)
         return matching
 
-    def _candidate_ids(self, predicate: dict[str, Any]) -> list[int]:
-        predicate_columns = set(predicate)
-        if self._primary is not None and set(self.table.primary_key) <= predicate_columns:
-            key = tuple(predicate[c] for c in self.table.primary_key)
-            return self._primary.lookup(key)
-        for index in self._secondary.values():
-            if set(index.columns) <= predicate_columns:
+    def _candidate_ids(self, predicate: dict[str, Any]) -> tuple[list[int], bool]:
+        """Candidate row ids plus whether they need no further verification."""
+        predicate_columns = predicate.keys()
+        primary_key = self._pk_columns
+        if self._primary is not None and self._pk_set <= predicate_columns:
+            key = tuple(predicate[c] for c in primary_key)
+            return self._primary.lookup(key), len(predicate) == len(primary_key)
+        for index, column_set in self._secondary_sets:
+            if column_set <= predicate_columns:
                 key = tuple(predicate[c] for c in index.columns)
-                return index.lookup(key)
-        return list(self._rows.keys())
+                return index.lookup(key), len(predicate) == len(index.columns)
+        if primary_key:
+            length = 0
+            for column in primary_key:
+                if column not in predicate_columns:
+                    break
+                length += 1
+            if length > 0:
+                index = self._prefix_index(length)
+                key = tuple(predicate[c] for c in primary_key[:length])
+                return index.lookup(key), len(predicate) == length
+        return list(self._rows.keys()), False
+
+    def _prefix_index(self, length: int) -> HashIndex:
+        """Get (or lazily build) the index over the first ``length`` PK columns.
+
+        The build scans rows in storage order so lookups return ids in the
+        same order the sequential-scan fallback used to produce.
+        """
+        index = self._prefix.get(length)
+        if index is None:
+            index = HashIndex(self._pk_columns[:length])
+            for row_id, row in self._rows.items():
+                index.insert(index.key_of(row), row_id)
+            self._prefix[length] = index
+        return index
+
+    def _find_readonly(self, predicate: dict[str, Any]) -> list[int]:
+        """Like :meth:`find` but may return a live index bucket.
+
+        Only safe for callers that do not mutate the heap while holding the
+        result (SELECT / aggregate paths); :meth:`find` itself always copies
+        because the write paths delete/update rows while iterating.
+        """
+        if not predicate:
+            return list(self._rows.keys())
+        predicate_columns = predicate.keys()
+        primary_key = self._pk_columns
+        if self._primary is not None and self._pk_set <= predicate_columns:
+            if len(predicate) == len(primary_key):
+                key = tuple(predicate[c] for c in primary_key)
+                return self._primary.lookup_readonly(key)
+        else:
+            for index, column_set in self._secondary_sets:
+                if column_set <= predicate_columns and len(predicate) == len(index.columns):
+                    key = tuple(predicate[c] for c in index.columns)
+                    return index.lookup_readonly(key)
+        return self.find(predicate)
 
     def select(
         self,
@@ -157,16 +292,17 @@ class RowHeap:
         limit: int | None = None,
     ) -> list[dict[str, Any]]:
         """Run a SELECT against this heap and return projected row copies."""
-        row_ids = self.find(predicate)
-        rows = [dict(self._rows[row_id]) for row_id in row_ids]
+        row_ids = self._find_readonly(predicate)
+        rows = self._rows
+        found = [rows[row_id] for row_id in row_ids]
         if order_by is not None:
             column, descending = order_by
-            rows.sort(key=lambda r: r[column], reverse=descending)
+            found = sorted(found, key=lambda r: r[column], reverse=descending)
         if limit is not None:
-            rows = rows[:limit]
+            found = found[:limit]
         if output_columns:
-            rows = [{c: row[c] for c in output_columns} for row in rows]
-        return rows
+            return [{c: row[c] for c in output_columns} for row in found]
+        return [dict(row) for row in found]
 
     def aggregate(self, predicate: dict[str, Any], column: str, func: Callable[[list[Any]], Any]) -> Any:
         """Apply ``func`` to the values of ``column`` across matching rows."""

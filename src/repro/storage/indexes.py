@@ -20,6 +20,9 @@ from typing import Any, Iterable, Iterator
 
 from ..errors import StorageError
 
+#: Shared empty bucket returned by read-only misses.
+_EMPTY_BUCKET: list[int] = []
+
 
 class HashIndex:
     """A (possibly non-unique) hash index from key tuples to row ids."""
@@ -50,6 +53,14 @@ class HashIndex:
 
     def lookup(self, key: tuple[Any, ...]) -> list[int]:
         return list(self._entries.get(key, ()))
+
+    def lookup_readonly(self, key: tuple[Any, ...]):
+        """Bucket for ``key`` without the defensive copy.
+
+        The returned sequence is live index state — callers must not mutate
+        it or the heap while holding it (the read-only SELECT path).
+        """
+        return self._entries.get(key, _EMPTY_BUCKET)
 
     def contains(self, key: tuple[Any, ...]) -> bool:
         return key in self._entries
@@ -98,6 +109,10 @@ class OrderedIndex:
 
     def lookup(self, key: tuple[Any, ...]) -> list[int]:
         return list(self._entries.get(key, ()))
+
+    def lookup_readonly(self, key: tuple[Any, ...]):
+        """Bucket for ``key`` without the defensive copy (read-only use)."""
+        return self._entries.get(key, _EMPTY_BUCKET)
 
     def range(
         self,

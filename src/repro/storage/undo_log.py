@@ -90,20 +90,43 @@ class UndoLog:
             self._skipped += 1
 
     def record_insert(self, table: str, partition_id: int, row_id: int) -> None:
-        self.record(UndoRecord(UndoAction.INSERT, table, partition_id, row_id))
+        if not self._enabled:
+            self._skipped += 1
+            return
+        self._records.append(UndoRecord(UndoAction.INSERT, table, partition_id, row_id))
+
+    def note_skipped(self) -> None:
+        """Count a record the caller proved unnecessary to even build.
+
+        The executor uses this when undo logging is disabled to skip the
+        before-image copy entirely while keeping the skipped-records metric
+        (which drives OP3 accounting and lock-escalation safety) exact.
+        """
+        self._skipped += 1
 
     def record_update(
         self, table: str, partition_id: int, row_id: int, before_image: dict[str, Any]
     ) -> None:
-        self.record(
-            UndoRecord(UndoAction.UPDATE, table, partition_id, row_id, dict(before_image))
+        """Record a row's previous image.  The log takes ownership of
+        ``before_image`` — callers must pass a dict they will not mutate
+        afterwards (the row heap hands back a fresh copy)."""
+        if not self._enabled:
+            self._skipped += 1
+            return
+        self._records.append(
+            UndoRecord(UndoAction.UPDATE, table, partition_id, row_id, before_image)
         )
 
     def record_delete(
         self, table: str, partition_id: int, row_id: int, before_image: dict[str, Any]
     ) -> None:
-        self.record(
-            UndoRecord(UndoAction.DELETE, table, partition_id, row_id, dict(before_image))
+        """Record a deleted row.  Takes ownership of ``before_image`` (the
+        heap no longer references the popped row dict)."""
+        if not self._enabled:
+            self._skipped += 1
+            return
+        self._records.append(
+            UndoRecord(UndoAction.DELETE, table, partition_id, row_id, before_image)
         )
 
     # ------------------------------------------------------------------

@@ -99,6 +99,10 @@ class HoudiniStrategy(ExecutionStrategy):
         self._current_plans = []
         self._current_request = None
 
+    def preview_estimate(self, request: ProcedureRequest):
+        """Expose Houdini's path estimate to the scheduling layer."""
+        return self.houdini.estimate(request)
+
     # ------------------------------------------------------------------
     @property
     def stats(self):

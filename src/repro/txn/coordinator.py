@@ -66,8 +66,7 @@ class TransactionCoordinator:
                 undo_enabled=plan.undo_logging,
                 listeners=listeners,
             )
-            record.plans.append(plan)
-            record.attempts.append(attempt)
+            record.add_attempt(plan, attempt)
             if attempt.outcome is not AttemptOutcome.MISPREDICTION:
                 break
             plan = self.strategy.plan_restart(request, plan, attempt, attempt_number + 1)

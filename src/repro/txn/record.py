@@ -2,14 +2,17 @@
 
 A logical transaction may consist of several *attempts* (because of
 DB2-style redirects or misprediction restarts).  The record collects the
-plans and attempt results, which is everything the metrics layer, the
-simulator's cost model and the accuracy evaluation need.
+plans and attempt results as aligned (plan, attempt) pairs, which is
+everything the metrics layer, the simulator's cost model and the accuracy
+evaluation need.  The coordinator appends pairs through :meth:`add_attempt`;
+consumers iterate them through :meth:`attempt_pairs`, which returns a
+concrete list (the simulator replays it once per transaction on its hot
+path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
 
 from ..engine.engine import AttemptOutcome, AttemptResult
 from ..types import PartitionSet, ProcedureRequest, TransactionId
@@ -30,6 +33,10 @@ class TransactionRecord:
     undo_disabled: bool = False
     #: Partitions that were early-prepared (speculation targets, OP4).
     early_prepared_partitions: frozenset[int] = frozenset()
+    #: Aligned (plan, attempt) pairs maintained by :meth:`add_attempt`.
+    _pairs: list[tuple[ExecutionPlan, AttemptResult]] = field(
+        default_factory=list, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -79,8 +86,29 @@ class TransactionRecord:
         """Queries executed by attempts that had to be thrown away."""
         return sum(len(attempt.invocations) for attempt in self.attempts[:-1])
 
-    def attempt_pairs(self) -> Iterator[tuple[ExecutionPlan, AttemptResult]]:
-        yield from zip(self.plans, self.attempts)
+    # ------------------------------------------------------------------
+    # Attempt-pair API
+    # ------------------------------------------------------------------
+    def add_attempt(self, plan: ExecutionPlan, attempt: AttemptResult) -> None:
+        """Append one aligned (plan, attempt) pair (the coordinator's path)."""
+        self.plans.append(plan)
+        self.attempts.append(attempt)
+        self._pairs.append((plan, attempt))
+
+    def attempt_pairs(self) -> list[tuple[ExecutionPlan, AttemptResult]]:
+        """Aligned (plan, attempt) pairs, oldest first, as a concrete list.
+
+        The returned list is shared with the record — callers must not
+        mutate it.  Records whose ``plans``/``attempts`` lists were populated
+        directly (tests, deserialization) are re-paired on demand.
+        """
+        if len(self._pairs) != len(self.attempts) or len(self._pairs) != len(self.plans):
+            self._pairs = list(zip(self.plans, self.attempts))
+        return self._pairs
+
+    @property
+    def attempt_count(self) -> int:
+        return len(self.attempts)
 
     @property
     def total_estimation_ms(self) -> float:

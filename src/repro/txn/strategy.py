@@ -61,6 +61,17 @@ class ExecutionStrategy(ABC):
         """Per-query listeners to attach to the attempt (Houdini's monitor)."""
         return ()
 
+    def preview_estimate(self, request: ProcedureRequest):
+        """Path estimate for the *scheduling* layer, or ``None``.
+
+        Called by the event-driven simulator when a prediction-aware queue
+        policy or admission control needs cost/partition annotations for a
+        request before it is dispatched.  Strategies without a predictive
+        model return ``None`` (the scheduler then treats the request as an
+        unannotated arrival).
+        """
+        return None
+
     def on_transaction_complete(self, record: TransactionRecord) -> None:
         """Called once per logical transaction after it commits or aborts."""
 

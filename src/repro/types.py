@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Sequence
+from typing import Any, NamedTuple, Sequence
 
 PartitionId = int
 NodeId = int
@@ -162,13 +162,13 @@ def _interned(partitions: tuple[PartitionId, ...]) -> PartitionSet:
     return PartitionSet(partitions)
 
 
-@dataclass(frozen=True)
-class ProcedureRequest:
+class ProcedureRequest(NamedTuple):
     """A client request: a stored-procedure name plus its input parameters.
 
     This is the unit of work that arrives at the transaction coordinator
     (Fig. 1 of the paper) and the unit that Houdini builds an initial path
-    estimate for.
+    estimate for.  A named tuple rather than a dataclass: the closed-loop
+    simulator constructs one per submission on its hot path.
     """
 
     procedure: str
@@ -178,10 +178,10 @@ class ProcedureRequest:
 
     @staticmethod
     def of(procedure: str, parameters: Sequence[ParameterValue], **kwargs: Any) -> "ProcedureRequest":
-        return ProcedureRequest(procedure=procedure, parameters=tuple(parameters), **kwargs)
+        return ProcedureRequest(procedure, tuple(parameters), **kwargs)
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryInvocation:
     """One executed query inside a transaction.
 

@@ -7,8 +7,8 @@ from repro.errors import WorkloadError
 
 
 class TestRegistry:
-    def test_all_three_benchmarks_registered(self):
-        assert set(available_benchmarks()) == {"tatp", "tpcc", "auctionmark"}
+    def test_all_benchmarks_registered(self):
+        assert set(available_benchmarks()) == {"tatp", "tpcc", "auctionmark", "smallbank"}
 
     def test_unknown_benchmark_raises(self):
         with pytest.raises(WorkloadError):

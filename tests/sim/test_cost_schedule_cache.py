@@ -1,0 +1,118 @@
+"""Tests for the CostModel's per-plan-shape cost-schedule cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import AttemptOutcome, AttemptResult
+from repro.sim import CostModel
+from repro.txn.plan import ExecutionPlan
+from repro.types import PartitionSet, ProcedureRequest, QueryInvocation, QueryType
+
+
+def _attempt(partitions_per_query, committed=True, undo=0, finished=frozenset()):
+    invocations = [
+        QueryInvocation(
+            statement=f"Q{i}", parameters=(), partitions=PartitionSet.of(p),
+            counter=0, query_type=QueryType.READ,
+        )
+        for i, p in enumerate(partitions_per_query)
+    ]
+    return AttemptResult(
+        outcome=AttemptOutcome.COMMITTED if committed else AttemptOutcome.USER_ABORT,
+        procedure="P", parameters=(), base_partition=0,
+        touched_partitions=PartitionSet.of(
+            [pid for ps in partitions_per_query for pid in ps]
+        ),
+        invocations=invocations,
+        undo_records_written=undo,
+        finished_partitions=finished,
+    )
+
+
+def _plan(base=0, locked=(0,), estimation_ms=0.0):
+    return ExecutionPlan(
+        base_partition=base,
+        locked_partitions=PartitionSet.of(locked),
+        estimation_ms=estimation_ms,
+    )
+
+
+class TestScheduleCache:
+    def test_cached_timing_equals_fresh_computation(self):
+        shapes = [
+            (_plan(0, (0,)), _attempt([[0], [0]])),
+            (_plan(0, (0, 1)), _attempt([[0], [1]], finished=frozenset({1}))),
+            (_plan(1, (0, 1, 2)), _attempt([[1], [0], [2]], committed=False)),
+            (_plan(0, (0,), estimation_ms=0.25), _attempt([[0]], undo=3)),
+        ]
+        cached_model = CostModel()
+        for plan, attempt in shapes:
+            first = cached_model.attempt_timing(plan, attempt, 4)
+            again = cached_model.attempt_timing(plan, attempt, 4)  # cache hit
+            fresh = CostModel().attempt_timing(plan, attempt, 4)
+            for timing in (again, fresh):
+                assert timing.total_ms == first.total_ms
+                assert timing.execution_ms == first.execution_ms
+                assert timing.coordination_ms == first.coordination_ms
+                assert timing.planning_ms == first.planning_ms
+                assert timing.setup_ms == first.setup_ms
+                assert timing.release_offsets == first.release_offsets
+
+    def test_estimation_ms_is_not_cached_into_the_shape(self):
+        model = CostModel()
+        attempt = _attempt([[0]])
+        cheap = model.attempt_timing(_plan(estimation_ms=0.0), attempt, 4)
+        costly = model.attempt_timing(_plan(estimation_ms=1.5), attempt, 4)
+        assert costly.total_ms == pytest.approx(cheap.total_ms + 1.5)
+        assert costly.estimation_ms == 1.5
+
+    def test_clear_schedule_cache_after_constant_mutation(self):
+        model = CostModel()
+        plan, attempt = _plan(), _attempt([[0]])
+        before = model.attempt_timing(plan, attempt, 4).total_ms
+        model.query_local_ms *= 10
+        model.clear_schedule_cache()
+        after = model.attempt_timing(plan, attempt, 4).total_ms
+        assert after > before
+
+    def test_adaptive_bypass_keeps_results_identical(self):
+        model = CostModel()
+        # Force the probation verdict: unique shapes only, no hits.
+        model._CACHE_PROBATION  # the class constant exists
+        reference = CostModel()
+        for i in range(600):
+            plan = _plan(locked=(i % 4,), base=i % 4)
+            attempt = _attempt([[i % 4]], undo=i)  # unique shape per call
+            got = model.attempt_timing(plan, attempt, 4)
+            want = reference._compute_schedule(
+                plan.base_partition, plan.lock_set(4), attempt
+            )
+            assert got.execution_ms == want[0]
+            assert got.coordination_ms == want[1]
+        assert model._cache_bypassed  # unique shapes triggered the bypass
+
+
+class TestAttemptPairAPI:
+    def test_add_attempt_keeps_pairs_aligned(self):
+        from repro.txn.record import TransactionRecord
+
+        record = TransactionRecord(txn_id=1, request=ProcedureRequest.of("P", ()))
+        plan_a, plan_b = _plan(), _plan(base=1, locked=(1,))
+        attempt_a = _attempt([[0]], committed=False)
+        attempt_b = _attempt([[1]])
+        record.add_attempt(plan_a, attempt_a)
+        record.add_attempt(plan_b, attempt_b)
+        assert record.attempt_pairs() == [(plan_a, attempt_a), (plan_b, attempt_b)]
+        assert record.attempt_count == 2
+        assert record.plans == [plan_a, plan_b]
+        assert record.attempts == [attempt_a, attempt_b]
+
+    def test_directly_populated_records_are_repaired(self):
+        from repro.txn.record import TransactionRecord
+
+        record = TransactionRecord(txn_id=1, request=ProcedureRequest.of("P", ()))
+        plan, attempt = _plan(), _attempt([[0]])
+        record.plans.append(plan)
+        record.attempts.append(attempt)
+        assert record.attempt_pairs() == [(plan, attempt)]

@@ -45,10 +45,10 @@ class TestParser:
 
 
 class TestCommands:
-    def test_list_benchmarks_prints_all_three(self, capsys):
+    def test_list_benchmarks_prints_all(self, capsys):
         assert main(["list-benchmarks"]) == 0
         out = capsys.readouterr().out.split()
-        assert set(out) == {"tatp", "tpcc", "auctionmark"}
+        assert set(out) == {"tatp", "tpcc", "auctionmark", "smallbank"}
 
     def test_train_and_inspect_round_trip(self, tmp_path, capsys):
         target = tmp_path / "bundle"
