@@ -4,25 +4,50 @@ The paper notes that very short single-partition transactions can spend a
 large share of their time inside Houdini (46.5% for AuctionMark's
 ``NewComment``) and that caching the estimates of non-abortable,
 always-single-partition procedures would remove that overhead entirely.
-This benchmark compares the simulated per-transaction estimation cost and
-the wall-clock planning latency on TATP (whose workload is dominated by
-exactly such procedures) with the cache disabled and enabled.
+
+Cached/compiled planning is the *default operating mode* now, so this
+benchmark checks three things on TATP (whose workload is dominated by
+exactly such procedures):
+
+* **decision equivalence** — all three planning modes (stepwise walks,
+  chain-compiled walks, compiled walks + §6.3 cache) must produce
+  byte-identical optimization decisions and identical charged (simulated)
+  estimation costs; this is what the CI smoke job asserts on every PR;
+* **overhead** — wall-clock planning latency drops versus stepwise
+  per-request walks;
+* **§6.3 what-if** — the ``estimate_cache_simulated_savings`` mode
+  reproduces the paper's simulated estimation-cost reduction.
 """
+
+import os
+import time
 
 from repro import pipeline
 from repro.houdini import Houdini, HoudiniConfig
 
 
-def _houdini(artifacts, *, caching: bool) -> Houdini:
+def _houdini(artifacts, **config_kwargs) -> Houdini:
     return Houdini(
         artifacts.benchmark.catalog,
         artifacts.global_provider(),
         artifacts.mappings,
         HoudiniConfig(
-            enable_estimate_caching=caching,
             disabled_procedures=artifacts.benchmark.bundle.houdini_disabled_procedures,
+            **config_kwargs,
         ),
         learning=False,
+    )
+
+
+def _decision_fields(decision):
+    return (
+        decision.base_partition,
+        decision.locked_partitions,
+        decision.predicted_single_partition,
+        decision.disable_undo,
+        sorted(decision.finish_after_query.items()),
+        decision.abort_probability,
+        decision.confidence,
     )
 
 
@@ -37,30 +62,68 @@ def test_estimate_cache_reduces_planning_overhead(benchmark, scale, save_result)
         max(300, scale.accuracy_test_transactions // 2)
     )
 
-    def plan_all(caching: bool):
-        houdini = _houdini(artifacts, caching=caching)
-        charged = 0.0
-        for request in requests:
-            plan = houdini.plan(request)
-            charged += plan.plan.estimation_ms
-        return houdini, charged / len(requests)
+    def plan_all(houdini: Houdini):
+        for request in requests[: len(requests) // 3]:
+            houdini.plan(request)  # warm caches and intern tables
+        started = time.perf_counter()
+        plans = [houdini.plan(request) for request in requests]
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        charged = sum(plan.plan.estimation_ms for plan in plans)
+        return plans, charged / len(requests), wall_ms / len(requests)
 
-    (cached_houdini, cached_cost) = benchmark.pedantic(
-        plan_all, args=(True,), rounds=1, iterations=1
+    default_houdini = _houdini(artifacts)  # compiled walks + estimate cache
+    (default_plans, default_cost, default_wall) = benchmark.pedantic(
+        plan_all, args=(default_houdini,), rounds=1, iterations=1
     )
-    _, uncached_cost = plan_all(False)
-    cache = cached_houdini.estimate_cache
+    stepwise_plans, stepwise_cost, stepwise_wall = plan_all(
+        _houdini(artifacts, enable_estimate_caching=False, compiled_walks=False)
+    )
+    walks_plans, walks_cost, walks_wall = plan_all(
+        _houdini(artifacts, enable_estimate_caching=False)
+    )
+    _, savings_cost, _ = plan_all(
+        _houdini(artifacts, estimate_cache_simulated_savings=True)
+    )
+    cache = default_houdini.estimate_cache
     assert cache is not None
+
+    # Decision equivalence: every planning mode must agree on every single
+    # decision and on the charged estimation cost (default neutral charging
+    # keeps simulated metrics byte-identical however a plan was produced).
+    for default_plan, stepwise_plan, walks_plan in zip(
+        default_plans, stepwise_plans, walks_plans
+    ):
+        fields = _decision_fields(default_plan.decision)
+        assert fields == _decision_fields(stepwise_plan.decision)
+        assert fields == _decision_fields(walks_plan.decision)
+        assert default_plan.plan.estimation_ms == stepwise_plan.plan.estimation_ms
+        assert default_plan.plan.estimation_ms == walks_plan.plan.estimation_ms
+    assert default_cost == stepwise_cost == walks_cost
+
+    stats = cache.stats
     save_result(
         "ablation_estimate_cache",
-        "Estimate caching (TATP, simulated estimation cost per transaction)\n"
-        f"  without cache: {uncached_cost:.4f} ms/txn\n"
-        f"  with cache:    {cached_cost:.4f} ms/txn "
-        f"(hit rate {cache.stats.hit_rate:.1%}, {len(cache)} entries)\n"
-        f"  reduction:     {100.0 * (1 - cached_cost / uncached_cost):.1f}%",
+        "Cached/compiled planning (TATP; default mode charges hits neutrally)\n"
+        f"  wall-clock planning:  {stepwise_wall:.4f} ms/txn stepwise walks, "
+        f"{walks_wall:.4f} ms/txn compiled walks, "
+        f"{default_wall:.4f} ms/txn default (walks + cache) — "
+        f"{100.0 * (1 - default_wall / stepwise_wall):.1f}% less than stepwise\n"
+        f"  simulated (neutral):  {default_cost:.4f} ms/txn — identical in all "
+        f"modes (decision equivalence holds for all {len(requests)} requests)\n"
+        f"  simulated (§6.3 what-if): {savings_cost:.4f} ms/txn vs "
+        f"{stepwise_cost:.4f} ms/txn uncached "
+        f"({100.0 * (1 - savings_cost / stepwise_cost):.1f}% less)\n"
+        f"  cache: hit rate {stats.hit_rate:.1%} over {stats.lookups} lookups "
+        f"({stats.hits} hits, {stats.misses} misses, "
+        f"{stats.uncacheable} uncacheable), {len(cache)} entries",
     )
     # TATP repeats a small set of single-partition procedures over a bounded
-    # subscriber key space, so the cache must get hits and must not cost more
-    # than the uncached path.
+    # subscriber key space: the cache must get hits and the §6.3 what-if mode
+    # must show the simulated savings the paper describes.  Both are
+    # deterministic, so they gate CI.  The wall-clock comparison is only
+    # asserted on hosts opted in via REPRO_BENCH_STRICT=1 — shared CI
+    # runners are too noisy for a hard timing gate.
     assert cache.stats.hits > 0
-    assert cached_cost <= uncached_cost
+    assert savings_cost < stepwise_cost
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert default_wall < stepwise_wall

@@ -69,7 +69,9 @@ def test_model_construction_throughput(benchmark, artifacts):
 # ----------------------------------------------------------------------
 
 def _plan_throughput(artifacts, *, compiled: bool, requests, rounds: int = 5):
-    """Best-of-``rounds`` planning throughput with estimate caching disabled.
+    """Best-of-``rounds`` planning throughput with the §6.3 estimate cache
+    disabled (chain-compiled walk records stay on when ``compiled`` is set —
+    they are part of the default planning mode being tracked).
 
     CPU time (``process_time``) with the garbage collector paused keeps the
     number stable on busy hosts; the effective CPU speed of the machine can

@@ -76,7 +76,7 @@ def _measure(benchmark_name: str, scale) -> dict:
 def test_simulator_throughput_tracking(scale, save_result):
     """Emit BENCH_simulator.json: the perf trajectory of the event runtime."""
     baseline_path = (
-        Path(__file__).resolve().parent / "baselines" / "simulator_pre_event_loop.json"
+        Path(__file__).resolve().parent / "baselines" / "simulator_pre_walk_cache.json"
     )
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     report = {

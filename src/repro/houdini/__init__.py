@@ -26,7 +26,7 @@ interpreted one:
 """
 
 from .cache import CachedEstimate, CacheStats, EstimateCache
-from .compiled import CompiledProcedure, CompiledStatement
+from .compiled import CompiledProcedure, CompiledStatement, CompiledWalk, CompiledWalkTable
 from .config import HoudiniConfig
 from .estimate import PartitionPrediction, PathEstimate
 from .estimator import PathEstimator
@@ -42,6 +42,8 @@ __all__ = [
     "Houdini",
     "CompiledProcedure",
     "CompiledStatement",
+    "CompiledWalk",
+    "CompiledWalkTable",
     "EstimateCache",
     "CacheStats",
     "CachedEstimate",

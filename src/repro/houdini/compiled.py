@@ -25,6 +25,24 @@ The procedure's mapping-only partition footprint (used by the run-time
 monitor's early-prepare guard) is compiled the same way: its static part is
 a precomputed set and only mapped, array-aligned slots are resolved per
 request.
+
+Chain-compiled walks
+--------------------
+
+For *chain-shaped* models (:meth:`repro.markov.model.MarkovModel.chain_shaped`
+— every non-terminal vertex has one dominant successor statement) the
+per-step choice disappears entirely: the whole walk is a deterministic
+function of the request's **partition-binding signature** — what
+``partition_for_value`` resolves for each mapped parameter slot, which is
+all the estimator ever reads from the parameters.  A
+:class:`CompiledWalk` therefore memoizes one finished walk — vertex
+sequence, footprints, finish points, and (once the facade fills it in) the
+resulting :class:`~repro.houdini.optimizations.OptimizationDecision` — per
+(procedure, footprint/signature), turning estimation into a dict probe plus
+one binding check.  :class:`CompiledWalkTable` holds those records for one
+model and self-invalidates when the model's
+:attr:`~repro.markov.model.MarkovModel.version` moves (a new vertex/edge or
+a probability recomputation can change the walk).
 """
 
 from __future__ import annotations
@@ -214,24 +232,24 @@ class CompiledProcedure:
         return None  # UNKNOWN
 
     # ------------------------------------------------------------------
-    def footprint(self, parameters: Sequence[Any]) -> frozenset[PartitionId] | None:
-        """Partitions the parameter mappings alone say a request may touch.
+    def _resolve_slots(
+        self, parameters: Sequence[Any]
+    ) -> tuple[frozenset[PartitionId], tuple | None]:
+        """The single mapped-slot resolution loop behind the footprint and
+        signature accessors.
 
-        ``None`` when the procedure has no mapping at all (nothing can be
-        said); the full partition range when any statement is a broadcast,
-        a replicated write, or has an unmapped partitioning parameter.
+        Returns ``(static ∪ resolved dynamic partitions, signature)``; the
+        signature is ``None`` when it cannot vouch for the walk (an array
+        longer than the compiled counter bound).  Raises
+        :class:`~repro.errors.EstimationError` when the mapping references a
+        parameter the request did not supply.
         """
-        if self._mapping is None:
-            return None
-        if self._footprint_all:
-            return self._all_frozen
-        dynamic = self._footprint_dynamic
-        if not dynamic:
-            return self._footprint_static
-        footprint = set(self._footprint_static)
         partition_for_value = self._scheme.partition_for_value
         parameter_count = len(parameters)
-        for proc_index, array_aligned in dynamic:
+        footprint: set[PartitionId] = set(self._footprint_static)
+        signature: list = []
+        compilable = True
+        for proc_index, array_aligned in self._footprint_dynamic:
             if proc_index >= parameter_count:
                 raise EstimationError(
                     f"mapping for {self.procedure!r} references parameter "
@@ -239,10 +257,126 @@ class CompiledProcedure:
                 )
             value = parameters[proc_index]
             if array_aligned:
-                if isinstance(value, (list, tuple)):
+                if not isinstance(value, (list, tuple)):
+                    signature.append(None)
+                    continue
+                if len(value) > MAX_FOOTPRINT_COUNTER:
+                    # Too long for a signature to vouch for the walk; the
+                    # footprint still counts the bounded prefix.
+                    compilable = False
                     for element in value[:MAX_FOOTPRINT_COUNTER]:
                         if element is not None:
                             footprint.add(partition_for_value(element))
-            elif value is not None:
-                footprint.add(partition_for_value(value))
-        return frozenset(footprint)
+                    continue
+                bindings = tuple(
+                    None if element is None else partition_for_value(element)
+                    for element in value
+                )
+                signature.append(bindings)
+                for pid in bindings:
+                    if pid is not None:
+                        footprint.add(pid)
+            elif value is None:
+                signature.append(None)
+            else:
+                pid = partition_for_value(value)
+                signature.append(pid)
+                footprint.add(pid)
+        return frozenset(footprint), (tuple(signature) if compilable else None)
+
+    def binding_signature(self, parameters: Sequence[Any]) -> tuple | None:
+        """Everything the estimator's walk reads from the parameters.
+
+        The walk consults the request parameters only through the compiled
+        ``MAPPED`` resolvers — i.e. through ``partition_for_value`` of each
+        mapped slot's value (element-wise for array-aligned slots, whose
+        length also matters because an exhausted array predicts ``None``).
+        The returned tuple captures exactly that, so two requests with equal
+        signatures walk an identical path through a chain-shaped model.
+
+        Returns ``None`` when no signature can vouch for the request (an
+        array longer than the compiled counter bound, or a mapping that
+        references a missing parameter) — callers must then fall back to the
+        stepwise walk.
+        """
+        if not self._footprint_dynamic:
+            return ()
+        try:
+            return self._resolve_slots(parameters)[1]
+        except EstimationError:
+            # A missing parameter is a stepwise-walk concern (the walk only
+            # fails if it actually reaches the affected statement), not a
+            # signature concern.
+            return None
+
+    def footprint_and_signature(
+        self, parameters: Sequence[Any]
+    ) -> tuple[frozenset[PartitionId] | None, tuple | None]:
+        """One-pass ``(footprint, binding signature)`` for a request.
+
+        Equivalent to calling :meth:`footprint` and
+        :meth:`binding_signature` separately, but the mapped slots are
+        resolved once — this is the hot path of every ``Houdini.plan`` call,
+        where both values are needed.
+        """
+        if self._mapping is None:
+            return None, None
+        if self._footprint_all:
+            # The footprint is the whole cluster regardless of the
+            # parameters (a broadcast, replicated write, or unmapped
+            # partitioning parameter), so — like :meth:`footprint` — no
+            # parameter validation happens on this path.
+            return self._all_frozen, self.binding_signature(parameters)
+        if not self._footprint_dynamic:
+            return self._footprint_static, ()
+        return self._resolve_slots(parameters)
+
+    def footprint(self, parameters: Sequence[Any]) -> frozenset[PartitionId] | None:
+        """Partitions the parameter mappings alone say a request may touch.
+
+        ``None`` when the procedure has no mapping at all (nothing can be
+        said); the full partition range when any statement is a broadcast,
+        a replicated write, or has an unmapped partitioning parameter.
+        """
+        return self.footprint_and_signature(parameters)[0]
+
+
+class CompiledWalk:
+    """One memoized whole-walk record of a chain-shaped model.
+
+    ``estimate`` is the finished stepwise walk for this binding signature
+    (shared across requests — read-only apart from the wall-clock
+    ``estimation_ms``, which each probe refreshes).  ``decision`` starts out
+    ``None``; the Houdini facade fills it in the first time the record is
+    planned, *unless* the decision is support-limited (it could legitimately
+    change as the model's observation counts grow — see
+    :attr:`~repro.houdini.optimizations.OptimizationDecision.support_limited`),
+    in which case it is re-derived per request.
+    """
+
+    __slots__ = ("estimate", "decision", "uses")
+
+    def __init__(self, estimate) -> None:
+        self.estimate = estimate
+        self.decision = None
+        self.uses = 0
+
+
+class CompiledWalkTable:
+    """Per-model store of :class:`CompiledWalk` records.
+
+    The table snapshots the model's :attr:`~repro.markov.model.MarkovModel.version`
+    and whether it is chain-shaped when built; the estimator rebuilds it
+    whenever the version moves (run-time learning added a vertex/edge, or a
+    maintenance pass recomputed probabilities).  It keeps a strong reference
+    to the model so identity-keyed lookups stay unambiguous for the
+    estimator's lifetime.
+    """
+
+    __slots__ = ("model", "version", "chain", "records")
+
+    def __init__(self, model) -> None:
+        self.model = model
+        self.version = model.version
+        self.chain = model.chain_shaped()
+        self.records: dict[tuple, CompiledWalk] = {}

@@ -30,7 +30,7 @@ from ..mapping.parameter_mapping import ParameterMapping, ParameterMappingSet
 from ..markov.model import MarkovModel
 from ..markov.vertex import VertexKey, VertexKind
 from ..types import EMPTY_PARTITION_SET, PartitionId, PartitionSet, ProcedureRequest
-from .compiled import CompiledProcedure
+from .compiled import CompiledProcedure, CompiledWalk, CompiledWalkTable
 from .config import HoudiniConfig
 from .estimate import PartitionPrediction, PathEstimate
 from .providers import ModelProvider
@@ -71,6 +71,12 @@ class PathEstimator:
         #: use.  Safe to cache for the estimator's lifetime: they depend only
         #: on the catalog and the mappings, both fixed at construction.
         self._compiled: dict[str, CompiledProcedure] = {}
+        #: Per-(procedure, model) compiled-walk tables (chain-shaped models
+        #: only).  Keyed by model identity because partitioned providers
+        #: serve several models per procedure; each table pins its model so
+        #: the identity cannot be recycled, and self-invalidates when the
+        #: model's version moves.
+        self._walk_tables: dict[tuple[str, int], CompiledWalkTable] = {}
 
     def _compiled_for(self, procedure_name: str) -> CompiledProcedure:
         compiled = self._compiled.get(procedure_name)
@@ -85,7 +91,101 @@ class PathEstimator:
 
     # ------------------------------------------------------------------
     def estimate(self, request: ProcedureRequest) -> PathEstimate:
-        """Produce the initial path estimate for one request."""
+        """Produce the initial path estimate for one request.
+
+        For chain-shaped models this is a compiled-walk probe (the estimate
+        of an earlier request with the same partition-binding signature is
+        reused — see :meth:`walk_record`); everything else takes the
+        stepwise walk.  The two paths produce identical estimates.
+        """
+        record = self.walk_record(request)
+        if record is not None:
+            return record.estimate
+        return self.estimate_fresh(request)
+
+    def walk_record(
+        self,
+        request: ProcedureRequest,
+        model: MarkovModel | None = None,
+        signature: tuple | None = None,
+    ) -> CompiledWalk | None:
+        """Compiled-walk record for a request, or ``None`` off the fast path.
+
+        Returns a memoized (or freshly admitted) :class:`CompiledWalk` when
+        the procedure's model is chain-shaped and the request's parameters
+        yield a usable binding signature; the record's estimate is valid for
+        this request (its wall-clock ``estimation_ms`` is refreshed to the
+        probe cost).  Returns ``None`` when the fast path does not apply —
+        the caller must then use :meth:`estimate_fresh`.  Callers that
+        already computed the request's binding signature (the facade does,
+        for the estimate cache) pass it to avoid re-resolving the slots.
+        """
+        started = time.perf_counter()
+        config = self.config
+        if not (config.compiled_estimation and config.compiled_walks):
+            return None
+        if request.procedure in config.disabled_procedures:
+            return None
+        if model is None:
+            model = self.provider.model_for(request)
+        if model is None or not model.processed:
+            return None
+        table_key = (request.procedure, id(model))
+        table = self._walk_tables.get(table_key)
+        if table is None or table.version != model.version:
+            table = CompiledWalkTable(model)
+            self._walk_tables[table_key] = table
+        if not table.chain:
+            return None
+        if signature is None:
+            signature = self._compiled_for(request.procedure).binding_signature(
+                request.parameters
+            )
+            if signature is None:
+                return None
+        record = table.records.get(signature)
+        if record is None:
+            record = CompiledWalk(self.estimate_fresh(request))
+            if len(table.records) < config.compiled_walk_max_records:
+                table.records[signature] = record
+            return record
+        record.uses += 1
+        record.estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
+        return record
+
+    def binding_signature(self, request: ProcedureRequest) -> tuple | None:
+        """The request's partition-binding signature (everything a walk reads
+        from its parameters), or ``None`` when no signature can vouch for it.
+        Used by the §6.3 estimate cache to refuse serving a cached walk to a
+        request that would have walked a different path."""
+        return self._compiled_for(request.procedure).binding_signature(
+            request.parameters
+        )
+
+    def footprint_and_signature(
+        self, request: ProcedureRequest
+    ) -> tuple[frozenset[PartitionId] | None, tuple | None]:
+        """One-pass ``(predicted footprint, binding signature)``.
+
+        Matches :meth:`predicted_footprint` + :meth:`binding_signature` but
+        resolves the mapped parameter slots once; ``Houdini.plan`` calls
+        this on every request.
+        """
+        if self.mappings.get(request.procedure) is None:
+            return None, None
+        if self.config.compiled_estimation:
+            return self._compiled_for(request.procedure).footprint_and_signature(
+                request.parameters
+            )
+        # Interpreted ablation mode: footprint the paper-literal way; the
+        # signature (used only for cache validity) still comes compiled.
+        return (
+            self.predicted_footprint(request),
+            self._compiled_for(request.procedure).binding_signature(request.parameters),
+        )
+
+    def estimate_fresh(self, request: ProcedureRequest) -> PathEstimate:
+        """Stepwise path estimate (no whole-walk memoization)."""
         started = time.perf_counter()
         estimate = PathEstimate(procedure=request.procedure)
         if request.procedure in self.config.disabled_procedures:

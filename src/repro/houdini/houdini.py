@@ -9,6 +9,7 @@ maintenance and the per-procedure statistics that Table 4 reports.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..catalog.schema import Catalog
@@ -78,28 +79,75 @@ class Houdini:
         return self.estimator.estimate(request)
 
     def plan(self, request: ProcedureRequest) -> HoudiniPlan:
-        """Produce the execution plan and run-time monitor for a request."""
+        """Produce the execution plan and run-time monitor for a request.
+
+        The default operating mode is cached/compiled planning: the §6.3
+        estimate cache is probed first (single-partition footprints), then
+        the estimator's compiled whole-walk records (chain-shaped models);
+        only requests neither layer can serve pay for a stepwise model walk
+        plus optimization selection.  All three paths produce identical
+        decisions and charge the identical modelled estimation cost, so
+        simulated metrics do not depend on which one served a request.
+        """
+        started = time.perf_counter()
         estimator = self.estimator
         estimate_cache = self.estimate_cache
         config = self.config
-        footprint = estimator.predicted_footprint(request)
+        footprint, signature = estimator.footprint_and_signature(request)
+        model = self.provider.model_for(request)
+        token = (
+            (id(model), model.version)
+            if model is not None and model.processed
+            else None
+        )
         cache_key = None
         cached = None
         if estimate_cache is not None:
             cache_key = EstimateCache.key_for(request, footprint)
-            cached = estimate_cache.lookup(cache_key)
+            if cache_key is not None and signature is None:
+                # Nothing can vouch that an identical-footprint request
+                # walks the same path: treat it as uncacheable.
+                cache_key = None
+            cached = estimate_cache.lookup(cache_key, token, signature)
         if cached is not None:
             # §6.3: reuse the path walk of an earlier identical-footprint
-            # request; only a dictionary lookup is charged.
+            # request; only a dictionary lookup is performed.
             estimate = cached.estimate
             decision = cached.decision
-            model = None if estimate.degenerate else self.provider.model_for(request)
-            charged_ms = config.estimation_cache_hit_ms
+            if config.estimate_cache_simulated_savings:
+                charged_ms = config.estimation_cache_hit_ms
+            else:
+                # Neutral charging: the reused walk is charged exactly what
+                # computing it would have cost, so enabling the cache never
+                # changes simulated metrics (only wall-clock time).
+                charged_ms = config.estimation_cost_ms(
+                    estimate.work_units, estimate.query_count
+                )
+            # The measured wall cost of this plan is the probe, not the
+            # original walk.
+            estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
             source = "houdini:cached"
         else:
-            estimate = estimator.estimate(request)
-            model = None if estimate.degenerate else self.provider.model_for(request)
-            decision = self.selector.decide(request, estimate, model)
+            record = (
+                estimator.walk_record(request, model, signature)
+                if signature is not None
+                else None
+            )
+            if record is not None:
+                # Compiled whole-walk fast path (chain-shaped model).
+                estimate = record.estimate
+                decision = record.decision
+                if decision is None:
+                    decision = self.selector.decide(
+                        request, estimate, None if estimate.degenerate else model
+                    )
+                    if not (self.learning and decision.support_limited):
+                        record.decision = decision
+            else:
+                estimate = estimator.estimate_fresh(request)
+                decision = self.selector.decide(
+                    request, estimate, None if estimate.degenerate else model
+                )
             # The simulator charges a modelled (deterministic) estimation
             # cost; the measured wall-clock time stays on the estimate.
             charged_ms = config.estimation_cost_ms(
@@ -107,10 +155,13 @@ class Houdini:
             )
             source = "houdini"
             if estimate_cache is not None:
-                estimate_cache.store(cache_key, estimate, decision)
+                estimate_cache.store(
+                    cache_key, estimate, decision, token, signature,
+                    support_may_grow=self.learning,
+                )
         plan = decision.as_plan(charged_ms, source=source)
         runtime = HoudiniRuntime(
-            model,
+            None if estimate.degenerate else model,
             estimate,
             config,
             predicted_single_partition=decision.predicted_single_partition,
@@ -198,9 +249,11 @@ class Houdini:
                 self._since_maintenance = 0
                 recomputed = self.maintenance.check_all()
                 if recomputed and self.estimate_cache is not None:
-                    # Recomputed probabilities can change decisions, so every
-                    # cached estimate is stale.
-                    self.estimate_cache.invalidate()
+                    # Recomputed probabilities can change decisions, but only
+                    # for the recomputed models: evict exactly those
+                    # procedures' entries instead of flushing the cache.
+                    for procedure in recomputed:
+                        self.estimate_cache.invalidate_procedure(procedure)
         self._record_outcome_stats(request, houdini_plan, attempt)
 
     # ------------------------------------------------------------------

@@ -132,9 +132,19 @@ class MaintenanceRegistry:
             self._by_model[key] = maintenance
         return maintenance
 
-    def check_all(self) -> int:
-        """Run drift checks on every tracked model; return recompute count."""
-        return sum(1 for maintenance in self._by_model.values() if maintenance.check())
+    def check_all(self) -> list[str]:
+        """Run drift checks on every tracked model.
+
+        Returns the procedure names whose models were recomputed (possibly
+        with duplicates when a partitioned provider recomputes several
+        cluster models of one procedure) so callers can invalidate exactly
+        the affected per-procedure state instead of flushing everything.
+        """
+        return [
+            maintenance.model.procedure
+            for maintenance in self._by_model.values()
+            if maintenance.check()
+        ]
 
     def maintenances(self):
         return list(self._by_model.values())

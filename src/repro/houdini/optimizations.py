@@ -41,6 +41,11 @@ class OptimizationDecision:
     op1_selected: bool = False
     #: True when OP2 produced a proper subset of the cluster's partitions.
     op2_selected: bool = False
+    #: True when OP3 was withheld *only* because the model's observation
+    #: count was too thin (the Laplace sampling-risk gate).  Such a decision
+    #: can legitimately flip as hits accumulate — without any model-version
+    #: change — so caches must never reuse it.
+    support_limited: bool = False
 
     def as_plan(self, estimation_ms: float, source: str) -> ExecutionPlan:
         # The finish map is shared, not copied: plans and decisions are
@@ -139,6 +144,7 @@ class OptimizationSelector:
             and abort_probability <= self.config.abort_tolerance
             and (1.0 - abort_probability) >= threshold
         )
+        support_limited = False
         if disable_undo:
             # Guard against thinly-supported models: with n observed
             # transactions an unobserved abort could still occur with
@@ -152,12 +158,15 @@ class OptimizationSelector:
             else:
                 support = model.transactions_observed
             sampling_risk = 1.0 / (support + 2.0)
-            disable_undo = (
-                sampling_risk <= self.config.abort_tolerance
-                and self._escape_probability(
+            if sampling_risk > self.config.abort_tolerance:
+                # Every other OP3 gate passed: more observations alone could
+                # flip this decision, so it must not be cached.
+                disable_undo = False
+                support_limited = True
+            else:
+                disable_undo = self._escape_probability(
                     estimate, model, locked_set, first_vertex
                 ) <= 0.0
-            )
 
         # OP4 -----------------------------------------------------------
         locked_frozen = locked_set.as_frozenset()
@@ -183,6 +192,7 @@ class OptimizationSelector:
             confidence=estimate.confidence,
             op1_selected=op1_selected,
             op2_selected=op2_selected,
+            support_limited=support_limited,
         )
 
     # ------------------------------------------------------------------

@@ -91,23 +91,52 @@ class HoudiniRuntime:
     # QueryListener interface
     # ------------------------------------------------------------------
     def __call__(self, context: TransactionContext, invocation: QueryInvocation) -> None:
-        self.stats.queries_observed += 1
+        stats = self.stats
+        observed = stats.queries_observed
+        stats.queries_observed = observed + 1
         self._check_finished_partitions(invocation)
-        if self.model is None:
+        model = self.model
+        if model is None:
             return
-        key = VertexKey.query(
-            invocation.statement,
-            invocation.counter,
-            invocation.partitions,
-            self._accumulated,
-        )
+        # While the attempt tracks the initial estimate, the next state is
+        # the precompiled expected-path vertex at the current index — no
+        # VertexKey needs to be derived (or hashed) at all, just four field
+        # comparisons against what actually executed.
+        key = None
+        if not stats.deviated_from_estimate:
+            index = observed + self._expected_offset
+            if index < len(self._expected):
+                expected = self._expected[index]
+                if (
+                    expected.is_query
+                    and expected.name == invocation.statement
+                    and expected.counter == invocation.counter
+                    and expected.partitions == invocation.partitions
+                    and expected.previous == self._accumulated
+                ):
+                    key = expected
+                else:
+                    stats.deviated_from_estimate = True
+            else:
+                stats.deviated_from_estimate = True
+        if key is None:
+            key = VertexKey.query(
+                invocation.statement,
+                invocation.counter,
+                invocation.partitions,
+                self._accumulated,
+            )
         # One model probe serves both the advance and the update decisions.
-        vertex = self.model.find_vertex(key)
+        vertex = model.find_vertex(key)
         if vertex is None:
-            vertex = self.model.add_placeholder(key, invocation.query_type)
-            self.stats.placeholders_added += 1
-            self.stats.deviated_from_estimate = True
-        self._advance(key, invocation)
+            vertex = model.add_placeholder(key, invocation.query_type)
+            stats.placeholders_added += 1
+            stats.deviated_from_estimate = True
+        if self._current is not None:
+            # Transitions are buffered per attempt and flushed into the
+            # model in one batch by :meth:`finish`.
+            stats.transitions.append((self._current, key))
+        self._current = key
         self._accumulated = self._accumulated.union(invocation.partitions)
         self._issue_updates(context, key, vertex)
 
@@ -122,22 +151,6 @@ class HoudiniRuntime:
                     reason=f"partition {partition_id} was declared finished (OP4) "
                     f"but was accessed again",
                 )
-
-    def _advance(self, key: VertexKey, invocation: QueryInvocation) -> None:
-        assert self.model is not None
-        if self._current is not None:
-            if self.learn:
-                self.model.record_transition(self._current, key)
-            self.stats.transitions.append((self._current, key))
-        expected_index = self.stats.queries_observed - 1 + self._expected_offset
-        if expected_index < len(self._expected):
-            expected = self._expected[expected_index]
-            # Interned query keys make the match an identity check.
-            if expected is not key and expected != key:
-                self.stats.deviated_from_estimate = True
-        else:
-            self.stats.deviated_from_estimate = True
-        self._current = key
 
     def _issue_updates(self, context: TransactionContext, key: VertexKey, vertex) -> None:
         table = vertex.table
@@ -221,10 +234,13 @@ class HoudiniRuntime:
 
     # ------------------------------------------------------------------
     def finish(self, committed: bool) -> None:
-        """Record the terminal transition once the attempt completes."""
+        """Seal the attempt: append the terminal transition and, when
+        learning, flush the whole per-attempt transition buffer into the
+        model in a single batch (one bulk call instead of one
+        ``record_transition`` per monitored query)."""
         if self.model is None or self._current is None:
             return
         terminal = COMMIT_KEY if committed else ABORT_KEY
-        if self.learn:
-            self.model.record_transition(self._current, terminal)
         self.stats.transitions.append((self._current, terminal))
+        if self.learn:
+            self.model.record_transitions(self.stats.transitions)

@@ -56,6 +56,16 @@ class MarkovModel:
         self.transactions_observed = 0
         self._processed = False
         self._stale = False
+        #: Monotonic counter of *prediction-relevant* changes: it advances
+        #: when a vertex or edge is created and when :meth:`process`
+        #: recomputes probabilities/tables, but NOT on count-only edge visits
+        #: (those leave every probability — and therefore every walk — intact
+        #: until the next processing pass).  Consumers (the compiled-walk
+        #: tables and the §6.3 estimate cache) compare it to decide whether a
+        #: memoized walk or decision derived from this model is still valid.
+        self.version = 0
+        #: Cached ``(version, chain_shaped)`` pair (see :meth:`chain_shaped`).
+        self._chain_shape: tuple[int, bool] | None = None
         #: Probability-sorted successor arrays, rebuilt by :meth:`process`.
         #: A vertex's entry is dropped the moment one of its outgoing edges
         #: changes, so stale orderings are never served (the estimator falls
@@ -315,6 +325,42 @@ class MarkovModel:
             for key, probability in pairs
         ]
 
+    def chain_shaped(self) -> bool:
+        """Whether the model is a *chain*: every non-terminal vertex has one
+        dominant successor statement.
+
+        Formally, for every vertex all non-terminal successors share a single
+        ``(statement name, counter)`` pair — the only branching left is the
+        partition binding, which the request parameters resolve.  For such
+        models the estimator's whole walk is a deterministic function of the
+        parameters' partition bindings, so it can be compiled into a
+        per-(procedure, footprint) record (:mod:`repro.houdini.compiled`).
+        TATP and SmallBank — the single-partition-heavy workloads of §6.3 —
+        are all chains; TPC-C's ``neworder``/``payment`` branch on data values
+        and are not.  The answer is cached per :attr:`version`.
+        """
+        cached = self._chain_shape
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        result = True
+        for key, targets in self._edges.items():
+            if key.is_terminal:
+                continue
+            group: tuple[str, int] | None = None
+            for target in targets:
+                if target.is_terminal:
+                    continue
+                identity = (target.name, target.counter)
+                if group is None:
+                    group = identity
+                elif identity != group:
+                    result = False
+                    break
+            if not result:
+                break
+        self._chain_shape = (self.version, result)
+        return result
+
     def edge(self, source: VertexKey, target: VertexKey) -> Edge | None:
         return self._edges.get(source, {}).get(target)
 
@@ -340,6 +386,7 @@ class MarkovModel:
             self._vertices[key] = vertex
             self._edges.setdefault(key, {})
             self._reverse.setdefault(key, set())
+            self.version += 1
             if self._dirty is not None:
                 self._dirty.add(key)
         elif query_type is not None and vertex.query_type is None:
@@ -353,18 +400,31 @@ class MarkovModel:
             edge = Edge(source=source, target=target)
             targets[target] = edge
             self._reverse.setdefault(target, set()).add(source)
+            # A new edge changes the successor *structure* (its probability
+            # stays 0.0 until the next processing pass, but it already
+            # participates in candidate pools), so memoized walks must go.
+            self.version += 1
         edge.record_visit(count)
         # The source's outgoing distribution changed: drop its precomputed
         # successor arrays and remember it for the next (incremental)
         # probability recomputation.
+        self._drop_successor_caches(source)
+        if self._dirty is not None:
+            self._dirty.add(source)
+        return edge
+
+    def _drop_successor_caches(self, source: VertexKey) -> None:
+        """Invalidate every precomputed successor structure of one vertex.
+
+        The single place that knows the full structure list — any new
+        precomputed successor cache must be popped here so the per-call and
+        batched mutation paths cannot drift apart.
+        """
         self._sorted_successors.pop(source, None)
         self._successor_records.pop(source, None)
         self._successor_hints.pop(source, None)
         self._successor_index.pop(source, None)
         self._successor_groups.pop(source, None)
-        if self._dirty is not None:
-            self._dirty.add(source)
-        return edge
 
     def add_path(self, steps: Sequence[PathStep], aborted: bool) -> list[VertexKey]:
         """Fold one transaction's execution path into the model.
@@ -410,6 +470,47 @@ class MarkovModel:
             self.add_placeholder(target)
         self._vertices[target].hits += count
         self._add_edge_visit(source, target, count)
+        self._stale = True
+
+    def record_transitions(
+        self, transitions: Sequence[tuple[VertexKey, VertexKey]]
+    ) -> None:
+        """Record one attempt's (source, target) pairs in a single batch.
+
+        Semantically identical to calling :meth:`record_transition` once per
+        pair, but the run-time monitor flushes its whole per-attempt buffer
+        through here, so the per-transition overheads are batched: the
+        successor-cache invalidation and dirty-set bookkeeping happen once
+        per *distinct source vertex* instead of once per transition, and the
+        vertex/edge dictionaries are probed without the per-call function
+        dispatch.
+        """
+        if not transitions:
+            return
+        vertices = self._vertices
+        edges = self._edges
+        reverse = self._reverse
+        touched_sources: set[VertexKey] = set()
+        for source, target in transitions:
+            if source not in vertices:
+                self.add_placeholder(source)
+            if target not in vertices:
+                self.add_placeholder(target)
+            vertices[target].hits += 1
+            targets = edges.setdefault(source, {})
+            edge = targets.get(target)
+            if edge is None:
+                edge = Edge(source=source, target=target)
+                targets[target] = edge
+                reverse.setdefault(target, set()).add(source)
+                self.version += 1
+            edge.hits += 1
+            touched_sources.add(source)
+        dirty = self._dirty
+        for source in touched_sources:
+            self._drop_successor_caches(source)
+            if dirty is not None:
+                dirty.add(source)
         self._stale = True
 
     # ------------------------------------------------------------------
@@ -461,6 +562,8 @@ class MarkovModel:
         self._dirty = set()
         self._processed = True
         self._stale = False
+        # Probabilities and tables changed: memoized walks are invalid.
+        self.version += 1
 
     # Alias matching the paper's terminology.
     recompute_probabilities = process

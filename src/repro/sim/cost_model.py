@@ -60,10 +60,10 @@ class CostModel:
     #: base partition, lock set, the sequence of per-invocation partition
     #: sets, undo records, commit flag and early-prepared partitions — the
     #: same normalization the compiled estimator uses for its footprints.
-    #: Cached values bake in the model's constants: mutate any constant on a
-    #: live instance and you must call :meth:`clear_schedule_cache` (the
-    #: ablation benchmarks construct a fresh ``CostModel`` per configuration
-    #: instead).
+    #: Cached values bake in the model's constants, so assigning any
+    #: ``*_ms`` constant on a live instance clears the cache automatically
+    #: (see :meth:`__setattr__`); :meth:`clear_schedule_cache` remains for
+    #: callers that mutate state some other way.
     _schedule_cache: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
@@ -79,8 +79,21 @@ class CostModel:
     _CACHE_PROBATION = 512
     _CACHE_MIN_HIT_RATE = 0.25
 
+    def __setattr__(self, name: str, value) -> None:
+        """Assigning a ``*_ms`` constant invalidates every cached schedule.
+
+        Cached schedules bake the constants in, so a mutated live instance
+        must not keep serving them.  During ``__init__`` the cache does not
+        exist yet (the constants are assigned first), so construction skips
+        the guard; the bypass probation is also restarted because its hit
+        statistics described the old constants.
+        """
+        object.__setattr__(self, name, value)
+        if name.endswith("_ms") and "_schedule_cache" in self.__dict__:
+            self.clear_schedule_cache()
+
     def clear_schedule_cache(self) -> None:
-        """Drop cached cost schedules (required after mutating constants)."""
+        """Drop cached cost schedules (automatic on ``*_ms`` assignment)."""
         self._schedule_cache.clear()
         self._cache_checks = 0
         self._cache_hits = 0

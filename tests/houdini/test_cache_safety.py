@@ -1,0 +1,213 @@
+"""Cache-safety property tests (§6.3 default-on mode).
+
+Two properties keep default-on estimate caching honest:
+
+* a cached plan must be *byte-equal* to a freshly computed one — for every
+  single-partition procedure of the single-partition-heavy workloads (TATP,
+  SmallBank), planning with the cache and planning without it must produce
+  identical optimization decisions and identical charged estimation costs;
+* model maintenance must invalidate exactly the recomputed procedure's
+  entries, leaving every other procedure's cached walks alone.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import pipeline
+from repro.engine.engine import AttemptOutcome, AttemptResult
+from repro.houdini import Houdini, HoudiniConfig
+from repro.types import PartitionSet, ProcedureRequest
+
+
+def _make_houdini(artifacts, *, caching: bool, learning: bool = False) -> Houdini:
+    return Houdini(
+        artifacts.benchmark.catalog,
+        artifacts.global_provider(),
+        artifacts.mappings,
+        HoudiniConfig(enable_estimate_caching=caching),
+        learning=learning,
+    )
+
+
+def _decision_bytes(decision) -> bytes:
+    return pickle.dumps(
+        (
+            decision.base_partition,
+            decision.locked_partitions,
+            decision.predicted_single_partition,
+            decision.disable_undo,
+            sorted(decision.finish_after_query.items()),
+            decision.abort_probability,
+            decision.confidence,
+            decision.op1_selected,
+            decision.op2_selected,
+            decision.support_limited,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def smallbank_artifacts():
+    return pipeline.train("smallbank", 4, trace_transactions=600, seed=11)
+
+
+class TestCachedDecisionEquality:
+    @pytest.mark.parametrize("fixture", ["tatp_artifacts", "smallbank_artifacts"])
+    def test_cached_plans_byte_equal_fresh_plans(self, fixture, request):
+        """Property: for every single-partition procedure in the workload,
+        a plan served from the cache is byte-identical (decision and charged
+        cost) to one planned from scratch."""
+        artifacts = request.getfixturevalue(fixture)
+        cached = _make_houdini(artifacts, caching=True)
+        fresh = _make_houdini(artifacts, caching=False)
+        generator = artifacts.benchmark.generator
+        hits_by_procedure: dict[str, int] = {}
+        for _ in range(500):
+            req = generator.next_request()
+            a = cached.plan(req)
+            b = fresh.plan(req)
+            assert _decision_bytes(a.decision) == _decision_bytes(b.decision), (
+                f"{req.procedure}{req.parameters} diverged"
+            )
+            assert a.plan.estimation_ms == b.plan.estimation_ms
+            if a.plan.source == "houdini:cached":
+                hits_by_procedure[req.procedure] = (
+                    hits_by_procedure.get(req.procedure, 0) + 1
+                )
+        # Every always-single-partition procedure the workload exercised must
+        # actually have been served from the cache at least once (otherwise
+        # the property above holds vacuously).
+        stats = cached.estimate_cache.stats
+        assert stats.hits > 0
+        single_partition_procedures = {
+            procedure
+            for (procedure, _footprint) in cached.estimate_cache._entries
+        }
+        for procedure in single_partition_procedures:
+            assert hits_by_procedure.get(procedure, 0) > 0, (
+                f"{procedure} was cached but never served"
+            )
+
+    def test_same_footprint_different_binding_is_not_served(self, tpcc_artifacts):
+        """TPC-C payment by id and by name share a footprint but walk
+        different paths: the cache must re-plan, not replay."""
+        houdini = _make_houdini(tpcc_artifacts, caching=True)
+        fresh = _make_houdini(tpcc_artifacts, caching=False)
+        by_id = ProcedureRequest.of("payment", (0, 0, 0, 0, 1, 5.0))
+        by_name = ProcedureRequest.of("payment", (0, 0, 0, 0, None, 5.0))
+        for req in (by_id, by_name, by_id, by_name):
+            a = houdini.plan(req)
+            b = fresh.plan(req)
+            assert _decision_bytes(a.decision) == _decision_bytes(b.decision)
+            assert a.plan.estimation_ms == b.plan.estimation_ms
+
+
+class TestSimulatedMetricEquivalence:
+    @pytest.mark.parametrize("learning", [False, True])
+    def test_simulation_is_byte_identical_with_and_without_cache(self, learning):
+        """Default-on caching must be invisible to the simulator: every
+        simulated metric — throughput, counters, latencies, per-procedure
+        breakdowns — is identical with the cache on and off."""
+        from repro.strategies import HoudiniStrategy
+
+        def run(caching: bool):
+            # Fresh artifacts per run: the generator is stateful and, in
+            # learning mode, the models mutate — both sides must start from
+            # an identical, identically-seeded world.
+            artifacts = pipeline.train("tatp", 4, trace_transactions=600, seed=11)
+            houdini = _make_houdini(artifacts, caching=caching, learning=learning)
+            return pipeline.simulate(
+                artifacts, HoudiniStrategy(houdini), transactions=300
+            )
+
+        on, off = run(True), run(False)
+        assert on.throughput_txn_per_sec == off.throughput_txn_per_sec
+        assert on.simulated_duration_ms == off.simulated_duration_ms
+        assert (on.committed, on.user_aborted, on.restarts, on.escalations) == (
+            off.committed, off.user_aborted, off.restarts, off.escalations
+        )
+        assert (on.undo_disabled, on.early_prepared) == (
+            off.undo_disabled, off.early_prepared
+        )
+        assert (on.single_partition, on.distributed) == (
+            off.single_partition, off.distributed
+        )
+        assert on.latencies_ms == off.latencies_ms
+        assert set(on.breakdowns) == set(off.breakdowns)
+        for procedure, breakdown in on.breakdowns.items():
+            assert breakdown.__dict__ == off.breakdowns[procedure].__dict__
+
+
+class TestMaintenanceInvalidation:
+    def _drive_drift(self, houdini, request, rounds: int) -> None:
+        """Plan + complete ``rounds`` zero-query attempts: the observed
+        begin→commit transitions drift away from the model."""
+        for _ in range(rounds):
+            plan = houdini.plan(request)
+            attempt = AttemptResult(
+                outcome=AttemptOutcome.COMMITTED,
+                procedure=request.procedure,
+                parameters=request.parameters,
+                base_partition=plan.decision.base_partition,
+                touched_partitions=PartitionSet.of([plan.decision.base_partition]),
+            )
+            houdini.after_attempt(request, plan, attempt)
+
+    def test_recompute_invalidates_exactly_that_procedure(self, tatp_artifacts):
+        houdini = _make_houdini(tatp_artifacts, caching=True, learning=True)
+        houdini._maintenance_interval = 1  # check drift after every attempt
+        cache = houdini.estimate_cache
+        # Seed entries for a procedure that will NOT drift.
+        keep = ProcedureRequest.of("GetAccessData", (3, 1))
+        keep_entry_key = None
+        plan = houdini.plan(keep)
+        for key in cache._entries:
+            if key[0] == "GetAccessData":
+                keep_entry_key = key
+        if keep_entry_key is None:
+            # Thin support can keep learning-mode admission away; store the
+            # walk manually so the survival side of the property is real.
+            footprint = houdini.estimator.predicted_footprint(keep)
+            model = houdini.provider.model_for(keep)
+            keep_entry_key = ("GetAccessData", frozenset(footprint))
+            cache.store(
+                keep_entry_key,
+                plan.estimate,
+                plan.decision,
+                (id(model), model.version),
+                houdini.estimator.binding_signature(keep),
+            )
+        assert keep_entry_key in cache._entries
+        # Drift a different procedure until maintenance recomputes its model.
+        drifted = ProcedureRequest.of("GetSubscriberData", (5,))
+        drifted_plan = houdini.plan(drifted)
+        drifted_model = houdini.provider.model_for(drifted)
+        drifted_key = (
+            "GetSubscriberData",
+            frozenset(houdini.estimator.predicted_footprint(drifted)),
+        )
+        cache.store(
+            drifted_key,
+            drifted_plan.estimate,
+            drifted_plan.decision,
+            (id(drifted_model), drifted_model.version),
+            houdini.estimator.binding_signature(drifted),
+        )
+        assert drifted_key in cache._entries
+        recomputations_before = sum(
+            m.stats.recomputations for m in houdini.maintenance.maintenances()
+        )
+        self._drive_drift(houdini, drifted, rounds=60)
+        recomputations_after = sum(
+            m.stats.recomputations for m in houdini.maintenance.maintenances()
+        )
+        assert recomputations_after > recomputations_before, (
+            "drift never triggered a recompute; the test premise is broken"
+        )
+        # The drifted procedure's entries are gone; the other procedure's
+        # entry survived.
+        assert not any(key[0] == "GetSubscriberData" for key in cache._entries)
+        assert keep_entry_key in cache._entries

@@ -1,0 +1,251 @@
+"""Tests for the chain-compiled whole-walk fast path.
+
+For chain-shaped models (every non-terminal vertex has one dominant
+successor statement) the estimator memoizes whole walks per
+partition-binding signature; these tests pin down the chain detection, the
+byte-equivalence of compiled and stepwise walks, and the invalidation of
+memoized walks when the model changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import pipeline
+from repro.houdini import HoudiniConfig, PathEstimator
+from repro.markov.model import MarkovModel, PathStep
+from repro.types import PartitionSet, ProcedureRequest, QueryType
+
+
+def _estimate_fields(estimate):
+    """Everything observable about an estimate except wall-clock time."""
+    return (
+        estimate.procedure,
+        tuple(estimate.vertices),
+        tuple(estimate.edge_probabilities),
+        {
+            partition_id: (
+                p.access_confidence, p.last_access_index, p.written, p.access_count
+            )
+            for partition_id, p in estimate.partitions.items()
+        },
+        estimate.abort_probability,
+        estimate.predicted_abort,
+        estimate.work_units,
+        estimate.degenerate,
+    )
+
+
+def _step(statement, partition, previous, counter=0, write=False):
+    return PathStep(
+        statement=statement,
+        query_type=QueryType.WRITE if write else QueryType.READ,
+        partitions=PartitionSet.of([partition]),
+        previous=PartitionSet.of(previous),
+        counter=counter,
+    )
+
+
+class TestChainDetection:
+    def test_single_statement_chain(self):
+        model = MarkovModel("p", 4)
+        for partition in range(4):
+            model.add_path([_step("Q", partition, [])], aborted=False)
+        model.process()
+        assert model.chain_shaped() is True
+
+    def test_branching_on_statement_name_is_not_a_chain(self):
+        model = MarkovModel("p", 4)
+        model.add_path([_step("A", 0, [])], aborted=False)
+        model.add_path([_step("B", 0, [])], aborted=False)
+        model.process()
+        assert model.chain_shaped() is False
+
+    def test_partition_fanout_alone_keeps_the_chain(self):
+        """Branching only on the partition binding is what the parameters
+        resolve — the model still counts as a chain."""
+        model = MarkovModel("p", 4)
+        for partition in range(4):
+            model.add_path(
+                [_step("A", partition, []), _step("B", partition, [partition])],
+                aborted=False,
+            )
+        model.process()
+        assert model.chain_shaped() is True
+
+    def test_answer_is_recomputed_when_the_model_changes(self):
+        model = MarkovModel("p", 4)
+        model.add_path([_step("A", 0, [])], aborted=False)
+        model.process()
+        assert model.chain_shaped() is True
+        model.add_path([_step("B", 0, [])], aborted=False)
+        assert model.chain_shaped() is False
+
+    def test_benchmark_chain_shapes(self, tatp_artifacts, tpcc_artifacts):
+        """TATP is all chains; TPC-C's conditional procedures are not."""
+        assert all(model.chain_shaped() for model in tatp_artifacts.models.values())
+        assert not tpcc_artifacts.models["neworder"].chain_shaped()
+        assert not tpcc_artifacts.models["payment"].chain_shaped()
+        assert tpcc_artifacts.models["orderstatus"].chain_shaped()
+
+
+class TestModelVersion:
+    def test_count_only_visits_do_not_move_the_version(self):
+        model = MarkovModel("p", 4)
+        model.add_path([_step("Q", 0, [])], aborted=False)
+        model.process()
+        version = model.version
+        # Re-recording a known path only increments counters: every edge and
+        # vertex already exists and no probability changes until process().
+        key = _step("Q", 0, []).key()
+        model.record_transitions([(model.begin, key), (key, model.commit)])
+        assert model.version == version
+
+    def test_new_edges_placeholders_and_process_move_the_version(self):
+        model = MarkovModel("p", 4)
+        model.add_path([_step("Q", 0, [])], aborted=False)
+        model.process()
+        version = model.version
+        other = _step("Q", 1, []).key()
+        model.record_transitions([(model.begin, other), (other, model.commit)])
+        assert model.version > version
+        version = model.version
+        model.process()
+        assert model.version > version
+
+    def test_bulk_record_matches_singles(self):
+        """record_transitions is behaviourally identical to a loop of
+        record_transition calls."""
+        a = MarkovModel("p", 4)
+        b = MarkovModel("p", 4)
+        for model in (a, b):
+            model.add_path(
+                [_step("A", 0, []), _step("B", 0, [0])], aborted=False
+            )
+            model.process()
+        first = _step("A", 0, []).key()
+        second = _step("B", 1, [0]).key()  # new vertex: a placeholder path
+        transitions = [
+            (a.begin, first), (first, second), (second, a.commit),
+            (a.begin, first), (first, a.abort),
+        ]
+        a.record_transitions(transitions)
+        for source, target in transitions:
+            b.record_transition(source, target)
+        assert a.vertex_count() == b.vertex_count()
+        assert a.edge_count() == b.edge_count()
+        for vertex in a.vertices():
+            assert b.vertex(vertex.key).hits == vertex.hits
+        for source in (a.begin, first, second):
+            mine = {e.target: e.hits for e in a.edges_from(source)}
+            theirs = {e.target: e.hits for e in b.edges_from(source)}
+            assert mine == theirs
+        assert a.stale and b.stale
+
+
+class TestFootprintSignatureParity:
+    @pytest.fixture(scope="class")
+    def auctionmark_estimator(self):
+        artifacts = pipeline.train("auctionmark", 4, trace_transactions=400, seed=11)
+        estimator = PathEstimator(
+            artifacts.benchmark.catalog,
+            artifacts.global_provider(),
+            artifacts.mappings,
+            HoudiniConfig(),
+        )
+        return artifacts, estimator
+
+    def test_combined_equals_separate_on_live_requests(self, auctionmark_estimator):
+        artifacts, estimator = auctionmark_estimator
+        generator = artifacts.benchmark.generator
+        for _ in range(200):
+            req = generator.next_request()
+            compiled = estimator._compiled_for(req.procedure)
+            assert compiled.footprint_and_signature(req.parameters) == (
+                compiled.footprint(req.parameters),
+                compiled.binding_signature(req.parameters),
+            )
+
+    def test_footprint_all_short_parameters_do_not_raise(self, auctionmark_estimator):
+        """Regression: a broadcast/replicated-write procedure's footprint is
+        the whole cluster without consulting the parameters, so a short
+        parameter list must not raise on the combined path either."""
+        artifacts, estimator = auctionmark_estimator
+        checked = 0
+        for name in artifacts.models:
+            compiled = estimator._compiled_for(name)
+            if not compiled._footprint_all:
+                continue
+            footprint, signature = compiled.footprint_and_signature(())
+            assert footprint == compiled.footprint(())
+            assert signature is None or isinstance(signature, tuple)
+            checked += 1
+        assert checked > 0, "AuctionMark should have footprint_all procedures"
+
+
+class TestCompiledWalks:
+    @pytest.fixture(scope="class")
+    def smallbank_artifacts(self):
+        return pipeline.train("smallbank", 4, trace_transactions=600, seed=11)
+
+    def _estimators(self, artifacts):
+        walk = PathEstimator(
+            artifacts.benchmark.catalog,
+            artifacts.global_provider(),
+            artifacts.mappings,
+            HoudiniConfig(compiled_walks=True),
+        )
+        step = PathEstimator(
+            artifacts.benchmark.catalog,
+            artifacts.global_provider(),
+            artifacts.mappings,
+            HoudiniConfig(compiled_walks=False),
+        )
+        return walk, step
+
+    @pytest.mark.parametrize("fixture", ["tatp_artifacts", "smallbank_artifacts"])
+    def test_walk_equals_stepwise_for_chain_workloads(self, fixture, request):
+        artifacts = request.getfixturevalue(fixture)
+        walk, step = self._estimators(artifacts)
+        generator = artifacts.benchmark.generator
+        served = 0
+        for _ in range(400):
+            req = generator.next_request()
+            compiled = walk.estimate(req)
+            stepwise = step.estimate(req)
+            assert _estimate_fields(compiled) == _estimate_fields(stepwise)
+            if walk.walk_record(req) is not None:
+                served += 1
+        # Chain workloads must be fully served by the fast path.
+        assert served == 400
+
+    def test_repeat_requests_reuse_the_record(self, tatp_artifacts):
+        walk, _ = self._estimators(tatp_artifacts)
+        request = ProcedureRequest.of("GetSubscriberData", (5,))
+        first = walk.estimate(request)
+        second = walk.estimate(request)
+        assert first is second  # the memoized walk object itself
+        record = walk.walk_record(request)
+        assert record is not None and record.uses >= 1
+
+    def test_branchy_model_falls_back_to_stepwise(self, tpcc_artifacts):
+        walk, _ = self._estimators(tpcc_artifacts)
+        request = ProcedureRequest.of("payment", (0, 0, 0, 0, 1, 5.0))
+        assert walk.walk_record(request) is None
+        estimate = walk.estimate(request)
+        assert estimate.reached_terminal
+
+    def test_records_invalidate_when_the_model_learns_new_structure(self, tatp_artifacts):
+        walk, _ = self._estimators(tatp_artifacts)
+        request = ProcedureRequest.of("GetSubscriberData", (5,))
+        before = walk.estimate(request)
+        model = tatp_artifacts.models["GetSubscriberData"]
+        # Run-time learning discovers a new transition: the memoized walk
+        # may no longer match what a fresh walk would produce.
+        placeholder = _step("GetSubscriber", 1, [0], counter=1).key()
+        model.record_transitions([(before.vertices[1], placeholder)])
+        after = walk.estimate(request)
+        assert after is not before  # rebuilt, not served from the stale table
+        model.process()
+        again = walk.estimate(request)
+        assert again is not after

@@ -94,6 +94,46 @@ class TestCacheLookupAndEviction:
         assert cache.stats.misses == 1
         assert cache.stats.hit_rate == 0.0
 
+    def test_uncacheable_lookups_are_counted(self):
+        """None-key lookups must depress the hit rate, not vanish."""
+        cache = EstimateCache(HoudiniConfig())
+        key = ("Proc", frozenset({0}))
+        cache.store(key, _single_partition_estimate(), _decision())
+        assert cache.lookup(key) is not None
+        assert cache.lookup(None) is None
+        assert cache.lookup(None) is None
+        assert cache.stats.uncacheable == 2
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+        assert "uncacheable=2" in cache.describe()
+
+    def test_stale_model_token_evicts_entry(self):
+        """An entry from an older model version must not be served."""
+        cache = EstimateCache(HoudiniConfig())
+        key = ("Proc", frozenset({0}))
+        cache.store(key, _single_partition_estimate(), _decision(), token=(1, 7))
+        assert cache.lookup(key, token=(1, 7)) is not None
+        # Model version moved (or a different cluster model now serves the
+        # procedure): the entry is evicted and the lookup is a miss.
+        assert cache.lookup(key, token=(1, 8)) is None
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+
+    def test_support_limited_decision_is_rejected_while_learning(self):
+        """A decision gated only by thin observation counts may flip as the
+        counts grow, so it is rejected while the model can still learn —
+        but reusable once learning is off (the counts are then frozen)."""
+        cache = EstimateCache(HoudiniConfig())
+        decision = _decision()
+        decision.support_limited = True
+        key = ("Proc", frozenset({0}))
+        assert cache.store(
+            key, _single_partition_estimate(), decision, support_may_grow=True
+        ) is False
+        assert cache.stats.rejected == 1
+        assert cache.store(key, _single_partition_estimate(), decision) is True
+
     def test_lru_eviction_keeps_recent_entries(self):
         cache = EstimateCache(HoudiniConfig(), max_entries=2)
         for partition in range(3):
@@ -109,9 +149,28 @@ class TestCacheLookupAndEviction:
     def test_invalidate_clears_everything(self):
         cache = EstimateCache(HoudiniConfig())
         cache.store(("Proc", frozenset({0})), _single_partition_estimate(), _decision())
-        cache.invalidate()
+        assert cache.invalidate() == 1
         assert len(cache) == 0
         assert cache.stats.invalidations == 1
+
+    def test_invalidate_counts_entries_evicted(self):
+        """Both invalidation paths count the same thing: entries dropped."""
+        cache = EstimateCache(HoudiniConfig())
+        for partition in range(3):
+            cache.store(
+                ("A", frozenset({partition})),
+                _single_partition_estimate(partition),
+                _decision(partition),
+            )
+        cache.store(("B", frozenset({0})), _single_partition_estimate(), _decision())
+        assert cache.invalidate_procedure("A") == 3
+        assert cache.stats.invalidations == 3
+        assert cache.invalidate() == 1
+        assert cache.stats.invalidations == 4
+        # Nothing left: further invalidations are free and count nothing.
+        assert cache.invalidate() == 0
+        assert cache.invalidate_procedure("A") == 0
+        assert cache.stats.invalidations == 4
 
     def test_invalidate_procedure_is_selective(self):
         cache = EstimateCache(HoudiniConfig())
@@ -137,8 +196,20 @@ class TestHoudiniIntegration:
             learning=False,
         )
 
-    def test_cache_disabled_by_default(self, tpcc_houdini):
-        assert tpcc_houdini.estimate_cache is None
+    def test_cache_enabled_by_default(self, tpcc_houdini):
+        """§6.3 caching is the default operating mode (and can be disabled)."""
+        assert HoudiniConfig().enable_estimate_caching is True
+        assert tpcc_houdini.estimate_cache is not None
+
+    def test_cache_can_be_disabled(self, tatp_artifacts):
+        houdini = Houdini(
+            tatp_artifacts.benchmark.catalog,
+            tatp_artifacts.global_provider(),
+            tatp_artifacts.mappings,
+            HoudiniConfig(enable_estimate_caching=False),
+            learning=False,
+        )
+        assert houdini.estimate_cache is None
 
     def test_repeated_requests_hit_the_cache(self, caching_houdini, tatp_artifacts):
         generator = tatp_artifacts.benchmark.generator
@@ -150,9 +221,35 @@ class TestHoudiniIntegration:
         assert cache is not None
         assert cache.stats.hits > 0
 
-    def test_cache_hits_are_cheaper_than_misses(self, caching_houdini, tatp_artifacts):
+    def test_default_mode_charges_hits_neutrally(self, caching_houdini, tatp_artifacts):
+        """Default-on caching is a wall-clock optimization only: a hit is
+        charged the identical modelled estimation cost as the walk it reuses,
+        so simulated metrics cannot depend on the cache."""
         generator = tatp_artifacts.benchmark.generator
         plans = [caching_houdini.plan(generator.next_request()) for _ in range(300)]
+        cached = [p for p in plans if p.plan.source == "houdini:cached"]
+        assert cached, "expected at least one cache hit in 300 TATP requests"
+        config = caching_houdini.config
+        for plan in cached:
+            expected = config.estimation_cost_ms(
+                plan.estimate.work_units, plan.estimate.query_count
+            )
+            assert plan.plan.estimation_ms == expected
+
+    def test_simulated_savings_mode_charges_hits_cheaper(self, tatp_artifacts):
+        """The §6.3 what-if mode charges only the dictionary-lookup cost."""
+        houdini = Houdini(
+            tatp_artifacts.benchmark.catalog,
+            tatp_artifacts.global_provider(),
+            tatp_artifacts.mappings,
+            HoudiniConfig(
+                enable_estimate_caching=True,
+                estimate_cache_simulated_savings=True,
+            ),
+            learning=False,
+        )
+        generator = tatp_artifacts.benchmark.generator
+        plans = [houdini.plan(generator.next_request()) for _ in range(300)]
         cached = [p for p in plans if p.plan.source == "houdini:cached"]
         uncached = [p for p in plans if p.plan.source == "houdini"]
         assert cached, "expected at least one cache hit in 300 TATP requests"

@@ -14,7 +14,9 @@ class TestHoudiniPlanning:
         plan = tpcc_houdini.plan(
             ProcedureRequest.of("payment", (0, 0, 0, 0, 1, 5.0))
         )
-        assert plan.plan.source == "houdini"
+        # The session-scoped instance caches by default, so a repeat of this
+        # request in the same session legitimately plans from the cache.
+        assert plan.plan.source in ("houdini", "houdini:cached")
         assert plan.plan.estimation_ms > 0
         assert plan.runtime is not None
         assert plan.decision.base_partition == 0

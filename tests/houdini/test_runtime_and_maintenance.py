@@ -132,4 +132,4 @@ class TestMaintenance:
         first = registry.for_model(model)
         second = registry.for_model(model)
         assert first is second
-        assert registry.check_all() == 0
+        assert registry.check_all() == []

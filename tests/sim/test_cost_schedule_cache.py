@@ -76,6 +76,39 @@ class TestScheduleCache:
         after = model.attempt_timing(plan, attempt, 4).total_ms
         assert after > before
 
+    def test_constant_mutation_invalidates_automatically(self):
+        """Regression: mutating a ``*_ms`` constant on a live instance used
+        to keep serving schedules computed with the old constants."""
+        model = CostModel()
+        plan, attempt = _plan(), _attempt([[0], [0]])
+        before = model.attempt_timing(plan, attempt, 4)
+        model.query_local_ms *= 10  # no manual clear_schedule_cache()
+        after = model.attempt_timing(plan, attempt, 4)
+        fresh = CostModel(query_local_ms=model.query_local_ms).attempt_timing(
+            plan, attempt, 4
+        )
+        assert after.total_ms == fresh.total_ms
+        assert after.execution_ms == fresh.execution_ms
+        assert after.total_ms > before.total_ms
+
+    def test_constant_mutation_resets_bypass_probation(self):
+        model = CostModel()
+        for i in range(600):
+            plan = _plan(locked=(i % 4,), base=i % 4)
+            model.attempt_timing(plan, _attempt([[i % 4]], undo=i), 4)
+        assert model._cache_bypassed
+        model.two_phase_commit_ms = 2.0
+        assert not model._cache_bypassed
+        assert model._cache_checks == 0 and not model._schedule_cache
+
+    def test_non_constant_assignment_keeps_the_cache(self):
+        model = CostModel()
+        plan, attempt = _plan(), _attempt([[0]])
+        model.attempt_timing(plan, attempt, 4)
+        assert model._schedule_cache
+        model._cache_hits = model._cache_hits  # not a *_ms constant
+        assert model._schedule_cache
+
     def test_adaptive_bypass_keeps_results_identical(self):
         model = CostModel()
         # Force the probation verdict: unique shapes only, no hits.
