@@ -6,6 +6,12 @@ execution through the coordinator, cost-model replay, metric finalization —
 under the default FCFS configuration, and tracks the result against the
 committed pre-change baseline in ``benchmarks/baselines/``.
 
+Runs go through the public session API (``Cluster.open`` →
+``ClusterSession.run_for``), so the measured path is exactly what clients
+of the redesigned surface pay; the timed region excludes training and
+session assembly, matching the baseline protocol's timed region
+(``ClusterSimulator.run()`` alone).
+
 Protocol (must match the committed baseline's):
 
 * TATP and TPC-C at 16 partitions (the paper's fixed-size cluster), four
@@ -30,7 +36,7 @@ import time
 from pathlib import Path
 
 from repro import pipeline
-from repro.sim import ClusterSimulator, SimulatorConfig
+from repro.session import Cluster, ClusterSpec
 from repro.strategies import HoudiniStrategy
 
 PARTITIONS = 16
@@ -48,25 +54,24 @@ def _measure(benchmark_name: str, scale) -> dict:
             trace_transactions=min(scale.trace_transactions, 1500), seed=0,
         )
         strategy = HoudiniStrategy(pipeline.make_houdini(artifacts, learning=False))
-        simulator = ClusterSimulator(
-            artifacts.benchmark.catalog,
-            artifacts.benchmark.database,
-            artifacts.benchmark.generator,
-            strategy,
-            config=SimulatorConfig(total_transactions=TRANSACTIONS),
-            benchmark_name=benchmark_name,
+        session = Cluster.open(
+            ClusterSpec(benchmark=benchmark_name, num_partitions=PARTITIONS),
+            artifacts=artifacts,
+            strategy=strategy,
         )
         gc.collect()
         gc.disable()
         started = time.process_time()
-        result = simulator.run()
+        result = session.run_for(txns=TRANSACTIONS)
         elapsed = time.process_time() - started
         gc.enable()
-        assert result.total_transactions == TRANSACTIONS
+        session.close()
+        report = result.to_dict()
+        assert report["committed"] + report["user_aborted"] == TRANSACTIONS
         throughput = TRANSACTIONS / elapsed
         if throughput > best:
             best = throughput
-            simulated = result.throughput_txn_per_sec
+            simulated = report["derived"]["throughput_txn_per_sec"]
     return {
         "wall_txns_per_sec": round(best, 1),
         "simulated_throughput_txn_s": round(simulated, 1),

@@ -1,18 +1,22 @@
 """Intelligent scheduling and admission control from path estimates (paper §8).
 
 The paper's future-work section proposes using the Markov models' expected
-remaining run time to schedule queued transactions intelligently.  This
-example builds a backlog of mixed TPC-C requests (long NewOrder/Delivery
-transactions interleaved with short OrderStatus/StockLevel lookups), asks
-Houdini for each request's initial path estimate, and compares three queue
-disciplines:
+remaining run time to schedule queued transactions intelligently.  With the
+session API each scenario is a handful of lines: open a cluster, run it
+under one queue discipline, swap the discipline *live* with
+``session.reconfigure(policy=...)``, and compare the windowed metrics —
+admission control is one more ``reconfigure(admission=...)`` away.
 
-* plain FIFO (what a work queue does today),
+The example compares three disciplines on a mixed TPC-C workload (long
+NewOrder/Delivery transactions interleaved with short OrderStatus/StockLevel
+lookups):
+
+* plain FCFS (what a work queue does today),
 * predicted-shortest-job-first (the paper's suggestion), and
-* single-partition-first (drain cheap local work before distributed work).
+* single-partition-first (drain cheap local work before distributed work),
 
-It then runs the same backlog through an admission controller that limits
-how many distributed transactions may be in flight at once.
+then demonstrates a live policy swap plus admission limits on one long-lived
+session — no retraining, no cluster rebuild.
 
 Run with::
 
@@ -20,98 +24,75 @@ Run with::
 """
 
 from repro import pipeline
-from repro.scheduling import (
-    AdmissionController,
-    AdmissionDecision,
-    AdmissionLimits,
-    ArrivalOrderPolicy,
-    ShortestPredictedFirstPolicy,
-    SinglePartitionFirstPolicy,
-    TransactionScheduler,
-)
+from repro.session import Cluster, ClusterSpec
+
+SPEC = ClusterSpec(benchmark="tpcc", num_partitions=4, strategy="houdini",
+                   trace_transactions=1200, seed=5)
 
 
-def build_backlog(artifacts, houdini, size: int):
-    """Generate a request backlog annotated with Houdini's estimates."""
-    generator = artifacts.benchmark.generator
-    backlog = []
-    for _ in range(size):
-        request = generator.next_request()
-        estimate = houdini.estimate(request)
-        backlog.append((request, estimate))
-    return backlog
+def compare_policies(artifacts) -> None:
+    print("== Queue discipline comparison (one session per policy, shared artifacts) ==")
+    print(f"  {'policy':28s} {'throughput':>12s} {'mean latency':>14s} {'reordered':>10s}")
+    for policy in (None, "shortest-predicted", "single-partition-first"):
+        session = Cluster.open(SPEC, artifacts=artifacts)
+        if policy is not None:
+            session.reconfigure(policy=policy)
+        result = session.run_for(txns=400)
+        session.close()
+        name = policy or "fcfs"
+        print(f"  {name:28s} {result.throughput_txn_per_sec:8.1f} txn/s "
+              f"{result.average_latency_ms:11.2f} ms "
+              f"{result.scheduler_stats.reordered:10d}")
+    print()
 
 
-def simulate_queue(backlog, policy) -> tuple[float, float, int]:
-    """Serve the backlog on one partition queue; return latency statistics."""
-    scheduler = TransactionScheduler(policy)
-    for request, estimate in backlog:
-        scheduler.submit(request, estimate)
-    clock = 0.0
-    completions = []
-    for pending in scheduler.drain():
-        clock += max(pending.predicted_cost_ms, 0.05)
-        completions.append(clock)
-    mean = sum(completions) / len(completions)
-    worst = max(completions)
-    return mean, worst, scheduler.stats.reordered
+def live_reconfiguration(artifacts) -> None:
+    print("== Live reconfiguration: swap policy and admission mid-run ==")
+    session = Cluster.open(SPEC, artifacts=artifacts)
 
+    def phase_latency(snapshot, previous):
+        """Mean latency of only the transactions this phase contributed
+        (snapshots are cumulative; slicing isolates the phase)."""
+        offset = len(previous.latencies_ms) if previous else 0
+        fresh = snapshot.latencies_ms[offset:]
+        return sum(fresh) / len(fresh)
 
-def admission_control(backlog) -> None:
-    print("== Admission control: cap concurrent distributed transactions ==")
-    controller = AdmissionController(
-        AdmissionLimits(max_distributed_in_flight=2, max_in_flight=16)
-    )
-    scheduler = TransactionScheduler(ShortestPredictedFirstPolicy(aging_ms=0.5))
-    for request, estimate in backlog:
-        scheduler.submit(request, estimate)
-    admitted = []
-    deferred = 0
-    while scheduler:
-        pending = scheduler.pop()
-        decision = controller.decide(pending)
-        if decision is AdmissionDecision.ADMIT:
-            admitted.append(pending)
-            # Retire the oldest admitted transaction once the node is "full"
-            # to keep the example moving (a real engine would do this on
-            # commit).
-            if len(admitted) > 8:
-                controller.release(admitted.pop(0))
-        elif decision is AdmissionDecision.DEFER:
-            deferred += 1
-            scheduler.resubmit(pending)
-        else:
-            pass  # rejected
-    print(f"  admitted={controller.stats.admitted} deferred={controller.stats.deferred} "
-          f"rejected={controller.stats.rejected}")
-    print(f"  (every deferral re-queued the transaction rather than dropping it)")
+    session.run_for(txns=200)
+    fcfs_phase = session.snapshot_metrics()
+    print(f"  phase 1 (fcfs):       {phase_latency(fcfs_phase, None):7.2f} ms mean latency")
+
+    # The queue policy changes while the cluster keeps running: the pending
+    # heap is re-keyed, the stats stay continuous.
+    session.reconfigure(policy="shortest-predicted")
+    session.run_for(txns=200)
+    sjf_phase = session.snapshot_metrics()
+    print(f"  phase 2 (+sjf):       {phase_latency(sjf_phase, fcfs_phase):7.2f} ms mean latency, "
+          f"{sjf_phase.scheduler_stats.reordered} queue jumps")
+
+    # Cap concurrent distributed transactions on top of the new policy.
+    session.reconfigure(admission={"max_distributed_in_flight": 1,
+                                   "max_in_flight": 4, "max_deferrals": 256})
+    session.run_for(txns=200)
+    final = session.close()
+    print(f"  phase 3 (+admission): {phase_latency(final, sjf_phase):7.2f} ms mean latency, "
+          f"{final.admission_stats.deferred} deferrals, "
+          f"{final.rejected} rejections")
     print()
 
 
 def main() -> None:
-    print("== Train TPC-C and annotate a request backlog with estimates ==")
+    print("== Train TPC-C once; every scenario reuses the artifacts ==")
     artifacts = pipeline.train("tpcc", num_partitions=4, trace_transactions=1200, seed=5)
-    houdini = pipeline.make_houdini(artifacts, learning=False)
-    backlog = build_backlog(artifacts, houdini, size=300)
+    backlog_estimate = pipeline.make_houdini(artifacts, learning=False)
     distributed = sum(
-        1 for _, estimate in backlog if len(estimate.touched_partitions()) > 1
+        1 for _ in range(300)
+        if len(backlog_estimate.estimate(
+            artifacts.benchmark.generator.next_request()).touched_partitions()) > 1
     )
-    print(f"  backlog: {len(backlog)} requests, {distributed} predicted distributed")
+    print(f"  sampled 300 requests: {distributed} predicted distributed")
     print()
-
-    print("== Queue discipline comparison (single partition queue) ==")
-    policies = [
-        ArrivalOrderPolicy(),
-        ShortestPredictedFirstPolicy(),
-        SinglePartitionFirstPolicy(),
-    ]
-    print(f"  {'policy':28s} {'mean latency':>14s} {'worst latency':>14s} {'reordered':>10s}")
-    for policy in policies:
-        mean, worst, reordered = simulate_queue(backlog, policy)
-        print(f"  {policy.name:28s} {mean:11.2f} ms {worst:11.2f} ms {reordered:10d}")
-    print()
-
-    admission_control(backlog)
+    compare_policies(artifacts)
+    live_reconfiguration(artifacts)
 
 
 if __name__ == "__main__":

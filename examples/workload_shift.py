@@ -7,6 +7,10 @@ longer match the model, recomputes the probabilities from the run-time
 counters, and the estimates become accurate again — without rebuilding the
 models off-line.
 
+With the session API the shift is a one-liner: the cluster stays open, the
+models and everything Houdini learned survive, and only the traffic changes
+(``session.reconfigure(generator=...)``).
+
 Run with::
 
     python examples/workload_shift.py
@@ -14,9 +18,8 @@ Run with::
 
 from repro import pipeline
 from repro.benchmarks.tpcc import TpccGenerator
-from repro.houdini import Houdini, HoudiniConfig
-from repro.strategies import HoudiniStrategy
-from repro.txn import TransactionCoordinator
+from repro.markov import build_models_from_trace
+from repro.session import Cluster, ClusterSpec
 from repro.workload import WorkloadRandom
 
 
@@ -54,32 +57,35 @@ def main() -> None:
     instance.generator = SmallOrderGenerator(instance.catalog, instance.config, WorkloadRandom(9))
     small_trace = pipeline.record_trace(instance, 800)
     artifacts.trace = small_trace
-    from repro.markov import build_models_from_trace
     artifacts.models = build_models_from_trace(instance.catalog, small_trace)
 
-    houdini = Houdini(
-        instance.catalog, artifacts.global_provider(), artifacts.mappings,
-        HoudiniConfig(), learning=True,
-    )
-    strategy = HoudiniStrategy(houdini)
-    coordinator = TransactionCoordinator(instance.catalog, instance.database, strategy)
+    spec = ClusterSpec(benchmark="tpcc", num_partitions=4, strategy="houdini", seed=8)
+    session = Cluster.open(spec, artifacts=artifacts)
 
     model = artifacts.models["neworder"]
     states_before = model.vertex_count()
     print(f"NewOrder model trained on small orders: {states_before} states")
 
-    # The live workload shifts to large orders.
-    instance.generator = LargeOrderGenerator(instance.catalog, instance.config, WorkloadRandom(10))
-    deviations = 0
-    for request in instance.generator.generate(400):
-        record = coordinator.execute_transaction(request)
-        deviations += record.restarts
-    maintenance = houdini.maintenance.maintenances()
+    # Phase 1: traffic still matches the training distribution.
+    trained_phase = session.run_for(txns=200)
+
+    # Phase 2: the live workload shifts to large orders — same cluster, same
+    # models, same learned state; only the generator changes.
+    session.reconfigure(
+        generator=LargeOrderGenerator(instance.catalog, instance.config, WorkloadRandom(10))
+    )
+    session.run_for(txns=400)
+    final = session.close()
+
+    shift_restarts = final.restarts - trained_phase.restarts
+    maintenance = session.houdini.maintenance.maintenances()
     recomputations = sum(m.stats.recomputations for m in maintenance)
+    print(f"Matching traffic: {trained_phase.restarts} restarts in "
+          f"{trained_phase.total_transactions} transactions")
     print(f"After the shift: {model.vertex_count()} states "
           f"({model.vertex_count() - states_before} added at run time), "
           f"{recomputations} on-line probability recomputation(s), "
-          f"{deviations} restarts caused by stale predictions")
+          f"{shift_restarts} restarts caused by stale predictions")
     print("Model stale flag after maintenance:", model.stale)
 
 

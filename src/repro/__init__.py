@@ -12,12 +12,17 @@ every table and figure of the paper's evaluation.
 
 Quickstart
 ----------
->>> from repro import pipeline
->>> artifacts = pipeline.train("tpcc", num_partitions=4, trace_transactions=500)
->>> strategy = pipeline.make_strategy("houdini", artifacts)
->>> result = pipeline.simulate(artifacts, strategy, transactions=500)
+>>> from repro import Cluster, ClusterSpec
+>>> spec = ClusterSpec(benchmark="tpcc", num_partitions=4, trace_transactions=500)
+>>> with Cluster.open(spec) as session:
+...     result = session.run_for(txns=500)
 >>> result.throughput_txn_per_sec > 0
 True
+
+The session API (:mod:`repro.session`) is the primary surface: open a
+long-lived cluster, stream transactions in, reconfigure scheduling /
+admission / Houdini live, and snapshot windowed metrics on demand.  The
+:mod:`repro.pipeline` helpers remain as stable one-shot shims over it.
 """
 
 from . import pipeline
@@ -43,6 +48,7 @@ from .scheduling import (
     TransactionScheduler,
     policy_by_name,
 )
+from .session import Cluster, ClusterSession, ClusterSpec, TrainedArtifacts
 from .sim import ClusterSimulator, CostModel, SimulationResult, SimulatorConfig
 from .strategies import (
     AssumeDistributedStrategy,
@@ -59,6 +65,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "pipeline",
+    "Cluster",
+    "ClusterSession",
+    "ClusterSpec",
+    "TrainedArtifacts",
     "ArtifactBundle",
     "ArtifactError",
     "WorkloadAdvisor",

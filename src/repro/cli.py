@@ -8,8 +8,17 @@ be exercised without writing Python:
     $ python -m repro list-benchmarks
     $ python -m repro train tpcc --partitions 8 --trace 2000 --output /tmp/tpcc
     $ python -m repro inspect /tmp/tpcc
-    $ python -m repro simulate tpcc --strategy houdini --partitions 8
+    $ python -m repro simulate tpcc --strategy houdini --partitions 8 --json
+    $ python -m repro serve tatp --partitions 4
     $ python -m repro experiment figure03 --scale small
+
+``simulate`` runs one closed-loop configuration through a
+:class:`~repro.session.ClusterSession` and prints its summary (or, with
+``--json``, the full stable :meth:`SimulationResult.to_dict` document).
+``serve`` opens a long-lived session and reads commands from stdin — a
+REPL over the session API (``run N``, ``policy NAME``, ``admission k=v``,
+``caching on|off``, ``threshold X``, ``metrics``, ``drain``, ``quit``) —
+so live-reconfiguration scenarios can be scripted from the shell.
 
 Every command prints a human-readable report to stdout and exits non-zero on
 errors, so it composes with shell scripts and CI jobs.
@@ -18,6 +27,7 @@ errors, so it composes with shell scripts and CI jobs.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -36,16 +46,10 @@ from .experiments import (
     run_table03,
     run_table04,
 )
+from .session import STRATEGY_NAMES, Cluster, ClusterSpec
 
-#: Strategy names accepted by ``repro simulate``.
-STRATEGIES = (
-    "assume-distributed",
-    "assume-single-partition",
-    "oracle",
-    "houdini",
-    "houdini-global",
-    "houdini-partitioned",
-)
+#: Strategy names accepted by ``repro simulate`` / ``repro serve``.
+STRATEGIES = STRATEGY_NAMES
 
 #: Experiment registry: id -> runner returning an object with ``format()``.
 EXPERIMENTS: dict[str, Callable] = {
@@ -102,6 +106,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--threshold", type=float, default=None,
                           help="confidence-coefficient threshold (Houdini strategies)")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--json", action="store_true",
+        help="print the full SimulationResult as a stable JSON document",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="open a long-lived cluster session and read commands from stdin",
+    )
+    serve.add_argument("benchmark", choices=available_benchmarks())
+    serve.add_argument("--strategy", choices=STRATEGIES, default="houdini")
+    serve.add_argument("--partitions", type=int, default=8)
+    serve.add_argument("--trace", type=int, default=2000)
+    serve.add_argument("--seed", type=int, default=0)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's tables or figures"
@@ -150,24 +168,111 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    trained = pipeline.train(
-        args.benchmark,
-        args.partitions,
-        trace_transactions=args.trace,
-        seed=args.seed,
-    )
-    houdini = None
-    if args.threshold is not None and args.strategy.startswith("houdini"):
+def _build_spec(args: argparse.Namespace) -> ClusterSpec:
+    houdini_config = None
+    if getattr(args, "threshold", None) is not None and args.strategy.startswith("houdini"):
         from .houdini import HoudiniConfig
 
-        houdini = pipeline.make_houdini(
-            trained, config=HoudiniConfig(confidence_threshold=args.threshold)
-        )
-    strategy = pipeline.make_strategy(args.strategy, trained, houdini=houdini)
-    result = pipeline.simulate(trained, strategy, transactions=args.transactions)
-    for key, value in result.summary_row().items():
-        print(f"{key}: {value}")
+        houdini_config = HoudiniConfig(confidence_threshold=args.threshold)
+    return ClusterSpec(
+        benchmark=args.benchmark,
+        num_partitions=args.partitions,
+        trace_transactions=args.trace,
+        seed=args.seed,
+        strategy=args.strategy,
+        houdini=houdini_config,
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    session = Cluster.open(_build_spec(args))
+    session.run_for(txns=args.transactions)
+    result = session.close()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        for key, value in result.summary_row().items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """REPL over a long-lived :class:`~repro.session.ClusterSession`.
+
+    Reads one command per stdin line; unknown commands print usage and keep
+    the session alive, so the loop is safe to drive from scripts and CI.
+    """
+    spec = _build_spec(args)
+    print(f"opening {spec.benchmark}/{spec.strategy} with {spec.num_partitions} "
+          f"partitions (trace {spec.trace_transactions} txns)...")
+    session = Cluster.open(spec)
+    print("session open; commands: run N | policy NAME|none | admission k=v[,k=v]|off"
+          " | caching on|off | threshold X | metrics [--json] | spec | drain | quit")
+    interactive = sys.stdin.isatty()
+    while True:
+        if interactive:
+            print("> ", end="", flush=True)
+        line = sys.stdin.readline()
+        if not line:
+            break
+        parts = line.strip().split()
+        if not parts:
+            continue
+        command, rest = parts[0].lower(), parts[1:]
+        try:
+            if command in ("quit", "exit"):
+                break
+            elif command == "run":
+                count = int(rest[0]) if rest else 100
+                result = session.run_for(txns=count)
+                print(f"ran {count} txns; t={session.now_ms:.1f}ms "
+                      f"throughput={result.throughput_txn_per_sec:.1f} txn/s")
+            elif command == "policy":
+                name = rest[0] if rest else "none"
+                session.reconfigure(policy=None if name == "none" else name)
+                print(f"policy -> {session.simulator.scheduler.policy.name}")
+            elif command == "admission":
+                if rest and rest[0] == "off":
+                    session.reconfigure(admission=None)
+                    print("admission -> off")
+                else:
+                    fields = {}
+                    # Accept "k=v,k=v" with or without spaces after commas.
+                    for pair in " ".join(rest).replace(",", " ").split():
+                        key, _, value = pair.partition("=")
+                        fields[key] = float(value) if "." in value else int(value)
+                    session.reconfigure(admission=fields)
+                    print(f"admission -> {fields}")
+            elif command == "caching":
+                token = rest[0].lower() if rest else ""
+                if token not in ("on", "off"):
+                    print("error: caching takes 'on' or 'off'")
+                    continue
+                session.reconfigure(estimate_caching=token == "on")
+                print(f"estimate caching -> {token}")
+            elif command == "threshold":
+                session.reconfigure(confidence_threshold=float(rest[0]))
+                print(f"confidence threshold -> {float(rest[0])}")
+            elif command == "metrics":
+                snapshot = session.snapshot_metrics()
+                if rest and rest[0] == "--json":
+                    print(json.dumps(snapshot.to_dict()))
+                else:
+                    for key, value in snapshot.summary_row().items():
+                        print(f"{key}: {value}")
+            elif command == "spec":
+                print(json.dumps(session.spec.to_dict(), default=str, indent=2))
+            elif command == "drain":
+                result = session.drain()
+                print(f"drained; {result.total_transactions} txns total")
+            else:
+                print(f"unknown command {command!r}; commands: run, policy, "
+                      f"admission, caching, threshold, metrics, spec, drain, quit")
+        except (ReproError, ValueError, IndexError) as error:
+            print(f"error: {error}")
+    final = session.close()
+    print(f"session closed after {final.total_transactions} transactions "
+          f"({final.throughput_txn_per_sec:.1f} txn/s)")
     return 0
 
 
@@ -189,6 +294,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "train": _cmd_train,
     "inspect": _cmd_inspect,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
     "experiment": _cmd_experiment,
 }
 

@@ -135,3 +135,13 @@ class WorkloadError(ReproError):
 
 class SimulationError(ReproError):
     """Raised for invalid simulator configuration or impossible schedules."""
+
+
+class SessionError(ReproError, ValueError):
+    """Raised for invalid cluster specifications or misuse of a session
+    (unknown spec fields, out-of-range values, driving a closed session).
+
+    Also a :class:`ValueError`: the historical ``pipeline`` entry points
+    raised ``ValueError`` for bad configuration (e.g. an unknown strategy
+    name), and their shims must stay catchable by existing callers.
+    """

@@ -15,10 +15,17 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 
+from ..errors import SessionError
+
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """How much work each experiment performs."""
+    """How much work each experiment performs.
+
+    Validation is strict: out-of-range values raise
+    :class:`~repro.errors.SessionError` at construction, and
+    :meth:`from_env` rejects unknown ``REPRO_SCALE`` values instead of
+    silently falling back to the default."""
 
     name: str = "small"
     #: Transactions recorded in the sample workload trace (paper: 100,000).
@@ -38,6 +45,32 @@ class ExperimentScale:
     feedforward_selection: bool = False
     #: Base RNG seed.
     seed: int = 7
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        for name in (
+            "trace_transactions",
+            "simulated_transactions",
+            "accuracy_partitions",
+            "accuracy_test_transactions",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise SessionError(
+                    f"ExperimentScale.{name} must be an integer >= 1, got {value!r}"
+                )
+        if not self.partition_counts or any(
+            not isinstance(p, int) or p < 1 for p in self.partition_counts
+        ):
+            raise SessionError(
+                "ExperimentScale.partition_counts must be a non-empty tuple of "
+                f"integers >= 1, got {self.partition_counts!r}"
+            )
+        if any(not 0.0 <= t <= 1.0 for t in self.thresholds):
+            raise SessionError(
+                "ExperimentScale.thresholds must all lie within [0, 1], "
+                f"got {self.thresholds!r}"
+            )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -82,17 +115,28 @@ class ExperimentScale:
 
     @staticmethod
     def from_env(default: "ExperimentScale | None" = None) -> "ExperimentScale":
-        """Pick a preset via the ``REPRO_SCALE`` environment variable."""
+        """Pick a preset via the ``REPRO_SCALE`` environment variable.
+
+        Unset (or empty) falls back to ``default`` (or the small preset);
+        an unrecognized value raises :class:`SessionError` naming the valid
+        presets — a typo must not silently run the wrong scale.
+        """
         presets = {
             "small": ExperimentScale.small,
             "medium": ExperimentScale.medium,
             "large": ExperimentScale.large,
             "paper": ExperimentScale.paper,
         }
-        name = os.environ.get("REPRO_SCALE", "").lower()
-        if name in presets:
-            return presets[name]()
-        return default or ExperimentScale.small()
+        raw = os.environ.get("REPRO_SCALE", "")
+        name = raw.strip().lower()
+        if not name:
+            return default or ExperimentScale.small()
+        if name not in presets:
+            raise SessionError(
+                f"unknown REPRO_SCALE value {raw!r}; valid presets: "
+                f"{', '.join(sorted(presets))} (unset it to use the default)"
+            )
+        return presets[name]()
 
     def override(self, **kwargs) -> "ExperimentScale":
         return replace(self, **kwargs)
@@ -100,6 +144,36 @@ class ExperimentScale:
 
 #: Benchmarks evaluated by the paper, in its presentation order.
 BENCHMARKS = ("tatp", "tpcc", "auctionmark")
+
+
+def run_session(
+    artifacts,
+    strategy,
+    *,
+    transactions: int,
+    policy=None,
+    admission_limits=None,
+    clients_per_partition: int = 4,
+):
+    """Drive one closed-loop run through the session API.
+
+    Every experiment routes its simulator runs through here; the single
+    implementation is the :func:`repro.pipeline.simulate` shim, which opens
+    a :class:`~repro.session.ClusterSession` over the trained artifacts and
+    the prebuilt strategy, drives it for ``transactions`` closed-loop
+    submissions, and closes it.  Results are byte-identical to the
+    historical one-shot ``ClusterSimulator.run()``.
+    """
+    from .. import pipeline
+
+    return pipeline.simulate(
+        artifacts,
+        strategy,
+        transactions=transactions,
+        policy=policy,
+        admission_limits=admission_limits,
+        clients_per_partition=clients_per_partition,
+    )
 
 
 def format_table(headers: list[str], rows: list[list[object]]) -> str:

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from .. import pipeline
 from ..benchmarks.tpcc import NewOrderOnlyGenerator
-from .common import ExperimentScale, format_table
+from .common import ExperimentScale, format_table, run_session
 
 #: Strategy labels in the order the paper's legend lists them.
 STRATEGIES = ("oracle", "assume-single-partition", "assume-distributed")
@@ -75,7 +75,7 @@ def run_figure03(scale: ExperimentScale | None = None) -> Figure3Result:
                 instance.catalog, instance.config, instance.generator.rng
             )
             strategy = pipeline.make_strategy(strategy_name, artifacts, seed=scale.seed)
-            simulation = pipeline.simulate(
+            simulation = run_session(
                 artifacts, strategy, transactions=scale.simulated_transactions
             )
             result.throughput[partitions][strategy_name] = simulation.throughput_txn_per_sec

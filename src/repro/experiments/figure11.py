@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import pipeline
-from .common import BENCHMARKS, ExperimentScale, format_table
+from .common import BENCHMARKS, ExperimentScale, format_table, run_session
 
 CATEGORIES = ("estimation", "execution", "planning", "coordination", "other")
 
@@ -67,7 +67,7 @@ def run_figure11(scale: ExperimentScale | None = None) -> Figure11Result:
             seed=scale.seed,
         )
         strategy = pipeline.make_strategy("houdini-partitioned", artifacts, seed=scale.seed)
-        simulation = pipeline.simulate(
+        simulation = run_session(
             artifacts, strategy, transactions=scale.simulated_transactions
         )
         result.breakdowns[benchmark] = {

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import pipeline
-from .common import BENCHMARKS, ExperimentScale, format_table
+from .common import BENCHMARKS, ExperimentScale, format_table, run_session
 
 MODES = ("houdini-partitioned", "houdini-global", "assume-single-partition")
 LABELS = {
@@ -91,7 +91,7 @@ def run_figure12(
                     seed=scale.seed,
                 )
                 strategy = pipeline.make_strategy(mode, artifacts, seed=scale.seed)
-                simulation = pipeline.simulate(
+                simulation = run_session(
                     artifacts, strategy, transactions=scale.simulated_transactions
                 )
                 result.throughput[benchmark][partitions][mode] = (

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 from .. import pipeline
 from ..houdini import HoudiniConfig
-from .common import BENCHMARKS, ExperimentScale, format_table
+from .common import BENCHMARKS, ExperimentScale, format_table, run_session
 
 
 @dataclass
@@ -70,7 +70,7 @@ def run_figure13(
             )
             houdini = pipeline.make_houdini(artifacts, config=config)
             strategy = pipeline.make_strategy("houdini", artifacts, houdini=houdini)
-            simulation = pipeline.simulate(
+            simulation = run_session(
                 artifacts, strategy, transactions=scale.simulated_transactions
             )
             result.throughput[benchmark][threshold] = simulation.throughput_txn_per_sec

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from .. import pipeline
 from ..scheduling import AdmissionLimits
 from ..scheduling.policies import available_policies
-from .common import ExperimentScale, format_table
+from .common import ExperimentScale, format_table, run_session
 
 
 @dataclass
@@ -73,7 +73,7 @@ def run_scheduling_policies(
             seed=scale.seed,
         )
         strategy = pipeline.make_strategy("houdini", artifacts)
-        simulation = pipeline.simulate(
+        simulation = run_session(
             artifacts,
             strategy,
             transactions=scale.simulated_transactions,

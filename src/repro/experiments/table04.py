@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from .. import pipeline
 from ..houdini.stats import ProcedureStats
-from .common import BENCHMARKS, ExperimentScale, format_table
+from .common import BENCHMARKS, ExperimentScale, format_table, run_session
 
 
 @dataclass
@@ -57,7 +57,7 @@ def run_table04(scale: ExperimentScale | None = None) -> Table4Result:
             seed=scale.seed,
         )
         strategy = pipeline.make_strategy("houdini-partitioned", artifacts, seed=scale.seed)
-        simulation = pipeline.simulate(
+        simulation = run_session(
             artifacts, strategy, transactions=scale.simulated_transactions
         )
         result.throughput[benchmark] = simulation.throughput_txn_per_sec

@@ -153,6 +153,16 @@ class PathEstimator:
         record.estimate.estimation_ms = (time.perf_counter() - started) * 1000.0
         return record
 
+    def clear_walk_records(self) -> None:
+        """Drop every memoized whole-walk record.
+
+        Walk records memoize the optimization *decision* alongside the
+        estimate, and decisions bake the configuration (confidence
+        threshold, OP3 tolerances) in — a live configuration change must
+        call this so stale decisions are never replayed.
+        """
+        self._walk_tables.clear()
+
     def binding_signature(self, request: ProcedureRequest) -> tuple | None:
         """The request's partition-binding signature (everything a walk reads
         from its parameters), or ``None`` when no signature can vouch for it.

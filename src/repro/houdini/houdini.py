@@ -301,6 +301,39 @@ class Houdini:
             stats.op4_enabled += 1
 
     # ------------------------------------------------------------------
+    def reconfigure(
+        self,
+        *,
+        estimate_caching: bool | None = None,
+        confidence_threshold: float | None = None,
+    ) -> None:
+        """Apply live configuration changes, routing through the invalidation
+        contracts.
+
+        ``confidence_threshold`` changes drop every memoized decision — the
+        compiled whole-walk records and the §6.3 estimate cache both store
+        decisions that baked the old threshold in.  ``estimate_caching``
+        toggles the §6.3 cache: enabling installs a fresh (empty) cache,
+        disabling invalidates and removes it.  Either way the next
+        :meth:`plan` call operates entirely under the new configuration.
+        """
+        config = self.config
+        if confidence_threshold is not None:
+            if not 0.0 <= confidence_threshold <= 1.0:
+                raise ValueError("confidence_threshold must be within [0, 1]")
+            config.confidence_threshold = confidence_threshold
+            self.estimator.clear_walk_records()
+            if self.estimate_cache is not None:
+                self.estimate_cache.invalidate()
+        if estimate_caching is not None:
+            config.enable_estimate_caching = estimate_caching
+            if estimate_caching and self.estimate_cache is None:
+                self.estimate_cache = EstimateCache(config)
+            elif not estimate_caching and self.estimate_cache is not None:
+                self.estimate_cache.invalidate()
+                self.estimate_cache = None
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
         return (
             f"Houdini(threshold={self.config.confidence_threshold}, "

@@ -1,78 +1,52 @@
-"""High-level pipeline helpers.
+"""High-level pipeline helpers (thin wrappers over :mod:`repro.session`).
 
-These functions wire the individual subsystems into the end-to-end flows the
-paper describes (Fig. 6): build a benchmark, record a sample workload trace,
-derive the off-line artifacts (Markov models, parameter mappings, optionally
-partitioned models), assemble a Houdini instance, and run the simulator under
-a chosen execution strategy.  The experiment harness and the examples are all
-thin wrappers around this module.
+Historically these functions were the primary public surface: build a
+benchmark, record a sample workload trace, derive the off-line artifacts
+(Markov models, parameter mappings, optionally partitioned models), assemble
+a Houdini instance, and run the simulator under a chosen execution strategy.
+
+The primary surface is now the session-oriented API — a declarative
+:class:`~repro.session.ClusterSpec` opened into a long-lived
+:class:`~repro.session.ClusterSession` that streams transactions, swaps
+policies/generators live and snapshots metrics on demand.  Every function
+here remains as a stable shim with its historical signature, delegating to
+the canonical implementations in :mod:`repro.session`; ``simulate`` in
+particular opens a session over the given artifacts and drives it for the
+requested number of transactions, producing results byte-identical to the
+old one-shot ``ClusterSimulator.run()`` loop.  New code should prefer
+``Cluster.open(spec)`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Mapping
 
-from .benchmarks import BenchmarkInstance, get_benchmark
+from . import session as _session
+from .benchmarks import BenchmarkInstance
 from .houdini import GlobalModelProvider, Houdini, HoudiniConfig
 from .houdini.providers import ModelProvider
-from .mapping import ParameterMappingSet, build_parameter_mappings
-from .markov import MarkovModel, build_models_from_trace
-from .modelpart import ModelPartitioner, PartitionedModelProvider, PartitionerConfig
+from .modelpart import PartitionedModelProvider, PartitionerConfig
 from .scheduling.admission import AdmissionLimits
 from .scheduling.policies import SchedulingPolicy
-from .sim import ClusterSimulator, CostModel, SimulationResult, SimulatorConfig
-from .strategies import (
-    AssumeDistributedStrategy,
-    AssumeSinglePartitionStrategy,
-    HoudiniStrategy,
-    OracleStrategy,
-)
+from .session import Cluster, ClusterSpec, TrainedArtifacts
+from .sim import CostModel, SimulationResult
 from .txn.strategy import ExecutionStrategy
-from .types import ProcedureRequest
-from .workload import TraceRecorder, WorkloadTrace
+from .workload import WorkloadTrace
 
+__all__ = [
+    "TrainedArtifacts",
+    "build_benchmark",
+    "record_trace",
+    "train",
+    "make_houdini",
+    "make_partitioned_provider",
+    "make_strategy",
+    "simulate",
+]
 
-@dataclass
-class TrainedArtifacts:
-    """Off-line artifacts derived from a sample workload trace."""
-
-    trace: WorkloadTrace
-    models: dict[str, MarkovModel]
-    mappings: ParameterMappingSet
-    benchmark: BenchmarkInstance
-    extras: dict = field(default_factory=dict)
-
-    def global_provider(self) -> GlobalModelProvider:
-        return GlobalModelProvider(self.models)
-
-
-def build_benchmark(
-    name: str,
-    num_partitions: int,
-    *,
-    seed: int = 0,
-    partitions_per_node: int = 2,
-    config_overrides: Mapping | None = None,
-) -> BenchmarkInstance:
-    """Build and populate one benchmark at the given cluster size."""
-    bundle = get_benchmark(name)
-    return bundle.build(
-        num_partitions,
-        partitions_per_node=partitions_per_node,
-        seed=seed,
-        config_overrides=config_overrides,
-    )
-
-
-def record_trace(instance: BenchmarkInstance, transactions: int) -> WorkloadTrace:
-    """Record a sample workload trace by executing real transactions."""
-    recorder = TraceRecorder(
-        instance.catalog,
-        instance.database,
-        base_partition_chooser=instance.generator.home_partition,
-    )
-    return recorder.record(instance.generator.generate(transactions))
+#: Deprecation shims re-exported for callers that imported them from here.
+build_benchmark = _session.build_benchmark
+record_trace = _session.record_trace
 
 
 def train(
@@ -86,28 +60,20 @@ def train(
 ) -> TrainedArtifacts:
     """Build a benchmark and derive its Markov models and parameter mappings.
 
-    The returned benchmark instance's database reflects the trace execution
-    (the paper also trains on a live sample of the running system).
+    Shim over :func:`repro.session.train` (which takes a
+    :class:`~repro.session.ClusterSpec`).  The returned benchmark instance's
+    database reflects the trace execution (the paper also trains on a live
+    sample of the running system).
     """
-    instance = build_benchmark(
-        benchmark_name,
-        num_partitions,
+    spec = ClusterSpec(
+        benchmark=benchmark_name,
+        num_partitions=num_partitions,
+        trace_transactions=trace_transactions,
         seed=seed,
         partitions_per_node=partitions_per_node,
-        config_overrides=config_overrides,
+        benchmark_config=config_overrides,
     )
-    trace = record_trace(instance, trace_transactions)
-    models = build_models_from_trace(
-        instance.catalog,
-        trace,
-        base_partition_chooser=lambda record: instance.generator.home_partition(
-            ProcedureRequest(record.procedure, record.parameters)
-        ),
-    )
-    mappings = build_parameter_mappings(instance.catalog, trace)
-    return TrainedArtifacts(
-        trace=trace, models=models, mappings=mappings, benchmark=instance
-    )
+    return _session.train(spec)
 
 
 def make_houdini(
@@ -117,21 +83,10 @@ def make_houdini(
     config: HoudiniConfig | None = None,
     learning: bool = True,
 ) -> Houdini:
-    """Assemble a Houdini instance from trained artifacts."""
-    instance = artifacts.benchmark
-    houdini_config = config or HoudiniConfig(
-        disabled_procedures=instance.bundle.houdini_disabled_procedures
-    )
-    if houdini_config.disabled_procedures != instance.bundle.houdini_disabled_procedures:
-        houdini_config.disabled_procedures = (
-            houdini_config.disabled_procedures | instance.bundle.houdini_disabled_procedures
-        )
-    return Houdini(
-        instance.catalog,
-        provider or artifacts.global_provider(),
-        artifacts.mappings,
-        houdini_config,
-        learning=learning,
+    """Assemble a Houdini instance from trained artifacts (shim over
+    :func:`repro.session.build_houdini`)."""
+    return _session.build_houdini(
+        artifacts, provider=provider, config=config, learning=learning
     )
 
 
@@ -142,29 +97,14 @@ def make_partitioned_provider(
     houdini_config: HoudiniConfig | None = None,
     partitioner_config: PartitionerConfig | None = None,
 ) -> PartitionedModelProvider:
-    """Build the Section-5 partitioned models from the recorded trace.
-
-    ``feature_selection='feedforward'`` runs the full paper pipeline (greedy
-    feature search scored by estimate accuracy); the default ``'heuristic'``
-    uses the Fig. 9-style fixed feature set, which is what the large
-    throughput sweeps use to keep their running time reasonable.
-    """
-    instance = artifacts.benchmark
-    config = partitioner_config or PartitionerConfig(feature_selection=feature_selection)
-    if partitioner_config is None:
-        config.feature_selection = feature_selection
-    partitioner = ModelPartitioner(
-        instance.catalog,
-        artifacts.mappings,
-        houdini_config=houdini_config or HoudiniConfig(
-            disabled_procedures=instance.bundle.houdini_disabled_procedures
-        ),
-        config=config,
-        base_partition_chooser=lambda record: instance.generator.home_partition(
-            ProcedureRequest(record.procedure, record.parameters)
-        ),
+    """Build the Section-5 partitioned models (shim over
+    :func:`repro.session.build_partitioned_provider`)."""
+    return _session.build_partitioned_provider(
+        artifacts,
+        feature_selection=feature_selection,
+        houdini_config=houdini_config,
+        partitioner_config=partitioner_config,
     )
-    return partitioner.build_provider(artifacts.trace, dict(artifacts.models))
 
 
 def make_strategy(
@@ -174,25 +114,9 @@ def make_strategy(
     houdini: Houdini | None = None,
     seed: int = 0,
 ) -> ExecutionStrategy:
-    """Build one of the paper's execution strategies by name."""
-    instance = artifacts.benchmark
-    if name == "assume-distributed":
-        return AssumeDistributedStrategy(instance.catalog, seed=seed)
-    if name == "assume-single-partition":
-        return AssumeSinglePartitionStrategy(instance.catalog, seed=seed)
-    if name == "oracle":
-        return OracleStrategy(instance.catalog, instance.database)
-    if name in ("houdini", "houdini-global"):
-        return HoudiniStrategy(houdini or make_houdini(artifacts), name=name)
-    if name == "houdini-partitioned":
-        provider = artifacts.extras.get("partitioned_provider")
-        if provider is None:
-            provider = make_partitioned_provider(artifacts)
-            artifacts.extras["partitioned_provider"] = provider
-        return HoudiniStrategy(
-            houdini or make_houdini(artifacts, provider=provider), name=name
-        )
-    raise ValueError(f"unknown strategy {name!r}")
+    """Build one of the paper's execution strategies by name (shim over
+    :func:`repro.session.build_strategy`)."""
+    return _session.build_strategy(name, artifacts, houdini=houdini, seed=seed)
 
 
 def simulate(
@@ -207,28 +131,28 @@ def simulate(
 ) -> SimulationResult:
     """Run the closed-loop simulator for one configuration.
 
-    ``policy`` selects the node scheduler's queue discipline (name or
-    instance; default FCFS) and ``admission_limits`` enables admission
-    control — both run inside the event-driven runtime, so prediction-aware
-    scheduling experiments go through the same loop as the paper's
-    throughput sweeps.
+    Deprecation shim: opens a :class:`~repro.session.ClusterSession` over the
+    given artifacts and strategy and drives it for ``transactions``
+    closed-loop submissions — byte-identical to the historical one-shot
+    ``ClusterSimulator.run()``.  ``policy`` selects the node scheduler's
+    queue discipline (name or instance; default FCFS) and
+    ``admission_limits`` enables admission control — both run inside the
+    event-driven runtime, so prediction-aware scheduling experiments go
+    through the same loop as the paper's throughput sweeps.
     """
     instance = artifacts.benchmark
-    simulator = ClusterSimulator(
-        instance.catalog,
-        instance.database,
-        instance.generator,
-        strategy,
+    spec = ClusterSpec(
+        benchmark=instance.name,
+        num_partitions=instance.catalog.num_partitions,
+        clients_per_partition=clients_per_partition,
+        policy=policy,
+        admission=admission_limits,
         cost_model=cost_model,
-        config=SimulatorConfig(
-            clients_per_partition=clients_per_partition,
-            total_transactions=transactions,
-            policy=policy,
-            admission_limits=admission_limits,
-        ),
-        benchmark_name=instance.name,
     )
-    return simulator.run()
+    session = Cluster.open(spec, artifacts=artifacts, strategy=strategy)
+    result = session.run_for(txns=transactions)
+    session.close()
+    return result
 
 
 def _anchor_value(parameters):

@@ -127,19 +127,39 @@ class AdmissionController:
         self.stats.admitted += 1
 
     # ------------------------------------------------------------------
+    def set_limits(self, limits: AdmissionLimits | None) -> None:
+        """Swap the capacity limits on a live controller.
+
+        In-flight accounting is preserved: transactions admitted under the
+        old limits keep holding (and eventually release) their capacity, and
+        the new limits apply from the next :meth:`decide` call on.
+        """
+        self.limits = limits or AdmissionLimits()
+
     def release(self, pending: PendingTransaction) -> None:
         """Mark an admitted transaction as finished, freeing its capacity."""
-        stored = self._in_flight.pop(id(pending), None)
-        if stored is None:
+        if not self.release_if_admitted(pending):
             raise SimulationError(
                 f"transaction {pending.procedure!r} (arrival {pending.arrival_index}) "
                 f"was never admitted"
             )
+
+    def release_if_admitted(self, pending: PendingTransaction) -> bool:
+        """Release ``pending`` if this controller admitted it.
+
+        Returns ``False`` (a no-op) otherwise — the case a controller
+        installed mid-session sees when transactions admitted before it
+        existed complete.
+        """
+        stored = self._in_flight.pop(id(pending), None)
+        if stored is None:
+            return False
         self._in_flight_ms -= stored.predicted_cost_ms
         if self._in_flight_ms < 1e-12:
             self._in_flight_ms = 0.0
         if not stored.predicted_single_partition:
             self._distributed_in_flight -= 1
+        return True
 
     def describe(self) -> str:
         return (

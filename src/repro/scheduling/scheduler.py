@@ -89,6 +89,10 @@ class PendingTransaction:
     predicted_partitions: tuple[PartitionId, ...] = ()
     predicted_single_partition: bool = True
     estimate: PathEstimate | None = None
+    #: Whether the request was injected from outside the closed loop
+    #: (``ClusterSession.submit``): its completion must not re-arm a
+    #: closed-loop client, and its rejection must not back one off.
+    external: bool = False
     #: How many times admission control pushed this transaction back.
     deferrals: int = 0
     #: Simulated submission time, stamped by the event-driven simulator so
@@ -192,6 +196,33 @@ class TransactionScheduler:
             cost = PredictedCost.from_estimate(estimate, base_partition, self.cost_model)
             self._cost_cache[key] = cost
         return cost
+
+    def rekey(self, policy: SchedulingPolicy | None) -> None:
+        """Adopt a new policy mid-stream, re-keying every queued transaction.
+
+        The live-reconfiguration contract of the session API: the pending
+        heap is rebuilt under the new policy's keys, the per-class key cache
+        is dropped (it composed keys for the old policy), and the queue-jump
+        bookkeeping restarts from the still-queued arrivals.  Stats carry
+        over — the scheduler keeps describing the same node queue.
+        Transactions queued before the swap keep the prediction annotations
+        they were submitted with (an estimate-free FCFS submission stays
+        estimate-free under a predictive policy).
+        """
+        self.policy = policy or ArrivalOrderPolicy()
+        self._class_keys.clear()
+        queued = [entry[2] for entry in self._heap]
+        self._heap.clear()
+        self._track_reorder = not self.policy.preserves_arrival_order
+        self._arrival_heap.clear()
+        self._consumed.clear()
+        for pending in queued:
+            self._push(pending)
+
+    def clear_cost_cache(self) -> None:
+        """Drop predicted-cost and class-key caches (cost-model mutation)."""
+        self._cost_cache.clear()
+        self._class_keys.clear()
 
     def resubmit(self, pending: PendingTransaction) -> None:
         """Return a deferred transaction to the queue (admission control)."""

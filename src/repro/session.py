@@ -1,0 +1,767 @@
+"""Session-oriented cluster API: open a cluster, stream work in, reconfigure live.
+
+The paper's Houdini is an *online* component — it sits in front of a live
+H-Store cluster, plans every incoming request, and keeps learning while
+traffic flows.  This module is the public surface for that mode of
+operation, replacing the one-shot ``pipeline.train(...)`` →
+``ClusterSimulator.run()`` flow with a long-lived session over the
+incrementally steppable event core of :mod:`repro.sim.simulator`:
+
+.. code-block:: python
+
+    from repro.session import Cluster, ClusterSpec
+
+    spec = ClusterSpec(benchmark="tpcc", num_partitions=8, strategy="houdini")
+    with Cluster.open(spec) as session:
+        session.run_for(txns=2000)                  # drive the closed loop
+        session.reconfigure(policy="shortest-predicted")
+        session.run_for(sim_seconds=2.0)            # or by simulated time
+        print(session.snapshot_metrics().summary_row())
+
+Session lifecycle
+-----------------
+``Cluster.open(spec)`` validates the spec, trains the off-line artifacts
+(or adopts pre-trained ones via ``artifacts=``), assembles the execution
+strategy and the simulator, and returns a :class:`ClusterSession`.  The
+session is then driven explicitly:
+
+* :meth:`ClusterSession.run_for` — run the closed-loop clients for a number
+  of transactions (``txns=``) or an amount of simulated time
+  (``sim_seconds=``); returns a metrics snapshot.
+* :meth:`ClusterSession.submit` — inject a single out-of-loop request; it is
+  scheduled alongside the closed-loop traffic the next time the session is
+  driven and does not consume closed-loop budget.
+* :meth:`ClusterSession.step` — process exactly one simulator event.
+* :meth:`ClusterSession.snapshot_metrics` — materialize a
+  :class:`~repro.sim.metrics.SimulationResult` on demand; the warm-up window
+  is finalized over the completions recorded *so far* and recomputed on the
+  next snapshot (metrics are cumulative across ``run_for`` calls).
+* :meth:`ClusterSession.drain` — stop new closed-loop submissions, let every
+  queued and in-flight transaction finish, and snapshot.
+* :meth:`ClusterSession.close` — drain and seal the session (further driving
+  raises :class:`~repro.errors.SessionError`); also the context-manager exit.
+
+Batch equivalence: a fresh session driven with ``run_for(txns=N)`` produces
+a :class:`SimulationResult` byte-identical to the one-shot
+``ClusterSimulator.run()`` with ``total_transactions=N`` — same latencies,
+counters, windows and per-procedure breakdowns (held by
+``tests/session/test_session.py`` and ``tests/sim/test_event_runtime.py``).
+``pipeline.simulate`` remains as a thin deprecation shim over this API.
+
+Reconfigure semantics
+---------------------
+:meth:`ClusterSession.reconfigure` applies live changes between (or during)
+runs, routing every change through the existing invalidation contracts so
+no stale derived state survives:
+
+* ``policy=`` swaps the scheduling policy;
+  :meth:`~repro.scheduling.scheduler.TransactionScheduler.rekey` rebuilds
+  the pending heap under the new policy's keys and drops the per-class key
+  cache.  Transactions queued before the swap keep the prediction
+  annotations they were submitted with.
+* ``admission=`` installs/updates/removes admission limits.  In-flight
+  transactions admitted under the old limits release their capacity through
+  ``release_if_admitted`` — installing a controller mid-run never
+  underflows, and the new limits apply from the next dispatch on.
+* ``estimate_caching=`` / ``confidence_threshold=`` route through
+  :meth:`~repro.houdini.houdini.Houdini.reconfigure`, which invalidates the
+  §6.3 :class:`~repro.houdini.cache.EstimateCache` and the compiled
+  whole-walk records (both memoize decisions that baked the old
+  configuration in).  Requires a Houdini-backed strategy.
+* ``generator=`` swaps the workload generator — the workload-shift scenario:
+  the cluster, models and learned state survive, only the traffic changes.
+* ``cost=`` assigns cost-model constants by name;
+  :meth:`~repro.sim.cost_model.CostModel.__setattr__` clears the cost-
+  schedule cache automatically and the scheduler's predicted-cost cache is
+  dropped alongside it.
+
+Reconfiguration changes the *live* session only; the spec the session was
+opened from is never mutated, so it can be reused to open further sessions.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from .benchmarks import BenchmarkInstance, available_benchmarks, get_benchmark
+from .errors import SessionError
+from .houdini import GlobalModelProvider, Houdini, HoudiniConfig
+from .houdini.providers import ModelProvider
+from .mapping import ParameterMappingSet, build_parameter_mappings
+from .markov import MarkovModel, build_models_from_trace
+from .modelpart import ModelPartitioner, PartitionedModelProvider, PartitionerConfig
+from .scheduling.admission import AdmissionLimits
+from .scheduling.policies import SchedulingPolicy, available_policies
+from .sim import ClusterSimulator, CostModel, SimulationResult, SimulatorConfig
+from .strategies import (
+    AssumeDistributedStrategy,
+    AssumeSinglePartitionStrategy,
+    HoudiniStrategy,
+    OracleStrategy,
+)
+from .txn.strategy import ExecutionStrategy
+from .types import ProcedureRequest
+from .workload import TraceRecorder, WorkloadTrace
+from .workload.generator import WorkloadGenerator
+
+#: Execution strategies a spec may name (the paper's comparisons).
+STRATEGY_NAMES = (
+    "assume-distributed",
+    "assume-single-partition",
+    "oracle",
+    "houdini",
+    "houdini-global",
+    "houdini-partitioned",
+)
+
+#: Model-provider choices for Houdini-backed strategies.
+MODEL_PROVIDERS = ("global", "partitioned")
+
+_UNSET = object()
+
+
+# ----------------------------------------------------------------------
+# Off-line artifacts
+# ----------------------------------------------------------------------
+@dataclass
+class TrainedArtifacts:
+    """Off-line artifacts derived from a sample workload trace."""
+
+    trace: WorkloadTrace
+    models: dict[str, MarkovModel]
+    mappings: ParameterMappingSet
+    benchmark: BenchmarkInstance
+    extras: dict = field(default_factory=dict)
+
+    def global_provider(self) -> GlobalModelProvider:
+        return GlobalModelProvider(self.models)
+
+
+# ----------------------------------------------------------------------
+# The declarative cluster specification
+# ----------------------------------------------------------------------
+@dataclass
+class ClusterSpec:
+    """One declarative, validated configuration for a cluster session.
+
+    Composes every choice the previous five config objects spread out —
+    benchmark, simulator, Houdini, scheduling, admission and model provider
+    — and round-trips through plain dicts: ``ClusterSpec.from_kwargs(
+    **spec.to_dict())`` reproduces the spec (policies are normalized to
+    their registry names, nested configs to field dicts).  Validation is
+    strict: unknown fields and out-of-range values raise
+    :class:`~repro.errors.SessionError` with an actionable message instead
+    of being silently ignored.
+    """
+
+    # --- benchmark -----------------------------------------------------
+    benchmark: str = "tpcc"
+    num_partitions: int = 8
+    partitions_per_node: int = 2
+    seed: int = 0
+    trace_transactions: int = 2000
+    benchmark_config: Mapping | None = None
+    # --- strategy / Houdini --------------------------------------------
+    strategy: str = "houdini"
+    learning: bool = True
+    model_provider: str = "global"
+    houdini: HoudiniConfig | None = None
+    # --- simulator -----------------------------------------------------
+    clients_per_partition: int = 4
+    warmup_fraction: float = 0.1
+    client_think_time_ms: float = 0.0
+    # --- scheduling / admission / cost --------------------------------
+    policy: SchedulingPolicy | str | None = None
+    admission: AdmissionLimits | None = None
+    cost_model: CostModel | None = None
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if isinstance(self.houdini, Mapping):
+            self.houdini = _coerce(HoudiniConfig, self.houdini, "houdini")
+        if isinstance(self.admission, Mapping):
+            self.admission = _coerce(AdmissionLimits, self.admission, "admission")
+        if isinstance(self.cost_model, Mapping):
+            self.cost_model = _coerce(CostModel, self.cost_model, "cost_model")
+        self.validate()
+
+    def validate(self) -> None:
+        """Check every field; raise :class:`SessionError` on the first problem."""
+        benchmarks = available_benchmarks()
+        if self.benchmark not in benchmarks:
+            raise SessionError(
+                f"unknown benchmark {self.benchmark!r}; available: "
+                f"{', '.join(benchmarks)}"
+            )
+        if self.strategy not in STRATEGY_NAMES:
+            raise SessionError(
+                f"unknown strategy {self.strategy!r}; available: "
+                f"{', '.join(STRATEGY_NAMES)}"
+            )
+        if self.model_provider not in MODEL_PROVIDERS:
+            raise SessionError(
+                f"unknown model_provider {self.model_provider!r}; available: "
+                f"{', '.join(MODEL_PROVIDERS)}"
+            )
+        for name, minimum in (
+            ("num_partitions", 1),
+            ("partitions_per_node", 1),
+            ("trace_transactions", 1),
+            ("clients_per_partition", 1),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+                raise SessionError(
+                    f"{name} must be an integer >= {minimum}, got {value!r}"
+                )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise SessionError(f"seed must be an integer, got {self.seed!r}")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise SessionError(
+                f"warmup_fraction must be within [0, 1), got {self.warmup_fraction!r}"
+            )
+        if self.client_think_time_ms < 0:
+            raise SessionError(
+                f"client_think_time_ms must be non-negative, "
+                f"got {self.client_think_time_ms!r}"
+            )
+        if isinstance(self.policy, str) and self.policy not in available_policies():
+            raise SessionError(
+                f"unknown scheduling policy {self.policy!r}; available: "
+                f"{', '.join(available_policies())} (or pass a SchedulingPolicy "
+                f"instance, or None for FCFS)"
+            )
+        if self.houdini is not None and not isinstance(self.houdini, HoudiniConfig):
+            raise SessionError(
+                f"houdini must be a HoudiniConfig or a field dict, "
+                f"got {type(self.houdini).__name__}"
+            )
+        if self.admission is not None and not isinstance(self.admission, AdmissionLimits):
+            raise SessionError(
+                f"admission must be AdmissionLimits or a field dict, "
+                f"got {type(self.admission).__name__}"
+            )
+        if self.cost_model is not None and not isinstance(self.cost_model, CostModel):
+            raise SessionError(
+                f"cost_model must be a CostModel or a field dict, "
+                f"got {type(self.cost_model).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "ClusterSpec":
+        """Build a spec from keyword arguments, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(kwargs) - known)
+        if unknown:
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(name, known, n=1)
+                hints.append(f"{name!r}" + (f" (did you mean {close[0]!r}?)" if close else ""))
+            raise SessionError(
+                f"unknown ClusterSpec field(s): {', '.join(hints)}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
+        return cls(**kwargs)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls.from_kwargs(**dict(data))
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-friendly) that :meth:`from_kwargs` accepts.
+
+        Policies are normalized to their registry name, nested configs to
+        their field dicts; ``None`` fields stay ``None``.
+        """
+        policy = self.policy
+        if isinstance(policy, SchedulingPolicy):
+            policy = policy.name
+        return {
+            "benchmark": self.benchmark,
+            "num_partitions": self.num_partitions,
+            "partitions_per_node": self.partitions_per_node,
+            "seed": self.seed,
+            "trace_transactions": self.trace_transactions,
+            "benchmark_config": dict(self.benchmark_config)
+            if self.benchmark_config is not None else None,
+            "strategy": self.strategy,
+            "learning": self.learning,
+            "model_provider": self.model_provider,
+            "houdini": _init_field_dict(self.houdini),
+            "clients_per_partition": self.clients_per_partition,
+            "warmup_fraction": self.warmup_fraction,
+            "client_think_time_ms": self.client_think_time_ms,
+            "policy": policy,
+            "admission": _init_field_dict(self.admission),
+            "cost_model": _init_field_dict(self.cost_model),
+        }
+
+    def simulator_config(self, total_transactions: int = 0) -> SimulatorConfig:
+        """The :class:`SimulatorConfig` this spec describes."""
+        return SimulatorConfig(
+            clients_per_partition=self.clients_per_partition,
+            total_transactions=total_transactions,
+            warmup_fraction=self.warmup_fraction,
+            client_think_time_ms=self.client_think_time_ms,
+            policy=self.policy,
+            admission_limits=self.admission,
+        )
+
+
+def _init_field_dict(config) -> dict | None:
+    """The init-field dict of a dataclass instance (``None`` passes through)."""
+    if config is None:
+        return None
+    out = {}
+    for f in fields(config):
+        if not f.init:
+            continue
+        value = getattr(config, f.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        out[f.name] = value
+    return out
+
+
+def _coerce(cls, data: Mapping, label: str):
+    """Build ``cls(**data)`` with an actionable error for unknown keys."""
+    known = {f.name for f in fields(cls) if f.init}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise SessionError(
+            f"unknown {label} field(s): {', '.join(map(repr, unknown))}; "
+            f"valid fields: {', '.join(sorted(known))}"
+        )
+    kwargs = dict(data)
+    if cls is HoudiniConfig and "disabled_procedures" in kwargs:
+        kwargs["disabled_procedures"] = frozenset(kwargs["disabled_procedures"])
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as error:
+        raise SessionError(f"invalid {label} configuration: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Training and assembly (the canonical implementations; repro.pipeline
+# keeps its historical signatures as thin shims over these)
+# ----------------------------------------------------------------------
+def build_benchmark(
+    name: str,
+    num_partitions: int,
+    *,
+    seed: int = 0,
+    partitions_per_node: int = 2,
+    config_overrides: Mapping | None = None,
+) -> BenchmarkInstance:
+    """Build and populate one benchmark at the given cluster size."""
+    bundle = get_benchmark(name)
+    return bundle.build(
+        num_partitions,
+        partitions_per_node=partitions_per_node,
+        seed=seed,
+        config_overrides=config_overrides,
+    )
+
+
+def record_trace(instance: BenchmarkInstance, transactions: int) -> WorkloadTrace:
+    """Record a sample workload trace by executing real transactions."""
+    recorder = TraceRecorder(
+        instance.catalog,
+        instance.database,
+        base_partition_chooser=instance.generator.home_partition,
+    )
+    return recorder.record(instance.generator.generate(transactions))
+
+
+def train(spec: ClusterSpec) -> TrainedArtifacts:
+    """Derive the off-line artifacts (Fig. 6) for a cluster specification.
+
+    Builds and populates the benchmark, records a sample workload trace by
+    executing real transactions, and derives the Markov models and parameter
+    mappings.  The returned benchmark instance's database reflects the trace
+    execution (the paper also trains on a live sample of the running system).
+    """
+    instance = build_benchmark(
+        spec.benchmark,
+        spec.num_partitions,
+        seed=spec.seed,
+        partitions_per_node=spec.partitions_per_node,
+        config_overrides=spec.benchmark_config,
+    )
+    trace = record_trace(instance, spec.trace_transactions)
+    models = build_models_from_trace(
+        instance.catalog,
+        trace,
+        base_partition_chooser=lambda record: instance.generator.home_partition(
+            ProcedureRequest(record.procedure, record.parameters)
+        ),
+    )
+    mappings = build_parameter_mappings(instance.catalog, trace)
+    return TrainedArtifacts(
+        trace=trace, models=models, mappings=mappings, benchmark=instance
+    )
+
+
+def build_houdini(
+    artifacts: TrainedArtifacts,
+    *,
+    provider: ModelProvider | None = None,
+    config: HoudiniConfig | None = None,
+    learning: bool = True,
+) -> Houdini:
+    """Assemble a Houdini instance from trained artifacts."""
+    instance = artifacts.benchmark
+    houdini_config = config or HoudiniConfig(
+        disabled_procedures=instance.bundle.houdini_disabled_procedures
+    )
+    if houdini_config.disabled_procedures != instance.bundle.houdini_disabled_procedures:
+        houdini_config.disabled_procedures = (
+            houdini_config.disabled_procedures | instance.bundle.houdini_disabled_procedures
+        )
+    return Houdini(
+        instance.catalog,
+        provider or artifacts.global_provider(),
+        artifacts.mappings,
+        houdini_config,
+        learning=learning,
+    )
+
+
+def build_partitioned_provider(
+    artifacts: TrainedArtifacts,
+    *,
+    feature_selection: str = "heuristic",
+    houdini_config: HoudiniConfig | None = None,
+    partitioner_config: PartitionerConfig | None = None,
+) -> PartitionedModelProvider:
+    """Build the Section-5 partitioned models from the recorded trace.
+
+    ``feature_selection='feedforward'`` runs the full paper pipeline (greedy
+    feature search scored by estimate accuracy); the default ``'heuristic'``
+    uses the Fig. 9-style fixed feature set, which is what the large
+    throughput sweeps use to keep their running time reasonable.
+    """
+    instance = artifacts.benchmark
+    config = partitioner_config or PartitionerConfig(feature_selection=feature_selection)
+    if partitioner_config is None:
+        config.feature_selection = feature_selection
+    partitioner = ModelPartitioner(
+        instance.catalog,
+        artifacts.mappings,
+        houdini_config=houdini_config or HoudiniConfig(
+            disabled_procedures=instance.bundle.houdini_disabled_procedures
+        ),
+        config=config,
+        base_partition_chooser=lambda record: instance.generator.home_partition(
+            ProcedureRequest(record.procedure, record.parameters)
+        ),
+    )
+    return partitioner.build_provider(artifacts.trace, dict(artifacts.models))
+
+
+def build_strategy(
+    name: str,
+    artifacts: TrainedArtifacts,
+    *,
+    houdini: Houdini | None = None,
+    seed: int = 0,
+    learning: bool = True,
+    houdini_config: HoudiniConfig | None = None,
+    model_provider: str = "global",
+) -> ExecutionStrategy:
+    """Build one of the paper's execution strategies by name."""
+    instance = artifacts.benchmark
+    if name == "assume-distributed":
+        return AssumeDistributedStrategy(instance.catalog, seed=seed)
+    if name == "assume-single-partition":
+        return AssumeSinglePartitionStrategy(instance.catalog, seed=seed)
+    if name == "oracle":
+        return OracleStrategy(instance.catalog, instance.database)
+    partitioned = name == "houdini-partitioned" or model_provider == "partitioned"
+    if name in ("houdini", "houdini-global", "houdini-partitioned"):
+        if houdini is None:
+            provider = None
+            if partitioned:
+                provider = artifacts.extras.get("partitioned_provider")
+                if provider is None:
+                    provider = build_partitioned_provider(artifacts)
+                    artifacts.extras["partitioned_provider"] = provider
+            houdini = build_houdini(
+                artifacts, provider=provider, config=houdini_config, learning=learning
+            )
+        return HoudiniStrategy(houdini, name=name)
+    raise SessionError(
+        f"unknown strategy {name!r}; available: {', '.join(STRATEGY_NAMES)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# The session façade
+# ----------------------------------------------------------------------
+class Cluster:
+    """Entry point: ``Cluster.open(spec)`` yields a live :class:`ClusterSession`."""
+
+    @staticmethod
+    def open(
+        spec: ClusterSpec | None = None,
+        *,
+        artifacts: TrainedArtifacts | None = None,
+        strategy: ExecutionStrategy | None = None,
+        houdini: Houdini | None = None,
+        **kwargs: Any,
+    ) -> "ClusterSession":
+        """Open a long-lived cluster session.
+
+        ``spec`` may be omitted and given as keyword arguments instead
+        (``Cluster.open(benchmark="tatp", strategy="oracle")``).  Passing
+        pre-trained ``artifacts`` skips training — the idiom for comparing
+        strategies over one training pass, or for opening several sessions
+        against the same artifacts.  A prebuilt ``strategy`` (or ``houdini``)
+        instance overrides the spec's strategy assembly; a strategy *name*
+        is shorthand for the spec field of the same name.
+        """
+        if isinstance(strategy, str):
+            if spec is None:
+                kwargs["strategy"] = strategy
+            else:
+                spec = replace(spec, strategy=strategy)
+            strategy = None
+        if spec is None:
+            spec = ClusterSpec.from_kwargs(**kwargs)
+        elif kwargs:
+            raise SessionError(
+                "pass either a ClusterSpec or keyword fields, not both "
+                f"(got extra: {', '.join(sorted(kwargs))})"
+            )
+        if artifacts is None:
+            artifacts = train(spec)
+        if strategy is None:
+            # The spec's HoudiniConfig is copied so live reconfiguration of
+            # this session never leaks into other sessions opened from the
+            # same spec object.
+            config = replace(spec.houdini) if spec.houdini is not None else None
+            strategy = build_strategy(
+                spec.strategy,
+                artifacts,
+                houdini=houdini,
+                seed=spec.seed,
+                learning=spec.learning,
+                houdini_config=config,
+                model_provider=spec.model_provider,
+            )
+        # Copied for the same reason as the HoudiniConfig above: live cost
+        # reconfiguration mutates the model, and the spec must stay reusable.
+        cost_model = replace(spec.cost_model) if spec.cost_model is not None else CostModel()
+        simulator = ClusterSimulator(
+            artifacts.benchmark.catalog,
+            artifacts.benchmark.database,
+            artifacts.benchmark.generator,
+            strategy,
+            cost_model=cost_model,
+            config=spec.simulator_config(),
+            benchmark_name=artifacts.benchmark.name,
+        )
+        return ClusterSession(spec, artifacts, strategy, simulator)
+
+
+class ClusterSession:
+    """A live cluster: stream transactions in, reconfigure, snapshot, drain.
+
+    See the module docstring for the lifecycle and reconfigure semantics.
+    Sessions are single-threaded, like the node scheduler they model.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        artifacts: TrainedArtifacts,
+        strategy: ExecutionStrategy,
+        simulator: ClusterSimulator,
+    ) -> None:
+        self.spec = spec
+        self.artifacts = artifacts
+        self.strategy = strategy
+        self.simulator = simulator
+        self._closed = False
+        simulator.begin()
+
+    # ------------------------------------------------------------------
+    @property
+    def houdini(self) -> Houdini | None:
+        """The strategy's Houdini instance, if it has one."""
+        return getattr(self.strategy, "houdini", None)
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time."""
+        return self.simulator.now_ms
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ProcedureRequest, *, at_ms: float | None = None) -> None:
+        """Inject one out-of-loop request (processed when the session is driven).
+
+        The request enters the node scheduler at ``max(at_ms, now)`` without
+        consuming closed-loop budget; its metrics land in the same
+        accumulators as closed-loop traffic.
+        """
+        self._check_open()
+        self.simulator.submit_request(request, at_ms=at_ms)
+
+    def step(self) -> bool:
+        """Process exactly one simulator event; ``False`` if none remain."""
+        self._check_open()
+        return self.simulator.step()
+
+    def run_for(
+        self, txns: int | None = None, *, sim_seconds: float | None = None
+    ) -> SimulationResult:
+        """Drive the closed-loop clients and return a metrics snapshot.
+
+        Exactly one of ``txns`` (grant that many further submissions and run
+        until the cluster quiesces) or ``sim_seconds`` (run the saturated
+        closed loop for that much simulated time) must be given.
+        """
+        self._check_open()
+        if (txns is None) == (sim_seconds is None):
+            raise SessionError("run_for needs exactly one of txns= or sim_seconds=")
+        simulator = self.simulator
+        if txns is not None:
+            if txns < 0:
+                raise SessionError(f"txns must be non-negative, got {txns!r}")
+            simulator.extend_budget(txns)
+            simulator.run_until()
+        else:
+            if sim_seconds < 0:
+                raise SessionError(
+                    f"sim_seconds must be non-negative, got {sim_seconds!r}"
+                )
+            deadline = simulator.now_ms + 1000.0 * sim_seconds
+            simulator.extend_budget(float("inf"))
+            simulator.run_until(deadline_ms=deadline)
+            simulator.freeze_budget()
+            simulator.advance_clock(deadline)
+        return simulator.snapshot()
+
+    # ------------------------------------------------------------------
+    def reconfigure(
+        self,
+        *,
+        policy: Any = _UNSET,
+        admission: Any = _UNSET,
+        estimate_caching: bool | None = None,
+        confidence_threshold: float | None = None,
+        generator: WorkloadGenerator | None = None,
+        cost: Mapping[str, float] | None = None,
+    ) -> "ClusterSession":
+        """Apply live configuration changes (see the module docstring).
+
+        Returns ``self`` so calls chain:
+        ``session.reconfigure(policy="shortest-predicted").run_for(txns=500)``.
+        """
+        self._check_open()
+        simulator = self.simulator
+        if policy is not _UNSET:
+            if isinstance(policy, str) and policy not in available_policies():
+                raise SessionError(
+                    f"unknown scheduling policy {policy!r}; available: "
+                    f"{', '.join(available_policies())}"
+                )
+            simulator.set_policy(policy)
+        if admission is not _UNSET:
+            if isinstance(admission, Mapping):
+                admission = _coerce(AdmissionLimits, admission, "admission")
+            if admission is not None and not isinstance(admission, AdmissionLimits):
+                raise SessionError(
+                    f"admission must be AdmissionLimits, a field dict or None, "
+                    f"got {type(admission).__name__}"
+                )
+            simulator.set_admission(admission)
+        if generator is not None:
+            simulator.set_generator(generator)
+        if cost is not None:
+            model = simulator.cost_model
+            for name, value in cost.items():
+                if not name.endswith("_ms") or not hasattr(model, name):
+                    raise SessionError(
+                        f"unknown cost-model constant {name!r}; constants are "
+                        f"the *_ms fields of repro.sim.CostModel"
+                    )
+                # CostModel.__setattr__ clears the cost-schedule cache.
+                setattr(model, name, value)
+            # Predicted per-class costs baked the old constants in.
+            simulator.scheduler.clear_cost_cache()
+        if estimate_caching is not None or confidence_threshold is not None:
+            houdini = self.houdini
+            if houdini is None:
+                raise SessionError(
+                    "estimate_caching / confidence_threshold reconfiguration "
+                    f"requires a Houdini-backed strategy (this session runs "
+                    f"{self.strategy.name!r})"
+                )
+            try:
+                houdini.reconfigure(
+                    estimate_caching=estimate_caching,
+                    confidence_threshold=confidence_threshold,
+                )
+            except ValueError as error:
+                raise SessionError(str(error)) from error
+        return self
+
+    # ------------------------------------------------------------------
+    def snapshot_metrics(self) -> SimulationResult:
+        """Materialize cumulative metrics on demand (repeatable)."""
+        self._check_open()
+        return self.simulator.snapshot()
+
+    def drain(self) -> SimulationResult:
+        """Finish all queued and in-flight work, stop new submissions, snapshot."""
+        self._check_open()
+        self.simulator.freeze_budget()
+        self.simulator.run_until()
+        return self.simulator.snapshot()
+
+    def close(self) -> SimulationResult:
+        """Drain the session and seal it; returns the final metrics."""
+        if self._closed:
+            raise SessionError("session is already closed")
+        result = self.drain()
+        self._closed = True
+        return result
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ClusterSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._closed:
+            return
+        if exc_type is not None:
+            # The body failed: seal the session without draining.  Running
+            # the event loop on the very state that just raised could both
+            # mask the original exception and silently execute queued work.
+            self._closed = True
+            return
+        self.close()
+
+    def describe(self) -> str:
+        return (
+            f"ClusterSession({self.spec.benchmark}/{self.strategy.name} "
+            f"P={self.spec.num_partitions} t={self.now_ms:.1f}ms "
+            f"submitted={self.simulator.submitted}"
+            f"{', closed' if self._closed else ''})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.describe()}>"

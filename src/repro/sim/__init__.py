@@ -11,8 +11,14 @@ The package has four pieces:
   end time) and ``PARTITION_RELEASE`` (a partition's busy window ended,
   waking partition-blocked dispatches).  Kind codes double as
   same-timestamp priorities.
-* :class:`~repro.sim.simulator.ClusterSimulator` — the closed-loop driver.
-  Every submission is routed through a
+* :class:`~repro.sim.simulator.ClusterSimulator` — the closed-loop driver,
+  an incrementally steppable event core: ``begin()`` initializes the heap
+  and accumulators on the instance, ``inject()``/``submit_request()`` push
+  events, ``step()``/``run_until()`` process them, ``extend_budget()``
+  grants closed-loop submissions and ``snapshot()`` materializes windowed
+  metrics on demand.  ``run()`` remains the one-shot batch entry point, and
+  :class:`repro.session.ClusterSession` is the long-lived façade.  Every
+  submission is routed through a
   :class:`~repro.scheduling.scheduler.TransactionScheduler`; under the
   default FCFS policy the runtime reproduces the legacy greedy driver's
   results exactly (held by ``tests/sim/test_event_runtime.py``), while

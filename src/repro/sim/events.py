@@ -1,7 +1,11 @@
 """Event types for the discrete-event cluster simulator.
 
-The simulator's run loop is a single binary heap of timestamped events.
-Three event kinds exist:
+The simulator's event core is a single binary heap of timestamped events
+that can be driven incrementally: :meth:`~repro.sim.simulator.ClusterSimulator.inject`
+pushes an event, :meth:`~repro.sim.simulator.ClusterSimulator.step` processes
+exactly one, and :meth:`~repro.sim.simulator.ClusterSimulator.run_until`
+processes events up to a simulated deadline (or until the heap drains).
+Four event kinds exist:
 
 * ``PARTITION_RELEASE`` — a partition's simulated busy window ended.  Only
   scheduled while a prediction-aware policy holds partition-blocked
@@ -17,13 +21,18 @@ Three event kinds exist:
   the issuing closed-loop client is scheduled to become ready again.
 * ``CLIENT_READY`` — a closed-loop client submits its next request to the
   node's :class:`~repro.scheduling.scheduler.TransactionScheduler`.
+* ``EXTERNAL_SUBMIT`` — a request injected from outside the closed loop
+  (``ClusterSession.submit``): it is routed through the scheduler like any
+  other submission but does not consume closed-loop budget and does not
+  re-arm a client when it completes.
 
 Heap entries are ``(time, kind, tiebreak, payload)`` tuples.  The kind codes
 double as same-timestamp priorities: releases and completions are processed
 before new submissions at the same instant, so capacity freed at time *t* is
-usable by a client that becomes ready at *t*.  ``CLIENT_READY`` ties break on
-the client id, which reproduces the legacy driver's "lowest-index ready
-client submits first" order exactly.
+usable by a client that becomes ready at *t*; externally injected requests
+queue behind the closed-loop client that became ready at the same instant.
+``CLIENT_READY`` ties break on the client id, which reproduces the legacy
+driver's "lowest-index ready client submits first" order exactly.
 """
 
 from __future__ import annotations
@@ -33,7 +42,11 @@ PARTITION_RELEASE = 0
 #: An in-flight transaction finished (payload: ``(client_id, committed,
 #: pending)``).
 TXN_COMPLETE = 1
-#: A closed-loop client submits its next request (payload: ``None``).
+#: A closed-loop client submits its next request (payload: ``None``, or the
+#: folded ``(end, committed)`` completion record on the FCFS fast path).
 CLIENT_READY = 2
+#: An externally injected request enters the scheduler (payload: the
+#: :class:`~repro.types.ProcedureRequest`).
+EXTERNAL_SUBMIT = 3
 
-__all__ = ["PARTITION_RELEASE", "TXN_COMPLETE", "CLIENT_READY"]
+__all__ = ["PARTITION_RELEASE", "TXN_COMPLETE", "CLIENT_READY", "EXTERNAL_SUBMIT"]

@@ -29,6 +29,22 @@ class ProcedureBreakdown:
     coordination_ms: float = 0.0
     other_ms: float = 0.0
 
+    def to_dict(self) -> dict:
+        """Stable plain-dict form (see :meth:`SimulationResult.to_dict`)."""
+        return {
+            "procedure": self.procedure,
+            "transactions": self.transactions,
+            "estimation_ms": self.estimation_ms,
+            "planning_ms": self.planning_ms,
+            "execution_ms": self.execution_ms,
+            "coordination_ms": self.coordination_ms,
+            "other_ms": self.other_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcedureBreakdown":
+        return cls(**data)
+
     @property
     def total_ms(self) -> float:
         return (
@@ -124,6 +140,81 @@ class SimulationResult:
             return 0.0
         estimation = sum(b.estimation_ms for b in self.breakdowns.values())
         return 100.0 * estimation / total
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Stable, JSON-friendly dict form of the full result.
+
+        Contains every accumulated field (latencies, counters, warm-up
+        window, per-procedure breakdowns, scheduler/admission stats) plus a
+        ``derived`` block of convenience metrics.  :meth:`from_dict` inverts
+        it exactly (``derived`` is recomputed, never read back), which is
+        what the CLI's ``simulate --json`` output and the benchmark
+        baselines rely on instead of ad-hoc field plucking.
+        """
+        from dataclasses import asdict
+
+        return {
+            "strategy": self.strategy,
+            "benchmark": self.benchmark,
+            "num_partitions": self.num_partitions,
+            "simulated_duration_ms": self.simulated_duration_ms,
+            "committed": self.committed,
+            "user_aborted": self.user_aborted,
+            "restarts": self.restarts,
+            "escalations": self.escalations,
+            "undo_disabled": self.undo_disabled,
+            "early_prepared": self.early_prepared,
+            "single_partition": self.single_partition,
+            "distributed": self.distributed,
+            "rejected": self.rejected,
+            "window_committed": self.window_committed,
+            "window_duration_ms": self.window_duration_ms,
+            "latencies_ms": list(self.latencies_ms),
+            "breakdowns": {
+                name: breakdown.to_dict()
+                for name, breakdown in sorted(self.breakdowns.items())
+            },
+            "scheduler_stats": asdict(self.scheduler_stats)
+            if self.scheduler_stats is not None else None,
+            "admission_stats": asdict(self.admission_stats)
+            if self.admission_stats is not None else None,
+            "derived": {
+                "throughput_txn_per_sec": self.throughput_txn_per_sec,
+                "average_latency_ms": self.average_latency_ms,
+                "restart_rate": self.restart_rate,
+                "estimation_share_pct": self.overall_estimation_share(),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (baseline replay)."""
+        from ..scheduling.admission import AdmissionStats
+        from ..scheduling.scheduler import SchedulerStats
+
+        result = cls(
+            strategy=data["strategy"],
+            benchmark=data["benchmark"],
+            num_partitions=data["num_partitions"],
+            simulated_duration_ms=data["simulated_duration_ms"],
+        )
+        for name in (
+            "committed", "user_aborted", "restarts", "escalations",
+            "undo_disabled", "early_prepared", "single_partition",
+            "distributed", "rejected", "window_committed", "window_duration_ms",
+        ):
+            setattr(result, name, data[name])
+        result.latencies_ms = list(data["latencies_ms"])
+        result.breakdowns = {
+            name: ProcedureBreakdown.from_dict(entry)
+            for name, entry in data["breakdowns"].items()
+        }
+        if data.get("scheduler_stats") is not None:
+            result.scheduler_stats = SchedulerStats(**data["scheduler_stats"])
+        if data.get("admission_stats") is not None:
+            result.admission_stats = AdmissionStats(**data["admission_stats"])
+        return result
 
     def summary_row(self) -> dict:
         return {

@@ -1,4 +1,4 @@
-"""Closed-loop cluster simulator: a discrete-event runtime.
+"""Closed-loop cluster simulator: an incrementally steppable event core.
 
 Reproduces the paper's throughput experiments without the Wisconsin cluster:
 transactions are executed *functionally* against the real in-memory database
@@ -6,12 +6,34 @@ through the transaction coordinator (so mispredictions, restarts, aborts and
 optimization updates all really happen), and their *timing* is replayed
 through the cost model onto a set of single-threaded partition resources.
 
-The run loop is a single binary event heap (see :mod:`repro.sim.events`)
-processing client-ready, transaction-complete and partition-release events
-in timestamp order.  The workload driver is closed-loop, matching the
-paper's setup of "four client threads per partition to ensure that the
-workload queues at each node are always full": each simulated client submits
-its next request the moment its previous one completes.  Every submission is
+The runtime is a single binary event heap (see :mod:`repro.sim.events`)
+processing client-ready, transaction-complete, partition-release and
+external-submit events in timestamp order.  Unlike the original closed
+``run()`` loop, the heap and every accumulator live on the simulator
+instance, so the core can be driven incrementally:
+
+* :meth:`ClusterSimulator.begin` initializes the event state (idempotent);
+* :meth:`ClusterSimulator.inject` pushes a raw event,
+  :meth:`ClusterSimulator.submit_request` injects an out-of-loop request;
+* :meth:`ClusterSimulator.step` processes exactly one event;
+* :meth:`ClusterSimulator.run_until` processes events until the heap drains
+  or a simulated deadline is reached;
+* :meth:`ClusterSimulator.extend_budget` grants the closed-loop clients
+  more submissions, and :meth:`ClusterSimulator.snapshot` materializes the
+  windowed metrics on demand (repeatedly, without disturbing the run).
+
+:meth:`ClusterSimulator.run` remains as the one-shot batch entry point —
+``begin(); extend_budget(total); run_until()`` — and produces results
+byte-identical to the pre-steppable loop (held by
+``tests/sim/test_event_runtime.py``).  :class:`repro.session.ClusterSession`
+is the long-lived façade over this core.
+
+The workload driver is closed-loop, matching the paper's setup of "four
+client threads per partition to ensure that the workload queues at each node
+are always full": each simulated client submits its next request the moment
+its previous one completes, as long as submission budget remains.  A client
+that becomes ready with no budget left is *parked* and revived (at the
+current simulated time) when the budget is extended.  Every submission is
 routed through a :class:`~repro.scheduling.scheduler.TransactionScheduler`,
 so queue policies and admission control are exercised by throughput runs:
 
@@ -32,14 +54,14 @@ optimization (OP4) declared the transaction finished with them, which is how
 speculative execution shows up in the timing model.
 
 Metric updates are batched: the loop appends to flat accumulator arrays and
-the :class:`~repro.sim.metrics.SimulationResult` is materialized once per
-run.  Completions are recorded at ``TXN_COMPLETE`` events, i.e. already
-ordered by end time, so the warm-up window needs one linear pass instead of
-a sort.
+a :class:`~repro.sim.metrics.SimulationResult` is materialized on demand.
+Completions are recorded at ``TXN_COMPLETE`` events, i.e. already ordered by
+end time, so the warm-up window needs one linear pass instead of a sort.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from heapq import heappop, heappush
 
@@ -54,11 +76,13 @@ from ..txn.strategy import ExecutionStrategy
 from ..types import ProcedureRequest
 from ..workload.generator import WorkloadGenerator
 from .cost_model import CostModel
-from .events import CLIENT_READY, PARTITION_RELEASE, TXN_COMPLETE
+from .events import CLIENT_READY, EXTERNAL_SUBMIT, PARTITION_RELEASE, TXN_COMPLETE
 from .metrics import ProcedureBreakdown, SimulationResult
 
 #: Accumulator slots per procedure (see ``_replay_timing``).
 _TXNS, _EST, _PLAN, _EXEC, _COORD, _OTHER = range(6)
+
+_INF = float("inf")
 
 
 @dataclass
@@ -67,7 +91,9 @@ class SimulatorConfig:
 
     #: Closed-loop clients per partition (the paper uses four).
     clients_per_partition: int = 4
-    #: Total transactions to execute (split across clients).
+    #: Total transactions to execute (split across clients) when driven by
+    #: the one-shot :meth:`ClusterSimulator.run`; session-driven runs grant
+    #: budget through :meth:`ClusterSimulator.extend_budget` instead.
     total_transactions: int = 2000
     #: Fraction of the earliest-completing transactions treated as warm-up
     #: and excluded from the throughput window (the paper warms up for 60s).
@@ -82,7 +108,7 @@ class SimulatorConfig:
 
 
 class ClusterSimulator:
-    """Runs one (benchmark, strategy, cluster size) configuration."""
+    """Steppable event core for one (benchmark, strategy, cluster) configuration."""
 
     def __init__(
         self,
@@ -103,9 +129,10 @@ class ClusterSimulator:
         self.config = config or SimulatorConfig()
         self.benchmark_name = benchmark_name or generator.benchmark
         self.coordinator = TransactionCoordinator(catalog, database, strategy)
-        #: Populated by :meth:`run` (scheduler + admission introspection).
+        #: Populated by :meth:`begin` (scheduler + admission introspection).
         self.scheduler: TransactionScheduler | None = None
         self.admission: AdmissionController | None = None
+        self._began = False
 
     # ------------------------------------------------------------------
     def _make_policy(self) -> SchedulingPolicy | None:
@@ -115,185 +142,433 @@ class ClusterSimulator:
         return policy_by_name(policy)
 
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Initialize the incremental event state (idempotent)."""
+        if self._began:
+            return
         config = self.config
-        num_partitions = self.catalog.num_partitions
-        num_nodes = self.catalog.scheme.num_nodes
-        num_clients = max(1, config.clients_per_partition * num_partitions)
-        total = config.total_transactions
-        think = config.client_think_time_ms
-
-        policy = self._make_policy()
-        scheduler = TransactionScheduler(policy, cost_model=self.cost_model)
-        limits = config.admission_limits
-        admission = AdmissionController(limits) if limits is not None else None
-        self.scheduler = scheduler
-        self.admission = admission
-        # Prediction-aware configurations annotate submissions with path
-        # estimates and gate dispatch on predicted partition availability.
-        need_estimates = (
-            policy is not None and policy.uses_predictions
-        ) or admission is not None
-        gate_on_partitions = policy is not None and policy.uses_predictions
-
-        partition_free = [0.0] * num_partitions
-        result = SimulationResult(
-            strategy=self.strategy.name,
-            benchmark=self.benchmark_name,
-            num_partitions=num_partitions,
-            simulated_duration_ms=0.0,
+        self._num_partitions = self.catalog.num_partitions
+        self._num_nodes = self.catalog.scheme.num_nodes
+        self._num_clients = max(1, config.clients_per_partition * self._num_partitions)
+        self.scheduler = TransactionScheduler(
+            self._make_policy(), cost_model=self.cost_model
         )
+        limits = config.admission_limits
+        self.admission = AdmissionController(limits) if limits is not None else None
 
-        # Batched accumulators, folded into `result` once at the end.
-        latencies: list[float] = []
-        completions: list[tuple[float, bool]] = []
-        breakdown_acc: dict[str, list] = {}
-        counters = {
+        self._partition_free = [0.0] * self._num_partitions
+        # Batched accumulators, folded into a SimulationResult on demand.
+        self._latencies: list[float] = []
+        self._completions: list[tuple[float, bool]] = []
+        self._breakdown_acc: dict[str, list] = {}
+        self._counters = {
             "committed": 0, "user_aborted": 0, "restarts": 0, "escalations": 0,
             "undo_disabled": 0, "early_prepared": 0, "single_partition": 0,
             "distributed": 0, "rejected": 0,
         }
-
-        generator = self.generator
-        coordinator = self.coordinator
-        strategy = self.strategy
-        redirect_ms = self.cost_model.redirect_ms
-        submitted = 0
-        complete_seq = 0
+        self._submitted = 0
+        self._budget: float = 0
+        self._complete_seq = 0
+        self._external_seq = 0
         #: Earliest scheduled partition-release wakeup (deduplication).
-        next_wakeup = [float("inf")]
-
+        self._next_wakeup = [_INF]
         # The initial event list — every client ready at t=0, client-id
         # tie-break — is already heap-ordered.
-        events: list[tuple] = [(0.0, CLIENT_READY, c, None) for c in range(num_clients)]
+        self._events: list[tuple] = [
+            (0.0, CLIENT_READY, c, None) for c in range(self._num_clients)
+        ]
+        #: Clients that became ready while the submission budget was
+        #: exhausted: ``(ready_time, client_id)``, revived on extension.
+        self._parked: list[tuple[float, int]] = []
+        #: Outstanding heap entries the FCFS fast path cannot interpret
+        #: (TXN_COMPLETE / PARTITION_RELEASE / EXTERNAL_SUBMIT).
+        self._general_events = 0
+        self._now = 0.0
+        self._began = True
 
-        def drain(now: float) -> None:
-            """Dispatch every queued transaction that may start at ``now``."""
-            nonlocal complete_seq
-            blocked: list = []
-            blocked_until = float("inf")
-            while scheduler:
-                pending = scheduler.pop()
-                if gate_on_partitions and pending.predicted_partitions:
-                    ready_at = now
-                    for partition_id in pending.predicted_partitions:
-                        if partition_id < num_partitions:
-                            free_at = partition_free[partition_id]
-                            if free_at > ready_at:
-                                ready_at = free_at
-                    if ready_at > now:
-                        blocked.append(pending)
-                        if ready_at < blocked_until:
-                            blocked_until = ready_at
-                        continue
-                if admission is not None:
-                    decision = admission.decide(pending)
-                    if decision is AdmissionDecision.DEFER:
-                        blocked.append(pending)
-                        pending.deferrals += 1
-                        continue
-                    if decision is AdmissionDecision.REJECT:
-                        scheduler.note_rejected(pending)
-                        counters["rejected"] += 1
-                        # The closed-loop client backs off one redirect
-                        # round-trip, then issues a fresh request.
-                        heappush(
-                            events,
-                            (now + redirect_ms, CLIENT_READY,
-                             pending.request.client_id, None),
-                        )
-                        continue
-                record = coordinator.execute_transaction(pending.request)
-                end = self._replay_timing(record, now, partition_free, breakdown_acc)
-                latencies.append(end - pending.submit_time_ms)
-                self._account_record(record, counters)
-                complete_seq += 1
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time (the timestamp of the last processed event)."""
+        return self._now if self._began else 0.0
+
+    @property
+    def submitted(self) -> int:
+        """Closed-loop submissions so far (including admission rejections)."""
+        return self._submitted if self._began else 0
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._events) if self._began else 0
+
+    # ------------------------------------------------------------------
+    # Budget and clock control
+    # ------------------------------------------------------------------
+    def extend_budget(self, txns: float) -> None:
+        """Grant the closed-loop clients ``txns`` further submissions."""
+        self.begin()
+        self._budget += txns
+
+    def freeze_budget(self) -> None:
+        """Stop new closed-loop submissions (in-flight work still finishes)."""
+        self.begin()
+        self._budget = self._submitted
+
+    def advance_clock(self, to_ms: float) -> None:
+        """Move the simulated clock forward to ``to_ms`` (never backwards)."""
+        self.begin()
+        if to_ms > self._now:
+            self._now = to_ms
+
+    # ------------------------------------------------------------------
+    # Event injection
+    # ------------------------------------------------------------------
+    def inject(self, event: tuple) -> None:
+        """Push one raw ``(time, kind, tiebreak, payload)`` event."""
+        self.begin()
+        if event[1] != CLIENT_READY:
+            self._general_events += 1
+        heappush(self._events, event)
+
+    def submit_request(self, request: ProcedureRequest, *, at_ms: float | None = None) -> None:
+        """Inject an out-of-loop request, processed when the core is driven.
+
+        The request enters the scheduler at ``max(at_ms, now)`` (defaulting
+        to the current simulated time) without consuming closed-loop budget.
+        """
+        self.begin()
+        at = self._now if at_ms is None else max(at_ms, self._now)
+        self._external_seq += 1
+        self.inject((at, EXTERNAL_SUBMIT, self._external_seq, request))
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration hooks (see repro.session.ClusterSession)
+    # ------------------------------------------------------------------
+    def set_policy(self, policy: SchedulingPolicy | str | None) -> None:
+        """Swap the scheduling policy, re-keying every queued transaction."""
+        self.begin()
+        self.config.policy = policy
+        self.scheduler.rekey(self._make_policy())
+
+    def set_admission(self, limits: AdmissionLimits | None) -> None:
+        """Swap admission limits on the live controller (or install/remove it).
+
+        Transactions already in flight were admitted against the previous
+        limits; their completions release capacity through
+        :meth:`~repro.scheduling.admission.AdmissionController.release_if_admitted`,
+        so installing a controller mid-run never underflows.
+        """
+        self.begin()
+        self.config.admission_limits = limits
+        if limits is None:
+            self.admission = None
+        elif self.admission is None:
+            self.admission = AdmissionController(limits)
+        else:
+            self.admission.set_limits(limits)
+
+    def set_generator(self, generator: WorkloadGenerator) -> None:
+        """Swap the workload generator (takes effect on the next submission)."""
+        self.generator = generator
+
+    # ------------------------------------------------------------------
+    # Driving the core
+    # ------------------------------------------------------------------
+    def _mode(self) -> tuple[bool, bool]:
+        """(need_estimates, gate_on_partitions) for the current configuration."""
+        policy = self.scheduler.policy
+        predictive = policy is not None and policy.uses_predictions
+        need_estimates = predictive or self.admission is not None
+        return need_estimates, predictive
+
+    def step(self) -> bool:
+        """Process exactly one event; ``False`` when nothing can progress.
+
+        Parked closed-loop clients count as progress when budget remains —
+        the first step after :meth:`extend_budget` revives them, matching
+        :meth:`run_until`'s semantics.
+        """
+        self.begin()
+        if not self._events and not (self._parked and self._submitted < self._budget):
+            return False
+        self._run_events(_INF, limit=1)
+        return True
+
+    def run_until(self, *, deadline_ms: float = _INF) -> None:
+        """Process events until the heap drains or the next event passes
+        ``deadline_ms`` (simulated time)."""
+        self.begin()
+        self._run_events(deadline_ms)
+
+    def reset(self) -> None:
+        """Discard all incremental state; the next drive starts a fresh
+        episode (the database and strategy keep their accumulated state,
+        exactly as repeated legacy ``run()`` calls did)."""
+        self._began = False
+
+    def run(self) -> SimulationResult:
+        """One-shot batch entry point (``config.total_transactions`` txns).
+
+        Each call is an independent episode: like the legacy closed loop it
+        builds a fresh scheduler and fresh accumulators, so calling ``run()``
+        twice yields two separate results (over the evolving database).
+        Incremental driving uses :meth:`extend_budget`/:meth:`run_until`
+        (see :class:`repro.session.ClusterSession`) instead.
+        """
+        if self._began and (self._submitted or self._budget or self._completions):
+            self.reset()
+        self.begin()
+        self.extend_budget(self.config.total_transactions)
+        self._run_events(_INF)
+        return self._build_result(copy=False)
+
+    # ------------------------------------------------------------------
+    def _run_events(self, deadline_ms: float, limit: float = _INF) -> None:
+        events = self._events
+        # Revive parked closed-loop clients once budget is available again.
+        # Revival happens at the current simulated time (never in the past)
+        # so the completion stream stays ordered by end time.
+        if self._parked and self._submitted < self._budget:
+            now = self._now
+            for ready, client_id in self._parked:
                 heappush(
                     events,
-                    (end, TXN_COMPLETE, complete_seq,
-                     (pending.request.client_id, record.committed, pending)),
+                    (ready if ready > now else now, CLIENT_READY, client_id, None),
                 )
-            for pending in blocked:
-                scheduler.requeue(pending)
-            if blocked_until != float("inf") and blocked_until < next_wakeup[0]:
-                next_wakeup[0] = blocked_until
-                heappush(events, (blocked_until, PARTITION_RELEASE, 0, None))
-
-        if admission is None and not gate_on_partitions:
+            self._parked.clear()
+        need_estimates, gate_on_partitions = self._mode()
+        if (
+            self.admission is None
+            and not gate_on_partitions
+            and self._general_events == 0
+            and deadline_ms == _INF
+        ):
             # Pass-through fast path: dispatch follows submission immediately
             # (no capacity gate can block it), so each client's completion is
             # folded into its next CLIENT_READY event — one heap entry per
             # transaction.  Submissions still go through the scheduler, so
             # the policy orders them and the stats stay live.
-            replay = self._replay_timing
-            scheduler_submit = scheduler.submit
-            scheduler_pop = scheduler.pop
-            next_request = generator.next_request
-            execute = coordinator.execute_transaction
-            while events:
-                now, _, client_id, payload = heappop(events)
+            self._run_fast(limit)
+        else:
+            self._run_general(deadline_ms, limit, need_estimates, gate_on_partitions)
+
+    def _run_fast(self, limit: float = _INF) -> None:
+        events = self._events
+        partition_free = self._partition_free
+        breakdown_acc = self._breakdown_acc
+        latencies = self._latencies
+        completions = self._completions
+        counters = self._counters
+        parked = self._parked
+        num_nodes = self._num_nodes
+        think = self.config.client_think_time_ms
+        budget = self._budget
+        submitted = self._submitted
+        now = self._now
+        replay = self._replay_timing
+        account = self._account_record
+        scheduler_submit = self.scheduler.submit
+        scheduler_pop = self.scheduler.pop
+        next_request = self.generator.next_request
+        execute = self.coordinator.execute_transaction
+        processed = 0
+        while events and processed < limit:
+            processed += 1
+            now, _, client_id, payload = heappop(events)
+            if payload is not None:
+                completions.append(payload)
+            if submitted >= budget:
+                parked.append((now, client_id))
+                continue
+            submitted += 1
+            raw = next_request()
+            request = ProcedureRequest(
+                raw.procedure, raw.parameters, client_id, client_id % num_nodes
+            )
+            # need_estimates is necessarily False here: this path runs
+            # only without admission control and with a non-predictive
+            # policy, so submissions carry no estimate.
+            pending = scheduler_submit(request)
+            pending.submit_time_ms = now
+            pending = scheduler_pop()
+            record = execute(pending.request)
+            end = replay(record, now, partition_free, breakdown_acc)
+            latencies.append(end - pending.submit_time_ms)
+            account(record, counters)
+            heappush(
+                events,
+                (end + think, CLIENT_READY, pending.request.client_id,
+                 (end, record.committed)),
+            )
+        self._submitted = submitted
+        self._now = now
+
+    def _run_general(
+        self,
+        deadline_ms: float,
+        limit: float,
+        need_estimates: bool,
+        gate_on_partitions: bool,
+    ) -> None:
+        events = self._events
+        scheduler = self.scheduler
+        admission = self.admission
+        completions = self._completions
+        parked = self._parked
+        next_wakeup = self._next_wakeup
+        think = self.config.client_think_time_ms
+        budget = self._budget
+        submitted = self._submitted
+        now = self._now
+        processed = 0
+        while events and processed < limit:
+            if events[0][0] > deadline_ms:
+                break
+            processed += 1
+            now, kind, tiebreak, payload = heappop(events)
+            if kind == CLIENT_READY:
+                # A fast-path CLIENT_READY carries its client's previous
+                # completion folded into the payload; record it before the
+                # budget check, exactly as the fast path does.
                 if payload is not None:
                     completions.append(payload)
-                if submitted >= total:
+                if submitted >= budget:
+                    parked.append((now, tiebreak))
                     continue
                 submitted += 1
-                raw = next_request()
+                raw = self.generator.next_request()
                 request = ProcedureRequest(
-                    raw.procedure, raw.parameters, client_id, client_id % num_nodes
+                    raw.procedure, raw.parameters, tiebreak, tiebreak % self._num_nodes
                 )
-                # need_estimates is necessarily False here: this path runs
-                # only without admission control and with a non-predictive
-                # policy, so submissions carry no estimate.
-                pending = scheduler_submit(request)
-                pending.submit_time_ms = now
-                pending = scheduler_pop()
-                record = execute(pending.request)
-                end = replay(record, now, partition_free, breakdown_acc)
-                latencies.append(end - pending.submit_time_ms)
-                self._account_record(record, counters)
-                heappush(
-                    events,
-                    (end + think, CLIENT_READY, pending.request.client_id,
-                     (end, record.committed)),
-                )
-        else:
-            while events:
-                now, kind, tiebreak, payload = heappop(events)
-                if kind == CLIENT_READY:
-                    if submitted >= total:
-                        continue
-                    submitted += 1
-                    raw = generator.next_request()
-                    request = ProcedureRequest(
-                        raw.procedure, raw.parameters, tiebreak, tiebreak % num_nodes
-                    )
-                    estimate = (
-                        strategy.preview_estimate(request) if need_estimates else None
-                    )
-                    base_partition = 0
-                    if estimate is not None and not estimate.degenerate:
-                        base_partition = estimate.base_partition() or 0
-                    pending = scheduler.submit(
-                        request, estimate, base_partition=base_partition
-                    )
-                    pending.submit_time_ms = now
-                    drain(now)
-                elif kind == TXN_COMPLETE:
-                    client_id, was_committed, pending = payload
-                    if admission is not None:
-                        admission.release(pending)
-                    completions.append((now, was_committed))
+                self._submit_pending(request, now, need_estimates)
+                self._drain(now, gate_on_partitions)
+            elif kind == TXN_COMPLETE:
+                self._general_events -= 1
+                client_id, was_committed, pending = payload
+                if admission is not None:
+                    admission.release_if_admitted(pending)
+                completions.append((now, was_committed))
+                if not pending.external:
                     heappush(events, (now + think, CLIENT_READY, client_id, None))
-                    if scheduler:
-                        drain(now)
-                else:  # PARTITION_RELEASE
-                    if next_wakeup[0] <= now:
-                        next_wakeup[0] = float("inf")
-                    if scheduler:
-                        drain(now)
+                if scheduler:
+                    self._drain(now, gate_on_partitions)
+            elif kind == EXTERNAL_SUBMIT:
+                self._general_events -= 1
+                self._submit_pending(payload, now, need_estimates, external=True)
+                self._drain(now, gate_on_partitions)
+            else:  # PARTITION_RELEASE
+                self._general_events -= 1
+                if next_wakeup[0] <= now:
+                    next_wakeup[0] = _INF
+                if scheduler:
+                    self._drain(now, gate_on_partitions)
+        self._submitted = submitted
+        self._now = now
 
-        # Fold the accumulators into the result object.
-        result.latencies_ms = latencies
+    def _submit_pending(
+        self,
+        request: ProcedureRequest,
+        now: float,
+        need_estimates: bool,
+        external: bool = False,
+    ):
+        estimate = self.strategy.preview_estimate(request) if need_estimates else None
+        base_partition = 0
+        if estimate is not None and not estimate.degenerate:
+            base_partition = estimate.base_partition() or 0
+        pending = self.scheduler.submit(request, estimate, base_partition=base_partition)
+        pending.submit_time_ms = now
+        pending.external = external
+        return pending
+
+    def _drain(self, now: float, gate_on_partitions: bool) -> None:
+        """Dispatch every queued transaction that may start at ``now``."""
+        scheduler = self.scheduler
+        admission = self.admission
+        events = self._events
+        partition_free = self._partition_free
+        num_partitions = self._num_partitions
+        counters = self._counters
+        latencies = self._latencies
+        breakdown_acc = self._breakdown_acc
+        next_wakeup = self._next_wakeup
+        redirect_ms = self.cost_model.redirect_ms
+        execute = self.coordinator.execute_transaction
+        blocked: list = []
+        blocked_until = _INF
+        while scheduler:
+            pending = scheduler.pop()
+            if gate_on_partitions and pending.predicted_partitions:
+                ready_at = now
+                for partition_id in pending.predicted_partitions:
+                    if partition_id < num_partitions:
+                        free_at = partition_free[partition_id]
+                        if free_at > ready_at:
+                            ready_at = free_at
+                if ready_at > now:
+                    blocked.append(pending)
+                    if ready_at < blocked_until:
+                        blocked_until = ready_at
+                    continue
+            if admission is not None:
+                decision = admission.decide(pending)
+                if decision is AdmissionDecision.DEFER:
+                    blocked.append(pending)
+                    pending.deferrals += 1
+                    continue
+                if decision is AdmissionDecision.REJECT:
+                    scheduler.note_rejected(pending)
+                    counters["rejected"] += 1
+                    # The closed-loop client backs off one redirect
+                    # round-trip, then issues a fresh request; a rejected
+                    # external injection has no client to re-arm.
+                    if not pending.external:
+                        heappush(
+                            events,
+                            (now + redirect_ms, CLIENT_READY,
+                             pending.request.client_id, None),
+                        )
+                    continue
+            record = execute(pending.request)
+            end = self._replay_timing(record, now, partition_free, breakdown_acc)
+            latencies.append(end - pending.submit_time_ms)
+            self._account_record(record, counters)
+            self._complete_seq += 1
+            self._general_events += 1
+            heappush(
+                events,
+                (end, TXN_COMPLETE, self._complete_seq,
+                 (pending.request.client_id, record.committed, pending)),
+            )
+        for pending in blocked:
+            scheduler.requeue(pending)
+        if blocked_until != _INF and blocked_until < next_wakeup[0]:
+            next_wakeup[0] = blocked_until
+            self._general_events += 1
+            heappush(events, (blocked_until, PARTITION_RELEASE, 0, None))
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SimulationResult:
+        """Materialize the metrics accumulated so far (repeatable, on demand).
+
+        The warm-up window is finalized over the completions recorded up to
+        now; driving the core further and snapshotting again recomputes it.
+        """
+        self.begin()
+        return self._build_result(copy=True)
+
+    def _build_result(self, *, copy: bool) -> SimulationResult:
+        result = SimulationResult(
+            strategy=self.strategy.name,
+            benchmark=self.benchmark_name,
+            num_partitions=self._num_partitions,
+            simulated_duration_ms=0.0,
+        )
+        result.latencies_ms = list(self._latencies) if copy else self._latencies
+        counters = self._counters
         result.committed = counters["committed"]
         result.user_aborted = counters["user_aborted"]
         result.restarts = counters["restarts"]
@@ -303,7 +578,7 @@ class ClusterSimulator:
         result.single_partition = counters["single_partition"]
         result.distributed = counters["distributed"]
         result.rejected = counters["rejected"]
-        for procedure, acc in breakdown_acc.items():
+        for procedure, acc in self._breakdown_acc.items():
             result.breakdowns[procedure] = ProcedureBreakdown(
                 procedure=procedure,
                 transactions=acc[_TXNS],
@@ -313,9 +588,19 @@ class ClusterSimulator:
                 coordination_ms=acc[_COORD],
                 other_ms=acc[_OTHER],
             )
-        result.scheduler_stats = scheduler.stats
-        result.admission_stats = admission.stats if admission is not None else None
-        self._finalize_window(completions, result)
+        # Snapshots own their stats: a copy freezes the counters at this
+        # point, so phase-over-phase comparisons of saved snapshots stay
+        # valid while the session keeps running.  The one-shot run() hands
+        # over the live objects, as the legacy loop did.
+        scheduler_stats = self.scheduler.stats
+        admission_stats = self.admission.stats if self.admission is not None else None
+        if copy:
+            scheduler_stats = dataclasses.replace(scheduler_stats)
+            if admission_stats is not None:
+                admission_stats = dataclasses.replace(admission_stats)
+        result.scheduler_stats = scheduler_stats
+        result.admission_stats = admission_stats
+        self._finalize_window(self._completions, result)
         return result
 
     # ------------------------------------------------------------------
@@ -401,11 +686,24 @@ class ClusterSimulator:
         """Compute the post-warm-up measurement window (paper: 60s warm-up).
 
         ``completions`` is produced by ``TXN_COMPLETE`` events, i.e. already
-        ordered by end time — one linear pass, no sort.
+        ordered by end time — one linear pass, no sort.  The one exception:
+        the FCFS fast path records a completion when its *folded* follow-up
+        event pops (at ``end + think``), so switching from fast to general
+        mode mid-heap with a non-zero think time can interleave a general
+        completion (recorded at ``end``) before an earlier folded one.  A
+        linear scan detects that rare case and restores order with a stable
+        sort on end time (batch runs never take it, keeping them exact).
         """
         if not completions:
             result.simulated_duration_ms = 0.0
             return
+        previous = 0.0
+        for entry in completions:
+            end = entry[0]
+            if end < previous:
+                completions = sorted(completions, key=lambda c: c[0])
+                break
+            previous = end
         last_end = completions[-1][0]
         result.simulated_duration_ms = last_end
         warmup_index = min(

@@ -36,8 +36,25 @@ class TestScalePresets:
     def test_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "medium")
         assert ExperimentScale.from_env().name == "medium"
-        monkeypatch.setenv("REPRO_SCALE", "unknown")
+        monkeypatch.delenv("REPRO_SCALE")
         assert ExperimentScale.from_env().name == "small"
+
+    def test_from_env_rejects_unknown_values(self, monkeypatch):
+        from repro.errors import SessionError
+
+        monkeypatch.setenv("REPRO_SCALE", "unknown")
+        with pytest.raises(SessionError, match="REPRO_SCALE.*valid presets"):
+            ExperimentScale.from_env()
+
+    def test_out_of_range_values_rejected(self):
+        from repro.errors import SessionError
+
+        with pytest.raises(SessionError, match="trace_transactions"):
+            ExperimentScale(trace_transactions=0)
+        with pytest.raises(SessionError, match="partition_counts"):
+            ExperimentScale(partition_counts=())
+        with pytest.raises(SessionError, match="thresholds"):
+            ExperimentScale(thresholds=(0.2, 1.5))
 
     def test_override(self):
         scale = ExperimentScale.small().override(seed=99)

@@ -165,6 +165,72 @@ class TestLegacyEquivalence:
         assert 0 < result.window_committed <= result.committed
 
 
+class TestSessionLegacyEquivalence:
+    """The session API's bar: ``ClusterSession.run_for`` must reproduce the
+    pre-steppable ``ClusterSimulator.run()`` byte for byte, which transitively
+    means reproducing the original greedy driver (``legacy_run`` above)."""
+
+    @pytest.mark.parametrize(
+        "bench_name,strategy_name,think",
+        [
+            ("tatp", "houdini", 0.0),
+            ("tpcc", "oracle", 0.5),
+        ],
+    )
+    def test_run_for_metrics_identical_to_legacy_driver(self, bench_name, strategy_name, think):
+        from repro.session import Cluster, ClusterSpec
+
+        config = SimulatorConfig(total_transactions=250, client_think_time_ms=think)
+
+        artifacts = pipeline.train(bench_name, 4, trace_transactions=300, seed=17)
+        strategy = pipeline.make_strategy(strategy_name, artifacts)
+        spec = ClusterSpec(
+            benchmark=bench_name, num_partitions=4,
+            client_think_time_ms=think,
+        )
+        session = Cluster.open(spec, artifacts=artifacts, strategy=strategy)
+        new = session.run_for(txns=250)
+        session.close()
+
+        artifacts = pipeline.train(bench_name, 4, trace_transactions=300, seed=17)
+        strategy = pipeline.make_strategy(strategy_name, artifacts)
+        old = legacy_run(
+            artifacts.benchmark.catalog, artifacts.benchmark.database,
+            artifacts.benchmark.generator, strategy,
+            CostModel(), config, bench_name,
+        )
+        _assert_identical(new, old)
+
+    def test_split_run_for_calls_match_one_batch_run(self):
+        """Driving the core in slices quiesces between slices, so only an
+        uninterrupted budget reproduces the batch run; a fresh session given
+        the full budget at once must match run() exactly."""
+        def train():
+            artifacts = pipeline.train("tatp", 4, trace_transactions=250, seed=11)
+            return artifacts, pipeline.make_strategy("oracle", artifacts)
+
+        from repro.session import Cluster, ClusterSpec
+
+        artifacts, strategy = train()
+        batch = ClusterSimulator(
+            artifacts.benchmark.catalog, artifacts.benchmark.database,
+            artifacts.benchmark.generator, strategy,
+            config=SimulatorConfig(total_transactions=200), benchmark_name="tatp",
+        ).run()
+
+        artifacts, strategy = train()
+        session = Cluster.open(
+            ClusterSpec(benchmark="tatp", num_partitions=4),
+            artifacts=artifacts, strategy=strategy,
+        )
+        whole = session.run_for(txns=200)
+        _assert_identical(whole, batch)
+        # Further driving only adds to the cumulative accumulators.
+        more = session.run_for(txns=50)
+        assert more.total_transactions == 250
+        session.close()
+
+
 class TestSchedulingIntegration:
     @pytest.mark.parametrize("policy", ["shortest-predicted", "single-partition-first"])
     def test_policies_run_inside_the_event_loop(self, policy):

@@ -114,3 +114,58 @@ class TestCommands:
         )
         assert code == 0
         assert "committed" in capsys.readouterr().out
+
+    def test_simulate_json_emits_stable_result_document(self, capsys):
+        import json
+
+        from repro.sim import SimulationResult
+
+        code = main(
+            ["simulate", "tatp", "--strategy", "oracle", "--partitions", "2",
+             "--trace", "100", "--transactions", "80", "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        result = SimulationResult.from_dict(data)
+        assert result.total_transactions == 80
+        assert data["derived"]["throughput_txn_per_sec"] > 0
+
+    def test_serve_repl_drives_a_session(self, capsys, monkeypatch):
+        import io
+
+        script = "\n".join([
+            "run 40",
+            "policy shortest-predicted",
+            "run 40",
+            "admission max_in_flight=4,max_deferrals=64",
+            "run 20",
+            "metrics",
+            "threshold 0.8",
+            "caching off",
+            "frobnicate",
+            "drain",
+            "quit",
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        code = main(["serve", "tatp", "--partitions", "2", "--trace", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "session open" in out
+        assert "policy -> shortest-predicted" in out
+        assert "admission -> {'max_in_flight': 4, 'max_deferrals': 64}" in out
+        assert "throughput_txn_s" in out
+        assert "confidence threshold -> 0.8" in out
+        assert "estimate caching -> off" in out
+        assert "unknown command 'frobnicate'" in out
+        assert "session closed after 100 transactions" in out
+
+    def test_serve_survives_bad_commands(self, capsys, monkeypatch):
+        import io
+
+        script = "policy warp-speed\nadmission max_flights=2\nthreshold nine\nquit\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        code = main(["serve", "tatp", "--partitions", "2", "--trace", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("error:") == 3
+        assert "session closed" in out
