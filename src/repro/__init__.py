@@ -58,7 +58,17 @@ from .strategies import (
 )
 from .txn import ExecutionPlan, TransactionCoordinator
 from .types import ProcedureRequest
-from .workload import TraceRecorder, WorkloadRandom, WorkloadTrace
+from .workload import (
+    ClosedLoopSource,
+    OpenLoopSource,
+    PhasedSource,
+    TenantSource,
+    TraceRecorder,
+    TraceReplaySource,
+    WorkloadRandom,
+    WorkloadSource,
+    WorkloadTrace,
+)
 
 __version__ = "1.0.0"
 
@@ -92,6 +102,12 @@ __all__ = [
     "WorkloadTrace",
     "WorkloadRandom",
     "TraceRecorder",
+    "WorkloadSource",
+    "ClosedLoopSource",
+    "OpenLoopSource",
+    "TraceReplaySource",
+    "PhasedSource",
+    "TenantSource",
     "MarkovModel",
     "MarkovModelBuilder",
     "build_models_from_trace",

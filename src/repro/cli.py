@@ -9,16 +9,22 @@ be exercised without writing Python:
     $ python -m repro train tpcc --partitions 8 --trace 2000 --output /tmp/tpcc
     $ python -m repro inspect /tmp/tpcc
     $ python -m repro simulate tpcc --strategy houdini --partitions 8 --json
+    $ python -m repro record tatp --transactions 300 --rate 500 --output /tmp/t.jsonl
+    $ python -m repro simulate tatp --workload /tmp/t.jsonl --json
     $ python -m repro serve tatp --partitions 4
     $ python -m repro experiment figure03 --scale small
 
-``simulate`` runs one closed-loop configuration through a
+``simulate`` runs one configuration through a
 :class:`~repro.session.ClusterSession` and prints its summary (or, with
-``--json``, the full stable :meth:`SimulationResult.to_dict` document).
+``--json``, the full stable :meth:`SimulationResult.to_dict` document); by
+default it drives the closed loop, while ``--workload trace.jsonl`` replays
+a recorded trace (``record`` writes one, stamped with open-loop arrival
+times) through a :class:`~repro.workload.sources.TraceReplaySource`.
 ``serve`` opens a long-lived session and reads commands from stdin — a
 REPL over the session API (``run N``, ``policy NAME``, ``admission k=v``,
-``caching on|off``, ``threshold X``, ``metrics``, ``drain``, ``quit``) —
-so live-reconfiguration scenarios can be scripted from the shell.
+``caching on|off``, ``threshold X``, ``workload ...``, ``inflight``,
+``metrics``, ``drain``, ``quit``) — so live-reconfiguration and workload-
+switch scenarios can be scripted from the shell.
 
 Every command prints a human-readable report to stdout and exits non-zero on
 errors, so it composes with shell scripts and CI jobs.
@@ -96,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("artifacts", help="directory written by 'repro train --output'")
 
     simulate = subparsers.add_parser(
-        "simulate", help="run the closed-loop cluster simulator for one configuration"
+        "simulate", help="run the cluster simulator for one configuration"
     )
     simulate.add_argument("benchmark", choices=available_benchmarks())
     simulate.add_argument("--strategy", choices=STRATEGIES, default="houdini")
@@ -107,9 +113,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="confidence-coefficient threshold (Houdini strategies)")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument(
+        "--workload", default=None, metavar="TRACE_JSONL",
+        help="replay a recorded workload trace instead of the closed loop",
+    )
+    simulate.add_argument(
+        "--speedup", type=float, default=1.0,
+        help="replay time rescale for --workload (2.0 = twice as fast)",
+    )
+    simulate.add_argument(
         "--json", action="store_true",
         help="print the full SimulationResult as a stable JSON document",
     )
+
+    record = subparsers.add_parser(
+        "record",
+        help="record a timestamped workload trace (replayable via simulate --workload)",
+    )
+    record.add_argument("benchmark", choices=available_benchmarks())
+    record.add_argument("--partitions", type=int, default=8)
+    record.add_argument("--transactions", type=int, default=1000,
+                        help="transactions to record")
+    record.add_argument("--rate", type=float, default=1000.0,
+                        help="arrival rate (txn/s) stamped onto the trace")
+    record.add_argument("--arrival", choices=("poisson", "uniform", "bursty"),
+                        default="poisson")
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument("--output", required=True,
+                        help="JSON-lines file to write the trace to")
 
     serve = subparsers.add_parser(
         "serve",
@@ -174,6 +204,13 @@ def _build_spec(args: argparse.Namespace) -> ClusterSpec:
         from .houdini import HoudiniConfig
 
         houdini_config = HoudiniConfig(confidence_threshold=args.threshold)
+    workload = None
+    if getattr(args, "workload", None) is not None:
+        from .workload import TraceReplaySource
+
+        workload = TraceReplaySource(
+            path=args.workload, speedup=getattr(args, "speedup", 1.0)
+        )
     return ClusterSpec(
         benchmark=args.benchmark,
         num_partitions=args.partitions,
@@ -181,6 +218,7 @@ def _build_spec(args: argparse.Namespace) -> ClusterSpec:
         seed=args.seed,
         strategy=args.strategy,
         houdini=houdini_config,
+        workload=workload,
     )
 
 
@@ -196,6 +234,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_record(args: argparse.Namespace) -> int:
+    from .session import build_benchmark
+    from .workload import TraceRecorder, arrival_times
+
+    instance = build_benchmark(args.benchmark, args.partitions, seed=args.seed)
+    recorder = TraceRecorder(
+        instance.catalog,
+        instance.database,
+        base_partition_chooser=instance.generator.home_partition,
+    )
+    trace = recorder.record(
+        instance.generator.generate(args.transactions),
+        arrival_times_ms=arrival_times(
+            args.arrival, args.rate, args.transactions, seed=args.seed
+        ),
+    )
+    trace.save(args.output)
+    span_ms = trace[-1].at_ms if len(trace) else 0.0
+    print(
+        f"recorded {len(trace)} {args.benchmark} transactions "
+        f"({args.arrival} arrivals at {args.rate:g} txn/s, "
+        f"{span_ms / 1000.0:.2f}s span) to {args.output}"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """REPL over a long-lived :class:`~repro.session.ClusterSession`.
 
@@ -206,8 +270,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"opening {spec.benchmark}/{spec.strategy} with {spec.num_partitions} "
           f"partitions (trace {spec.trace_transactions} txns)...")
     session = Cluster.open(spec)
-    print("session open; commands: run N | policy NAME|none | admission k=v[,k=v]|off"
-          " | caching on|off | threshold X | metrics [--json] | spec | drain | quit")
+    print("session open; commands: run N | runfor SECONDS | policy NAME|none"
+          " | admission k=v[,k=v]|off | caching on|off | threshold X"
+          " | workload closed|open RATE [poisson|uniform|bursty]|trace PATH [SPEEDUP]"
+          " | inflight | metrics [--json] | spec | drain | quit")
     interactive = sys.stdin.isatty()
     while True:
         if interactive:
@@ -253,6 +319,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             elif command == "threshold":
                 session.reconfigure(confidence_threshold=float(rest[0]))
                 print(f"confidence threshold -> {float(rest[0])}")
+            elif command == "runfor":
+                seconds = float(rest[0]) if rest else 1.0
+                result = session.run_for(sim_seconds=seconds)
+                print(f"ran {seconds:g}s of simulated time; t={session.now_ms:.1f}ms "
+                      f"committed={result.committed} in_flight={len(session.in_flight())}")
+            elif command == "workload":
+                from .workload import ClosedLoopSource, OpenLoopSource, TraceReplaySource
+
+                shape = rest[0].lower() if rest else ""
+                if shape == "closed":
+                    session.reconfigure(workload=ClosedLoopSource(
+                        spec.clients_per_partition, spec.client_think_time_ms))
+                elif shape == "open":
+                    rate = float(rest[1])
+                    arrival = rest[2] if len(rest) > 2 else "poisson"
+                    session.reconfigure(workload=OpenLoopSource(rate, arrival))
+                elif shape == "trace":
+                    speedup = float(rest[2]) if len(rest) > 2 else 1.0
+                    session.reconfigure(
+                        workload=TraceReplaySource(path=rest[1], speedup=speedup))
+                else:
+                    print("error: workload takes 'closed', 'open RATE [KIND]' "
+                          "or 'trace PATH [SPEEDUP]'")
+                    continue
+                print(f"workload -> {session.workload.to_dict()['kind']}")
+            elif command == "inflight":
+                entries = session.in_flight()
+                print(f"{len(entries)} transaction(s) in flight")
+                for entry in entries[:20]:
+                    tenant = f" tenant={entry.tenant}" if entry.tenant else ""
+                    print(f"  [{entry.state}] {entry.procedure}{tenant} "
+                          f"txn={entry.txn_id} attempt={entry.attempt} "
+                          f"partitions={list(entry.partitions)} "
+                          f"remaining={entry.predicted_remaining_ms:.3f}ms")
+                if len(entries) > 20:
+                    print(f"  ... and {len(entries) - 20} more")
             elif command == "metrics":
                 snapshot = session.snapshot_metrics()
                 if rest and rest[0] == "--json":
@@ -266,8 +368,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 result = session.drain()
                 print(f"drained; {result.total_transactions} txns total")
             else:
-                print(f"unknown command {command!r}; commands: run, policy, "
-                      f"admission, caching, threshold, metrics, spec, drain, quit")
+                print(f"unknown command {command!r}; commands: run, runfor, policy, "
+                      f"admission, caching, threshold, workload, inflight, "
+                      f"metrics, spec, drain, quit")
         except (ReproError, ValueError, IndexError) as error:
             print(f"error: {error}")
     final = session.close()
@@ -294,6 +397,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "train": _cmd_train,
     "inspect": _cmd_inspect,
     "simulate": _cmd_simulate,
+    "record": _cmd_record,
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
 }

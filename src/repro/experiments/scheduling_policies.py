@@ -2,11 +2,21 @@
 
 The paper's future-work section proposes annotating queued transactions with
 their predicted execution properties and scheduling them intelligently.
-This experiment runs the closed-loop simulator — the same event-driven
-runtime the throughput figures use — under each registered queue policy, and
-once more with admission control, on the SmallBank mix (whose 40%
-two-customer transactions give the scheduler real multi-partition decisions
-to make).
+This experiment runs the simulator — the same event-driven runtime the
+throughput figures use — under each registered queue policy, and once more
+with admission control, on the SmallBank mix (whose 40% two-customer
+transactions give the scheduler real multi-partition decisions to make).
+
+Two traffic shapes are exercised:
+
+* the paper's **closed loop** (think-time clients; offered load equals
+  service rate, so queues stay shallow), and
+* an **open-loop overload** (:class:`~repro.workload.sources.OpenLoopSource`
+  arrivals at ~2x the closed-loop service rate), where queues actually grow
+  and the policies differ — including in how badly they starve long
+  transactions, which the per-class queue-wait metric
+  (``scheduler_stats.queue_wait_by_class``) makes visible as the
+  "max wait" column.
 """
 
 from __future__ import annotations
@@ -16,6 +26,8 @@ from dataclasses import dataclass, field
 from .. import pipeline
 from ..scheduling import AdmissionLimits
 from ..scheduling.policies import available_policies
+from ..session import Cluster, ClusterSpec
+from ..workload import OpenLoopSource
 from .common import ExperimentScale, format_table, run_session
 
 
@@ -30,8 +42,8 @@ class SchedulingPoliciesResult:
 
     def format(self) -> str:
         headers = [
-            "configuration", "txn/s", "avg latency (ms)", "reordered",
-            "deferred", "rejected",
+            "configuration", "txn/s", "avg latency (ms)", "max wait (ms)",
+            "reordered", "deferred", "rejected",
         ]
         table_rows = []
         for name, metrics in self.rows.items():
@@ -39,6 +51,7 @@ class SchedulingPoliciesResult:
                 name,
                 round(metrics["throughput"], 1),
                 round(metrics["avg_latency_ms"], 3),
+                round(metrics["max_queue_wait_ms"], 3),
                 metrics["reordered"],
                 metrics["deferred"],
                 metrics["rejected"],
@@ -47,6 +60,20 @@ class SchedulingPoliciesResult:
             f"Scheduling policies under the event-driven runtime ({self.benchmark})\n"
             + format_table(headers, table_rows)
         )
+
+
+def _row(simulation) -> dict:
+    return {
+        "throughput": simulation.throughput_txn_per_sec,
+        "avg_latency_ms": simulation.average_latency_ms,
+        "max_queue_wait_ms": simulation.scheduler_stats.max_queue_wait_ms
+        if simulation.scheduler_stats else 0.0,
+        "reordered": simulation.scheduler_stats.reordered
+        if simulation.scheduler_stats else 0,
+        "deferred": simulation.admission_stats.deferred
+        if simulation.admission_stats else 0,
+        "rejected": simulation.rejected,
+    }
 
 
 def run_scheduling_policies(
@@ -65,6 +92,7 @@ def run_scheduling_policies(
             AdmissionLimits(max_in_flight=2 * scale.accuracy_partitions, max_deferrals=256),
         )
     )
+    closed_rate = None
     for label, policy, limits in configurations:
         artifacts = pipeline.train(
             benchmark,
@@ -80,15 +108,29 @@ def run_scheduling_policies(
             policy=policy,
             admission_limits=limits,
         )
-        result.rows[label] = {
-            "throughput": simulation.throughput_txn_per_sec,
-            "avg_latency_ms": simulation.average_latency_ms,
-            "reordered": simulation.scheduler_stats.reordered
-            if simulation.scheduler_stats else 0,
-            "deferred": simulation.admission_stats.deferred
-            if simulation.admission_stats else 0,
-            "rejected": simulation.rejected,
-        }
+        result.rows[label] = _row(simulation)
+        if closed_rate is None:
+            closed_rate = max(1.0, simulation.throughput_txn_per_sec)
+    # Open-loop overload: arrivals at ~2x the closed-loop service rate, so
+    # the queue actually grows and policy choice (and starvation) matters.
+    for label, policy, limits in configurations:
+        artifacts = pipeline.train(
+            benchmark,
+            scale.accuracy_partitions,
+            trace_transactions=scale.trace_transactions,
+            seed=scale.seed,
+        )
+        strategy = pipeline.make_strategy("houdini", artifacts)
+        spec = ClusterSpec(
+            benchmark=benchmark,
+            num_partitions=scale.accuracy_partitions,
+            policy=policy,
+            admission=limits,
+            workload=OpenLoopSource(2.0 * closed_rate, "poisson", seed=scale.seed),
+        )
+        session = Cluster.open(spec, artifacts=artifacts, strategy=strategy)
+        session.run_for(txns=scale.simulated_transactions)
+        result.rows[f"open-loop 2x {label}"] = _row(session.close())
     return result
 
 

@@ -22,7 +22,7 @@ under submissions; dispatch is O(log n).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from ..houdini.estimate import PathEstimate
@@ -93,6 +93,9 @@ class PendingTransaction:
     #: (``ClusterSession.submit``): its completion must not re-arm a
     #: closed-loop client, and its rejection must not back one off.
     external: bool = False
+    #: Tenant label of the workload stream the request arrived on
+    #: (``TenantSource``); ``None`` for unlabeled traffic.
+    tenant: str | None = None
     #: How many times admission control pushed this transaction back.
     deferrals: int = 0
     #: Simulated submission time, stamped by the event-driven simulator so
@@ -112,6 +115,14 @@ class SchedulerStats:
     execution — a pop that is pushed back (admission deferral or a
     partition-blocked requeue) is counted under ``requeued``, and a pop that
     admission control rejected outright under ``rejected``.
+
+    ``queue_wait_by_class`` is the starvation picture: per transaction
+    class (procedure name), summary statistics of the simulated time each
+    dispatched transaction spent waiting in the queue — count, mean, max
+    and nearest-rank percentiles.  It is a plain dict (filled from
+    :meth:`TransactionScheduler.wait_summary` when a result snapshot is
+    materialized) so it serializes directly in
+    :meth:`~repro.sim.metrics.SimulationResult.to_dict`.
     """
 
     submitted: int = 0
@@ -119,10 +130,18 @@ class SchedulerStats:
     reordered: int = 0
     requeued: int = 0
     rejected: int = 0
+    queue_wait_by_class: dict = field(default_factory=dict)
 
     @property
     def pending(self) -> int:
         return self.submitted - self.dispatched - self.rejected
+
+    @property
+    def max_queue_wait_ms(self) -> float:
+        """Largest queue-wait age across every transaction class."""
+        if not self.queue_wait_by_class:
+            return 0.0
+        return max(entry["max_ms"] for entry in self.queue_wait_by_class.values())
 
 
 class TransactionScheduler:
@@ -151,6 +170,15 @@ class TransactionScheduler:
         self._track_reorder = not self.policy.preserves_arrival_order
         self._arrival_heap: list[int] = []
         self._consumed: dict[int, int] = {}
+        #: Queue-wait ages (ms) of dispatched transactions, per transaction
+        #: class; recorded by the simulator at dispatch and summarized into
+        #: :attr:`SchedulerStats.queue_wait_by_class` on snapshot.  Survives
+        #: :meth:`rekey` — the scheduler keeps describing the same queue.
+        #: Zero-wait dispatches (the pass-through fast path) are counted,
+        #: not appended, so the saturated closed loop stays O(1) per
+        #: transaction in both time and memory.
+        self._waits: dict[str, list[float]] = {}
+        self._zero_waits: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -299,6 +327,60 @@ class TransactionScheduler:
         if not self._heap:
             return None
         return self._heap[0][2]
+
+    def pending_transactions(self) -> list[PendingTransaction]:
+        """Every transaction still queued, in current dispatch order.
+
+        Introspection only (``ClusterSession.in_flight``): the queue is not
+        disturbed.
+        """
+        return [entry[2] for entry in sorted(self._heap, key=lambda e: (e[0], e[1]))]
+
+    # ------------------------------------------------------------------
+    # Queue-wait (starvation) tracking
+    # ------------------------------------------------------------------
+    def record_wait(self, procedure: str, wait_ms: float) -> None:
+        """Record the queue-wait age of one dispatched transaction."""
+        if wait_ms == 0.0:
+            self._zero_waits[procedure] = self._zero_waits.get(procedure, 0) + 1
+            return
+        waits = self._waits.get(procedure)
+        if waits is None:
+            waits = []
+            self._waits[procedure] = waits
+        waits.append(wait_ms)
+
+    def record_zero_wait(self, procedure: str) -> None:
+        """Count an immediate (zero-wait) dispatch — the fast-path case."""
+        self._zero_waits[procedure] = self._zero_waits.get(procedure, 0) + 1
+
+    def wait_summary(self) -> dict[str, dict]:
+        """Per-class queue-wait summary: count/mean/max + p50/p95/p99.
+
+        Percentiles use the nearest-rank method over every recorded wait
+        (zero-wait dispatches included as an implicit sorted prefix), so a
+        class starved behind an endless stream of shorter transactions
+        shows up as a p99/max far above its mean.
+        """
+        summary: dict[str, dict] = {}
+        for procedure in sorted(set(self._waits) | set(self._zero_waits)):
+            waits = sorted(self._waits.get(procedure, ()))
+            zeros = self._zero_waits.get(procedure, 0)
+            count = zeros + len(waits)
+
+            def percentile(p: int) -> float:
+                rank = max(0, -(-count * p // 100) - 1)
+                return waits[rank - zeros] if rank >= zeros else 0.0
+
+            summary[procedure] = {
+                "count": count,
+                "mean_ms": sum(waits) / count,
+                "max_ms": waits[-1] if waits else 0.0,
+                "p50_ms": percentile(50),
+                "p95_ms": percentile(95),
+                "p99_ms": percentile(99),
+            }
+        return summary
 
     def drain(self) -> Iterable[PendingTransaction]:
         """Pop until the queue is empty (dispatch order of the whole backlog)."""

@@ -36,10 +36,27 @@ session is then driven explicitly:
   :class:`~repro.sim.metrics.SimulationResult` on demand; the warm-up window
   is finalized over the completions recorded *so far* and recomputed on the
   next snapshot (metrics are cumulative across ``run_for`` calls).
+  ``snapshot_metrics(tenant=...)`` returns one tenant's breakdown.
+* :meth:`ClusterSession.in_flight` — the unfinished transactions a paused
+  snapshot excludes: txn id, procedure, tenant, attempt, partitions held,
+  predicted remaining time.
 * :meth:`ClusterSession.drain` — stop new closed-loop submissions, let every
   queued and in-flight transaction finish, and snapshot.
 * :meth:`ClusterSession.close` — drain and seal the session (further driving
   raises :class:`~repro.errors.SessionError`); also the context-manager exit.
+
+Workload sources
+----------------
+What traffic the session serves is declared by ``ClusterSpec.workload`` — a
+:class:`~repro.workload.sources.WorkloadSource`.  The default (``None``) is
+the paper's closed loop; :class:`~repro.workload.sources.OpenLoopSource`,
+:class:`~repro.workload.sources.TraceReplaySource`,
+:class:`~repro.workload.sources.PhasedSource` and
+:class:`~repro.workload.sources.TenantSource` compile into deterministic
+``EXTERNAL_SUBMIT`` arrival streams instead, injected by ``run_for`` as the
+clock advances.  ``reconfigure(workload=...)`` swaps the live source, and
+scripted reconfiguration schedules replay deterministically through
+:meth:`ClusterSpec.diff` + :meth:`ClusterSession.apply_schedule`.
 
 Batch equivalence: a fresh session driven with ``run_for(txns=N)`` produces
 a :class:`SimulationResult` byte-identical to the one-shot
@@ -83,10 +100,10 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from .benchmarks import BenchmarkInstance, available_benchmarks, get_benchmark
-from .errors import SessionError
+from .errors import SessionError, WorkloadError
 from .houdini import GlobalModelProvider, Houdini, HoudiniConfig
 from .houdini.providers import ModelProvider
 from .mapping import ParameterMappingSet, build_parameter_mappings
@@ -105,6 +122,13 @@ from .txn.strategy import ExecutionStrategy
 from .types import ProcedureRequest
 from .workload import TraceRecorder, WorkloadTrace
 from .workload.generator import WorkloadGenerator
+from .workload.sources import (
+    Arrival,
+    ClosedLoopSource,
+    CompileContext,
+    CompiledSource,
+    WorkloadSource,
+)
 
 #: Execution strategies a spec may name (the paper's comparisons).
 STRATEGY_NAMES = (
@@ -172,6 +196,15 @@ class ClusterSpec:
     clients_per_partition: int = 4
     warmup_fraction: float = 0.1
     client_think_time_ms: float = 0.0
+    # --- workload ------------------------------------------------------
+    #: How traffic enters the session: a :class:`WorkloadSource` (or its
+    #: dict form).  ``None`` — the default — is the legacy closed loop
+    #: driven by ``clients_per_partition``/``client_think_time_ms``, byte-
+    #: identical to specs that predate this section.  An explicit
+    #: :class:`ClosedLoopSource` overrides those two fields; any other
+    #: source (open-loop arrivals, trace replay, phased mixes, tenant
+    #: streams) runs the simulator in open-loop mode.
+    workload: WorkloadSource | Mapping | None = None
     # --- scheduling / admission / cost --------------------------------
     policy: SchedulingPolicy | str | None = None
     admission: AdmissionLimits | None = None
@@ -185,6 +218,8 @@ class ClusterSpec:
             self.admission = _coerce(AdmissionLimits, self.admission, "admission")
         if isinstance(self.cost_model, Mapping):
             self.cost_model = _coerce(CostModel, self.cost_model, "cost_model")
+        if isinstance(self.workload, Mapping):
+            self.workload = _coerce_workload(self.workload)
         self.validate()
 
     def validate(self) -> None:
@@ -248,6 +283,16 @@ class ClusterSpec:
                 f"cost_model must be a CostModel or a field dict, "
                 f"got {type(self.cost_model).__name__}"
             )
+        if self.workload is not None:
+            if not isinstance(self.workload, WorkloadSource):
+                raise SessionError(
+                    f"workload must be a WorkloadSource or its dict form, "
+                    f"got {type(self.workload).__name__}"
+                )
+            try:
+                self.workload.validate()
+            except WorkloadError as error:
+                raise SessionError(f"invalid workload source: {error}") from error
 
     # ------------------------------------------------------------------
     @classmethod
@@ -295,20 +340,42 @@ class ClusterSpec:
             "clients_per_partition": self.clients_per_partition,
             "warmup_fraction": self.warmup_fraction,
             "client_think_time_ms": self.client_think_time_ms,
+            "workload": self.workload.to_dict() if self.workload is not None else None,
             "policy": policy,
             "admission": _init_field_dict(self.admission),
             "cost_model": _init_field_dict(self.cost_model),
         }
 
+    def diff(self, other: "ClusterSpec") -> dict:
+        """Fields where ``other`` differs from this spec, in ``to_dict`` form.
+
+        The returned ``{field: other's value}`` mapping is JSON-friendly, so
+        reconfiguration scripts can be saved next to their ``to_dict``
+        baselines and replayed later with
+        :meth:`ClusterSession.apply_schedule`.
+        """
+        mine = self.to_dict()
+        theirs = other.to_dict()
+        return {key: theirs[key] for key in theirs if mine[key] != theirs[key]}
+
     def simulator_config(self, total_transactions: int = 0) -> SimulatorConfig:
         """The :class:`SimulatorConfig` this spec describes."""
+        clients = self.clients_per_partition
+        think = self.client_think_time_ms
+        open_loop = False
+        if isinstance(self.workload, ClosedLoopSource):
+            clients = self.workload.clients_per_partition
+            think = self.workload.think_time_ms
+        elif self.workload is not None:
+            open_loop = True
         return SimulatorConfig(
-            clients_per_partition=self.clients_per_partition,
+            clients_per_partition=clients,
             total_transactions=total_transactions,
             warmup_fraction=self.warmup_fraction,
-            client_think_time_ms=self.client_think_time_ms,
+            client_think_time_ms=think,
             policy=self.policy,
             admission_limits=self.admission,
+            open_loop=open_loop,
         )
 
 
@@ -325,6 +392,16 @@ def _init_field_dict(config) -> dict | None:
             value = sorted(value)
         out[f.name] = value
     return out
+
+
+def _coerce_workload(data: Mapping | WorkloadSource | None) -> WorkloadSource | None:
+    """Coerce a workload declaration (dict form allowed) to a source."""
+    if data is None or isinstance(data, WorkloadSource):
+        return data
+    try:
+        return WorkloadSource.from_dict(data)
+    except WorkloadError as error:
+        raise SessionError(f"invalid workload source: {error}") from error
 
 
 def _coerce(cls, data: Mapping, label: str):
@@ -587,7 +664,28 @@ class ClusterSession:
         self.strategy = strategy
         self.simulator = simulator
         self._closed = False
+        #: Compile context shared by every workload source this session runs.
+        self._workload_ctx = CompileContext(artifacts.benchmark, spec.seed)
+        #: The live workload source (the spec's at open; swappable via
+        #: ``reconfigure(workload=...)``).
+        self.workload: WorkloadSource | None = spec.workload
+        #: Compiled arrival stream, or ``None`` when the built-in closed
+        #: loop drives submission.
+        self._arrivals: CompiledSource | None = None
+        #: Simulated time at which the current arrival stream's clock
+        #: started (non-zero after a live workload swap).
+        self._arrival_offset = 0.0
+        if spec.workload is not None and not isinstance(spec.workload, ClosedLoopSource):
+            self._arrivals = self._compile_source(spec.workload)
         simulator.begin()
+
+    def _compile_source(self, source: WorkloadSource) -> CompiledSource:
+        """Compile a source, surfacing failures (e.g. an unreadable trace
+        file) as session errors."""
+        try:
+            return source.compile(self._workload_ctx)
+        except WorkloadError as error:
+            raise SessionError(f"invalid workload source: {error}") from error
 
     # ------------------------------------------------------------------
     @property
@@ -627,11 +725,16 @@ class ClusterSession:
     def run_for(
         self, txns: int | None = None, *, sim_seconds: float | None = None
     ) -> SimulationResult:
-        """Drive the closed-loop clients and return a metrics snapshot.
+        """Drive the session's workload and return a metrics snapshot.
 
-        Exactly one of ``txns`` (grant that many further submissions and run
-        until the cluster quiesces) or ``sim_seconds`` (run the saturated
-        closed loop for that much simulated time) must be given.
+        Exactly one of ``txns`` or ``sim_seconds`` must be given.  Under the
+        (default) closed loop, ``txns`` grants that many further submissions
+        and runs until the cluster quiesces, while ``sim_seconds`` runs the
+        saturated loop for that much simulated time.  Under an arrival
+        source (open loop, trace replay, tenant streams), ``txns`` injects
+        the next that-many arrivals and drains them, while ``sim_seconds``
+        injects every arrival falling inside the window and pauses the
+        clock at its end — in-flight work is visible via :meth:`in_flight`.
         """
         self._check_open()
         if (txns is None) == (sim_seconds is None):
@@ -640,19 +743,41 @@ class ClusterSession:
         if txns is not None:
             if txns < 0:
                 raise SessionError(f"txns must be non-negative, got {txns!r}")
-            simulator.extend_budget(txns)
+            if self._arrivals is None:
+                simulator.extend_budget(txns)
+            else:
+                self._inject(self._arrivals.take(txns))
             simulator.run_until()
         else:
             if sim_seconds < 0:
                 raise SessionError(
                     f"sim_seconds must be non-negative, got {sim_seconds!r}"
                 )
-            deadline = simulator.now_ms + 1000.0 * sim_seconds
-            simulator.extend_budget(float("inf"))
-            simulator.run_until(deadline_ms=deadline)
-            simulator.freeze_budget()
-            simulator.advance_clock(deadline)
+            self._run_to(simulator.now_ms + 1000.0 * sim_seconds)
         return simulator.snapshot()
+
+    def _run_to(self, deadline_ms: float) -> None:
+        """Run the live workload up to an absolute simulated deadline."""
+        simulator = self.simulator
+        if self._arrivals is None:
+            simulator.extend_budget(float("inf"))
+            simulator.run_until(deadline_ms=deadline_ms)
+            simulator.freeze_budget()
+        else:
+            self._inject(self._arrivals.take_until(deadline_ms - self._arrival_offset))
+            simulator.run_until(deadline_ms=deadline_ms)
+        simulator.advance_clock(deadline_ms)
+
+    def _inject(self, batch: list[Arrival]) -> None:
+        """Feed compiled arrivals into the event core as external submits."""
+        offset = self._arrival_offset
+        submit = self.simulator.submit_request
+        for arrival in batch:
+            submit(
+                arrival.request,
+                at_ms=offset + arrival.at_ms,
+                tenant=arrival.tenant,
+            )
 
     # ------------------------------------------------------------------
     def reconfigure(
@@ -664,14 +789,51 @@ class ClusterSession:
         confidence_threshold: float | None = None,
         generator: WorkloadGenerator | None = None,
         cost: Mapping[str, float] | None = None,
+        workload: WorkloadSource | Mapping | None = None,
     ) -> "ClusterSession":
         """Apply live configuration changes (see the module docstring).
+
+        ``workload=`` swaps the traffic source mid-session: a
+        :class:`ClosedLoopSource` (re)activates the closed-loop clients,
+        any other source freezes them and streams its arrivals from the
+        current simulated time on — the cluster, models and learned state
+        all survive, only the traffic changes.
 
         Returns ``self`` so calls chain:
         ``session.reconfigure(policy="shortest-predicted").run_for(txns=500)``.
         """
         self._check_open()
         simulator = self.simulator
+        if workload is not None:
+            source = _coerce_workload(workload)
+            try:
+                source.validate()
+            except WorkloadError as error:
+                raise SessionError(f"invalid workload source: {error}") from error
+            if isinstance(source, ClosedLoopSource):
+                # Arrival streams stop; the closed-loop clients take over
+                # (started now if the session opened open-loop).  The client
+                # population is fixed at open time, so a different count
+                # cannot be honored and must not be silently ignored.
+                if source.clients_per_partition != simulator.config.clients_per_partition:
+                    raise SessionError(
+                        f"cannot change clients_per_partition on a live session "
+                        f"(open with {simulator.config.clients_per_partition}, "
+                        f"asked for {source.clients_per_partition}); open a new "
+                        f"session for a different client population"
+                    )
+                self._arrivals = None
+                simulator.config.client_think_time_ms = source.think_time_ms
+                simulator.activate_clients()
+            else:
+                # The closed loop stops submitting (in-flight work still
+                # finishes); the new stream's clock starts at the current
+                # simulated time.
+                compiled = self._compile_source(source)
+                simulator.freeze_budget()
+                self._arrivals = compiled
+                self._arrival_offset = simulator.now_ms
+            self.workload = source
         if policy is not _UNSET:
             if isinstance(policy, str) and policy not in available_policies():
                 raise SessionError(
@@ -720,10 +882,36 @@ class ClusterSession:
         return self
 
     # ------------------------------------------------------------------
-    def snapshot_metrics(self) -> SimulationResult:
-        """Materialize cumulative metrics on demand (repeatable)."""
+    def snapshot_metrics(self, *, tenant: str | None = None):
+        """Materialize cumulative metrics on demand (repeatable).
+
+        With ``tenant=``, return that tenant's
+        :class:`~repro.sim.metrics.TenantBreakdown` instead of the full
+        :class:`~repro.sim.metrics.SimulationResult` (``TenantSource``
+        sessions; raises :class:`SessionError` for unknown tenants).
+        """
         self._check_open()
-        return self.simulator.snapshot()
+        result = self.simulator.snapshot()
+        if tenant is None:
+            return result
+        breakdown = result.tenants.get(tenant)
+        if breakdown is None:
+            known = ", ".join(sorted(result.tenants)) or "none"
+            raise SessionError(f"unknown tenant {tenant!r}; known tenants: {known}")
+        return breakdown
+
+    def in_flight(self):
+        """Unfinished transactions at the paused clock (executing + queued).
+
+        Each entry is an :class:`~repro.sim.simulator.InFlightTransaction`:
+        transaction id, procedure, tenant, attempt count, partitions held
+        and predicted remaining milliseconds.  Metric snapshots exclude this
+        work by design; this is the view into the gap — most useful after a
+        ``run_for(sim_seconds=...)`` pause, where completions beyond the
+        deadline are still in flight.
+        """
+        self._check_open()
+        return self.simulator.in_flight()
 
     def drain(self) -> SimulationResult:
         """Finish all queued and in-flight work, stop new submissions, snapshot."""
@@ -731,6 +919,91 @@ class ClusterSession:
         self.simulator.freeze_budget()
         self.simulator.run_until()
         return self.simulator.snapshot()
+
+    # ------------------------------------------------------------------
+    def apply_schedule(
+        self, schedule: Iterable[tuple[float, Mapping[str, Any]]]
+    ) -> "ClusterSession":
+        """Replay a scripted reconfigure schedule against simulated time.
+
+        ``schedule`` is a sequence of ``(at_ms, diff)`` pairs — ``diff`` as
+        produced by :meth:`ClusterSpec.diff` (to-dict forms).  The session
+        runs its live workload up to each ``at_ms`` in order and applies the
+        diff there, so the same seed and schedule always reproduce the same
+        result, byte for byte.  Only live-reconfigurable fields may appear
+        in a diff: ``policy``, ``admission``, ``cost_model``, ``workload``
+        and the Houdini runtime knobs (``enable_estimate_caching``,
+        ``confidence_threshold``); anything else raises
+        :class:`SessionError`.
+        """
+        self._check_open()
+        entries = sorted(schedule, key=lambda entry: entry[0])
+        for at_ms, diff in entries:
+            if at_ms < 0:
+                raise SessionError(f"schedule times must be non-negative, got {at_ms!r}")
+            if at_ms > self.simulator.now_ms:
+                self._run_to(at_ms)
+            self._apply_diff(diff)
+        return self
+
+    def _apply_diff(self, diff: Mapping[str, Any]) -> None:
+        """Apply one :meth:`ClusterSpec.diff` entry through ``reconfigure``."""
+        changes: dict[str, Any] = {}
+        for key, value in diff.items():
+            if key == "policy":
+                changes["policy"] = value
+            elif key == "admission":
+                changes["admission"] = value
+            elif key == "workload":
+                changes["workload"] = value if value is not None else ClosedLoopSource(
+                    self.spec.clients_per_partition, self.spec.client_think_time_ms
+                )
+            elif key == "cost_model":
+                if value is None:
+                    raise SessionError(
+                        "cost_model cannot be cleared live; diff against a spec "
+                        "that keeps a cost model"
+                    )
+                live = self.simulator.cost_model
+                constants = {
+                    name: new for name, new in value.items()
+                    if name.endswith("_ms") and getattr(live, name, new) != new
+                }
+                if constants:
+                    changes["cost"] = constants
+            elif key == "houdini":
+                houdini = self.houdini
+                if houdini is None:
+                    raise SessionError(
+                        "houdini reconfiguration requires a Houdini-backed "
+                        f"strategy (this session runs {self.strategy.name!r})"
+                    )
+                target = value or _init_field_dict(HoudiniConfig())
+                live_config = houdini.config
+                for name, new in target.items():
+                    current = getattr(live_config, name)
+                    if isinstance(current, frozenset):
+                        current = sorted(current)
+                    if current == new:
+                        continue
+                    if name == "enable_estimate_caching":
+                        changes["estimate_caching"] = new
+                    elif name == "confidence_threshold":
+                        changes["confidence_threshold"] = new
+                    else:
+                        raise SessionError(
+                            f"houdini field {name!r} is not live-reconfigurable; "
+                            "only enable_estimate_caching and "
+                            "confidence_threshold can change in a schedule"
+                        )
+            else:
+                raise SessionError(
+                    f"spec field {key!r} is not live-reconfigurable; schedules "
+                    "may change policy, admission, cost_model, workload and "
+                    "the Houdini runtime knobs"
+                )
+        if changes:
+            self.reconfigure(**changes)
 
     def close(self) -> SimulationResult:
         """Drain the session and seal it; returns the final metrics."""

@@ -38,9 +38,9 @@ The package has four pieces:
 """
 
 from .cost_model import AttemptTiming, CostModel
-from .events import CLIENT_READY, PARTITION_RELEASE, TXN_COMPLETE
-from .metrics import ProcedureBreakdown, SimulationResult
-from .simulator import ClusterSimulator, SimulatorConfig
+from .events import CLIENT_READY, EXTERNAL_SUBMIT, PARTITION_RELEASE, TXN_COMPLETE
+from .metrics import ProcedureBreakdown, SimulationResult, TenantBreakdown
+from .simulator import ClusterSimulator, InFlightTransaction, SimulatorConfig
 
 __all__ = [
     "CostModel",
@@ -49,7 +49,10 @@ __all__ = [
     "SimulatorConfig",
     "SimulationResult",
     "ProcedureBreakdown",
+    "TenantBreakdown",
+    "InFlightTransaction",
     "CLIENT_READY",
     "TXN_COMPLETE",
     "PARTITION_RELEASE",
+    "EXTERNAL_SUBMIT",
 ]

@@ -18,13 +18,19 @@ Four event kinds exist:
 * ``TXN_COMPLETE`` — an in-flight transaction reached its simulated end
   time: admission capacity is released, the completion is recorded (the
   completion stream is therefore produced already ordered by end time), and
-  the issuing closed-loop client is scheduled to become ready again.
+  the issuing closed-loop client is scheduled to become ready again.  The
+  payload carries the executed :class:`~repro.txn.record.TransactionRecord`
+  so a paused core can report its in-flight transactions
+  (:meth:`~repro.sim.simulator.ClusterSimulator.in_flight`).
 * ``CLIENT_READY`` — a closed-loop client submits its next request to the
   node's :class:`~repro.scheduling.scheduler.TransactionScheduler`.
 * ``EXTERNAL_SUBMIT`` — a request injected from outside the closed loop
-  (``ClusterSession.submit``): it is routed through the scheduler like any
-  other submission but does not consume closed-loop budget and does not
-  re-arm a client when it completes.
+  (``ClusterSession.submit``, or a compiled
+  :class:`~repro.workload.sources.WorkloadSource` arrival stream — open
+  loops, trace replay, tenant streams): it is routed through the scheduler
+  like any other submission but does not consume closed-loop budget and
+  does not re-arm a client when it completes.  The payload carries the
+  request plus its tenant label (``None`` for unlabeled traffic).
 
 Heap entries are ``(time, kind, tiebreak, payload)`` tuples.  The kind codes
 double as same-timestamp priorities: releases and completions are processed
@@ -40,13 +46,14 @@ from __future__ import annotations
 #: A partition's busy window ended (payload: ``None``).
 PARTITION_RELEASE = 0
 #: An in-flight transaction finished (payload: ``(client_id, committed,
-#: pending)``).
+#: pending, record)``).
 TXN_COMPLETE = 1
 #: A closed-loop client submits its next request (payload: ``None``, or the
 #: folded ``(end, committed)`` completion record on the FCFS fast path).
 CLIENT_READY = 2
-#: An externally injected request enters the scheduler (payload: the
-#: :class:`~repro.types.ProcedureRequest`).
+#: An externally injected request enters the scheduler (payload:
+#: ``(request, tenant)`` — the :class:`~repro.types.ProcedureRequest` plus
+#: its workload-stream tenant label, ``None`` when unlabeled).
 EXTERNAL_SUBMIT = 3
 
 __all__ = ["PARTITION_RELEASE", "TXN_COMPLETE", "CLIENT_READY", "EXTERNAL_SUBMIT"]

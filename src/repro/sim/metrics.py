@@ -73,6 +73,65 @@ class ProcedureBreakdown:
 
 
 @dataclass
+class TenantBreakdown:
+    """Per-tenant slice of one simulation (``TenantSource`` sessions).
+
+    Counters cover the tenant's whole stream (no warm-up window): summed
+    over every tenant they equal the global counters for traffic that was
+    entirely tenant-labeled, and the latency lists concatenate (reordered)
+    to the global latency list.  ``duration_ms`` is the parent run's
+    simulated duration, so per-tenant throughputs are computed over one
+    shared wall clock and therefore sum to the global full-duration rate.
+    """
+
+    tenant: str
+    submitted: int = 0
+    committed: int = 0
+    user_aborted: int = 0
+    restarts: int = 0
+    rejected: int = 0
+    latencies_ms: list[float] = field(default_factory=list)
+    duration_ms: float = 0.0
+
+    @property
+    def total_transactions(self) -> int:
+        return self.committed + self.user_aborted
+
+    @property
+    def throughput_txn_per_sec(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return 1000.0 * self.committed / self.duration_ms
+
+    @property
+    def average_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return mean(self.latencies_ms)
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "committed": self.committed,
+            "user_aborted": self.user_aborted,
+            "restarts": self.restarts,
+            "rejected": self.rejected,
+            "latencies_ms": list(self.latencies_ms),
+            "duration_ms": self.duration_ms,
+            "derived": {
+                "throughput_txn_per_sec": self.throughput_txn_per_sec,
+                "average_latency_ms": self.average_latency_ms,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantBreakdown":
+        fields_ = {k: v for k, v in data.items() if k != "derived"}
+        return cls(**fields_)
+
+
+@dataclass
 class SimulationResult:
     """Outcome of one simulator run."""
 
@@ -99,6 +158,9 @@ class SimulationResult:
     #: Scheduler / admission activity for the run (filled by the simulator).
     scheduler_stats: "SchedulerStats | None" = None
     admission_stats: "AdmissionStats | None" = None
+    #: Per-tenant breakdowns for tenant-labeled traffic (``TenantSource``);
+    #: empty for unlabeled workloads.
+    tenants: dict[str, TenantBreakdown] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -179,6 +241,10 @@ class SimulationResult:
             if self.scheduler_stats is not None else None,
             "admission_stats": asdict(self.admission_stats)
             if self.admission_stats is not None else None,
+            "tenants": {
+                name: breakdown.to_dict()
+                for name, breakdown in sorted(self.tenants.items())
+            },
             "derived": {
                 "throughput_txn_per_sec": self.throughput_txn_per_sec,
                 "average_latency_ms": self.average_latency_ms,
@@ -214,10 +280,14 @@ class SimulationResult:
             result.scheduler_stats = SchedulerStats(**data["scheduler_stats"])
         if data.get("admission_stats") is not None:
             result.admission_stats = AdmissionStats(**data["admission_stats"])
+        result.tenants = {
+            name: TenantBreakdown.from_dict(entry)
+            for name, entry in data.get("tenants", {}).items()
+        }
         return result
 
     def summary_row(self) -> dict:
-        return {
+        row = {
             "strategy": self.strategy,
             "benchmark": self.benchmark,
             "partitions": self.num_partitions,
@@ -230,6 +300,14 @@ class SimulationResult:
             "early_prepared": self.early_prepared,
             "estimation_share_pct": round(self.overall_estimation_share(), 2),
         }
+        if self.scheduler_stats is not None:
+            row["max_queue_wait_ms"] = round(self.scheduler_stats.max_queue_wait_ms, 3)
+        if self.tenants:
+            row["tenants"] = {
+                name: round(breakdown.throughput_txn_per_sec, 1)
+                for name, breakdown in sorted(self.tenants.items())
+            }
+        return row
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

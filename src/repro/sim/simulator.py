@@ -77,7 +77,7 @@ from ..types import ProcedureRequest
 from ..workload.generator import WorkloadGenerator
 from .cost_model import CostModel
 from .events import CLIENT_READY, EXTERNAL_SUBMIT, PARTITION_RELEASE, TXN_COMPLETE
-from .metrics import ProcedureBreakdown, SimulationResult
+from .metrics import ProcedureBreakdown, SimulationResult, TenantBreakdown
 
 #: Accumulator slots per procedure (see ``_replay_timing``).
 _TXNS, _EST, _PLAN, _EXEC, _COORD, _OTHER = range(6)
@@ -105,6 +105,46 @@ class SimulatorConfig:
     policy: SchedulingPolicy | str | None = None
     #: Admission-control limits; ``None`` disables admission control.
     admission_limits: AdmissionLimits | None = None
+    #: Open-loop mode: no closed-loop clients are created at :meth:`begin`
+    #: (work arrives only through ``EXTERNAL_SUBMIT`` injections — arrival
+    #: processes, trace replay, tenant streams).  The closed loop can still
+    #: be started later via :meth:`ClusterSimulator.activate_clients`.
+    open_loop: bool = False
+
+
+@dataclass(frozen=True)
+class InFlightTransaction:
+    """Snapshot of one unfinished transaction (``in_flight`` introspection).
+
+    ``state`` is ``"executing"`` for transactions whose simulated end time
+    lies beyond the paused clock (their functional execution already
+    happened; the cluster is modeled as still working on them) and
+    ``"queued"`` for transactions waiting in the node scheduler.  Executing
+    entries carry the real transaction id, attempt count and held
+    partitions; queued entries carry the predictions they were submitted
+    with (no txn id exists yet).
+    """
+
+    state: str
+    procedure: str
+    tenant: str | None
+    txn_id: int | None
+    attempt: int
+    partitions: tuple[int, ...]
+    submitted_at_ms: float
+    predicted_remaining_ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "procedure": self.procedure,
+            "tenant": self.tenant,
+            "txn_id": self.txn_id,
+            "attempt": self.attempt,
+            "partitions": list(self.partitions),
+            "submitted_at_ms": self.submitted_at_ms,
+            "predicted_remaining_ms": self.predicted_remaining_ms,
+        }
 
 
 class ClusterSimulator:
@@ -172,13 +212,19 @@ class ClusterSimulator:
         self._budget: float = 0
         self._complete_seq = 0
         self._external_seq = 0
+        #: Per-tenant accumulators (populated only by tenant-labeled
+        #: submissions; unlabeled traffic never touches them).
+        self._tenant_acc: dict[str, dict] = {}
         #: Earliest scheduled partition-release wakeup (deduplication).
         self._next_wakeup = [_INF]
         # The initial event list — every client ready at t=0, client-id
-        # tie-break — is already heap-ordered.
-        self._events: list[tuple] = [
-            (0.0, CLIENT_READY, c, None) for c in range(self._num_clients)
-        ]
+        # tie-break — is already heap-ordered.  Open-loop cores start with
+        # no clients; activate_clients() can add them later.
+        self._clients_started = not config.open_loop
+        self._events: list[tuple] = (
+            [(0.0, CLIENT_READY, c, None) for c in range(self._num_clients)]
+            if self._clients_started else []
+        )
         #: Clients that became ready while the submission budget was
         #: exhausted: ``(ready_time, client_id)``, revived on extension.
         self._parked: list[tuple[float, int]] = []
@@ -231,16 +277,39 @@ class ClusterSimulator:
             self._general_events += 1
         heappush(self._events, event)
 
-    def submit_request(self, request: ProcedureRequest, *, at_ms: float | None = None) -> None:
+    def submit_request(
+        self,
+        request: ProcedureRequest,
+        *,
+        at_ms: float | None = None,
+        tenant: str | None = None,
+    ) -> None:
         """Inject an out-of-loop request, processed when the core is driven.
 
         The request enters the scheduler at ``max(at_ms, now)`` (defaulting
         to the current simulated time) without consuming closed-loop budget.
+        ``tenant`` labels the submission for the per-tenant metric
+        breakdowns (``TenantSource`` streams).
         """
         self.begin()
         at = self._now if at_ms is None else max(at_ms, self._now)
         self._external_seq += 1
-        self.inject((at, EXTERNAL_SUBMIT, self._external_seq, request))
+        self.inject((at, EXTERNAL_SUBMIT, self._external_seq, (request, tenant)))
+
+    def activate_clients(self) -> None:
+        """Start the closed-loop clients on a core that began open-loop.
+
+        Idempotent; the clients become ready at the current simulated time
+        and submit once budget is granted (:meth:`extend_budget`).  Used by
+        live workload switches from an arrival source back to a closed loop.
+        """
+        self.begin()
+        if self._clients_started:
+            return
+        self._clients_started = True
+        now = self._now
+        for client_id in range(self._num_clients):
+            heappush(self._events, (now, CLIENT_READY, client_id, None))
 
     # ------------------------------------------------------------------
     # Live reconfiguration hooks (see repro.session.ClusterSession)
@@ -370,6 +439,7 @@ class ClusterSimulator:
         account = self._account_record
         scheduler_submit = self.scheduler.submit
         scheduler_pop = self.scheduler.pop
+        record_zero_wait = self.scheduler.record_zero_wait
         next_request = self.generator.next_request
         execute = self.coordinator.execute_transaction
         processed = 0
@@ -392,6 +462,8 @@ class ClusterSimulator:
             pending = scheduler_submit(request)
             pending.submit_time_ms = now
             pending = scheduler_pop()
+            # Dispatch follows submission immediately on this path.
+            record_zero_wait(pending.request.procedure)
             record = execute(pending.request)
             end = replay(record, now, partition_free, breakdown_acc)
             latencies.append(end - pending.submit_time_ms)
@@ -445,7 +517,7 @@ class ClusterSimulator:
                 self._drain(now, gate_on_partitions)
             elif kind == TXN_COMPLETE:
                 self._general_events -= 1
-                client_id, was_committed, pending = payload
+                client_id, was_committed, pending, _record = payload
                 if admission is not None:
                     admission.release_if_admitted(pending)
                 completions.append((now, was_committed))
@@ -455,7 +527,10 @@ class ClusterSimulator:
                     self._drain(now, gate_on_partitions)
             elif kind == EXTERNAL_SUBMIT:
                 self._general_events -= 1
-                self._submit_pending(payload, now, need_estimates, external=True)
+                request, tenant = payload
+                self._submit_pending(
+                    request, now, need_estimates, external=True, tenant=tenant
+                )
                 self._drain(now, gate_on_partitions)
             else:  # PARTITION_RELEASE
                 self._general_events -= 1
@@ -472,6 +547,7 @@ class ClusterSimulator:
         now: float,
         need_estimates: bool,
         external: bool = False,
+        tenant: str | None = None,
     ):
         estimate = self.strategy.preview_estimate(request) if need_estimates else None
         base_partition = 0
@@ -480,7 +556,20 @@ class ClusterSimulator:
         pending = self.scheduler.submit(request, estimate, base_partition=base_partition)
         pending.submit_time_ms = now
         pending.external = external
+        if tenant is not None:
+            pending.tenant = tenant
+            self._tenant_account(tenant)["submitted"] += 1
         return pending
+
+    def _tenant_account(self, tenant: str) -> dict:
+        acc = self._tenant_acc.get(tenant)
+        if acc is None:
+            acc = {
+                "submitted": 0, "committed": 0, "user_aborted": 0,
+                "restarts": 0, "rejected": 0, "latencies": [],
+            }
+            self._tenant_acc[tenant] = acc
+        return acc
 
     def _drain(self, now: float, gate_on_partitions: bool) -> None:
         """Dispatch every queued transaction that may start at ``now``."""
@@ -520,6 +609,8 @@ class ClusterSimulator:
                 if decision is AdmissionDecision.REJECT:
                     scheduler.note_rejected(pending)
                     counters["rejected"] += 1
+                    if pending.tenant is not None:
+                        self._tenant_account(pending.tenant)["rejected"] += 1
                     # The closed-loop client backs off one redirect
                     # round-trip, then issues a fresh request; a rejected
                     # external injection has no client to re-arm.
@@ -530,16 +621,26 @@ class ClusterSimulator:
                              pending.request.client_id, None),
                         )
                     continue
+            scheduler.record_wait(pending.request.procedure, now - pending.submit_time_ms)
             record = execute(pending.request)
             end = self._replay_timing(record, now, partition_free, breakdown_acc)
-            latencies.append(end - pending.submit_time_ms)
+            latency = end - pending.submit_time_ms
+            latencies.append(latency)
             self._account_record(record, counters)
+            if pending.tenant is not None:
+                acc = self._tenant_account(pending.tenant)
+                acc["latencies"].append(latency)
+                if record.committed:
+                    acc["committed"] += 1
+                else:
+                    acc["user_aborted"] += 1
+                acc["restarts"] += record.restarts
             self._complete_seq += 1
             self._general_events += 1
             heappush(
                 events,
                 (end, TXN_COMPLETE, self._complete_seq,
-                 (pending.request.client_id, record.committed, pending)),
+                 (pending.request.client_id, record.committed, pending, record)),
             )
         for pending in blocked:
             scheduler.requeue(pending)
@@ -547,6 +648,54 @@ class ClusterSimulator:
             next_wakeup[0] = blocked_until
             self._general_events += 1
             heappush(events, (blocked_until, PARTITION_RELEASE, 0, None))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def in_flight(self) -> list[InFlightTransaction]:
+        """Unfinished transactions at the paused clock (executing + queued).
+
+        Executing entries are ``TXN_COMPLETE`` events whose simulated end
+        lies at or beyond ``now`` (ordered by end time); queued entries are
+        the scheduler's backlog in dispatch order.  Fast-path (pure FCFS)
+        driving folds completions into client events and dispatches
+        instantaneously, so it never leaves executing entries behind —
+        pausing mid-flight happens through ``run_for(sim_seconds=...)``,
+        which always runs the general loop.
+        """
+        self.begin()
+        now = self._now
+        num_partitions = self._num_partitions
+        executing: list[tuple[float, InFlightTransaction]] = []
+        for when, kind, _, payload in self._events:
+            if kind != TXN_COMPLETE:
+                continue
+            _, __, pending, record = payload
+            executing.append((when, InFlightTransaction(
+                state="executing",
+                procedure=record.procedure,
+                tenant=pending.tenant,
+                txn_id=record.txn_id,
+                attempt=record.attempt_count,
+                partitions=record.final_plan.lock_set(num_partitions).partitions,
+                submitted_at_ms=pending.submit_time_ms,
+                predicted_remaining_ms=max(0.0, when - now),
+            )))
+        executing.sort(key=lambda entry: entry[0])
+        out = [entry[1] for entry in executing]
+        if self.scheduler is not None:
+            for pending in self.scheduler.pending_transactions():
+                out.append(InFlightTransaction(
+                    state="queued",
+                    procedure=pending.request.procedure,
+                    tenant=pending.tenant,
+                    txn_id=None,
+                    attempt=0,
+                    partitions=tuple(pending.predicted_partitions),
+                    submitted_at_ms=pending.submit_time_ms,
+                    predicted_remaining_ms=pending.predicted_cost_ms,
+                ))
+        return out
 
     # ------------------------------------------------------------------
     # Results
@@ -598,9 +747,24 @@ class ClusterSimulator:
             scheduler_stats = dataclasses.replace(scheduler_stats)
             if admission_stats is not None:
                 admission_stats = dataclasses.replace(admission_stats)
+        # The wait summary is rebuilt fresh for every snapshot, so assigning
+        # it never shares state between a frozen copy and the live stats.
+        scheduler_stats.queue_wait_by_class = self.scheduler.wait_summary()
         result.scheduler_stats = scheduler_stats
         result.admission_stats = admission_stats
         self._finalize_window(self._completions, result)
+        for tenant in sorted(self._tenant_acc):
+            acc = self._tenant_acc[tenant]
+            result.tenants[tenant] = TenantBreakdown(
+                tenant=tenant,
+                submitted=acc["submitted"],
+                committed=acc["committed"],
+                user_aborted=acc["user_aborted"],
+                restarts=acc["restarts"],
+                rejected=acc["rejected"],
+                latencies_ms=list(acc["latencies"]) if copy else acc["latencies"],
+                duration_ms=result.simulated_duration_ms,
+            )
         return result
 
     # ------------------------------------------------------------------

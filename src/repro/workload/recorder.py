@@ -10,10 +10,11 @@ in production.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..catalog.schema import Catalog
 from ..engine.engine import AttemptOutcome, ExecutionEngine
+from ..errors import WorkloadError
 from ..storage.partition_store import Database
 from ..types import PartitionId, ProcedureRequest
 from .trace import QueryTraceRecord, TransactionTraceRecord, WorkloadTrace
@@ -41,14 +42,40 @@ class TraceRecorder:
         self._next_txn_id = 1
 
     # ------------------------------------------------------------------
-    def record(self, requests: Iterable[ProcedureRequest]) -> WorkloadTrace:
-        """Execute every request once and return the resulting trace."""
+    def record(
+        self,
+        requests: Iterable[ProcedureRequest],
+        *,
+        arrival_times_ms: Iterable[float] | None = None,
+    ) -> WorkloadTrace:
+        """Execute every request once and return the resulting trace.
+
+        ``arrival_times_ms`` optionally stamps each record with a submission
+        timestamp (e.g. from :func:`repro.workload.sources.arrival_times`),
+        which :class:`~repro.workload.sources.TraceReplaySource` replays at
+        original or rescaled speed.  The iterable must yield at least as
+        many timestamps as there are requests.
+        """
         trace = WorkloadTrace()
+        times: Iterator[float] | None = (
+            iter(arrival_times_ms) if arrival_times_ms is not None else None
+        )
         for request in requests:
-            trace.append(self.record_one(request))
+            at_ms = None
+            if times is not None:
+                try:
+                    at_ms = next(times)
+                except StopIteration:
+                    raise WorkloadError(
+                        f"arrival_times_ms ran out after {len(trace)} "
+                        f"timestamp(s) with requests still unrecorded"
+                    ) from None
+            trace.append(self.record_one(request, at_ms=at_ms))
         return trace
 
-    def record_one(self, request: ProcedureRequest) -> TransactionTraceRecord:
+    def record_one(
+        self, request: ProcedureRequest, *, at_ms: float | None = None
+    ) -> TransactionTraceRecord:
         """Execute a single request (unrestricted) and trace it."""
         txn_id = self._next_txn_id
         self._next_txn_id += 1
@@ -74,6 +101,7 @@ class TraceRecorder:
             parameters=tuple(request.parameters),
             queries=queries,
             aborted=attempt.outcome is AttemptOutcome.USER_ABORT,
+            at_ms=at_ms,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,760 @@
+"""Declarative workload sources: *what traffic arrives* at a cluster.
+
+The paper's Houdini is trained from recorded traces and deployed against
+live production traffic; this module decouples that traffic shape from the
+cluster that runs it.  A :class:`WorkloadSource` declares how transaction
+requests enter the system, and the session layer compiles it into the event
+streams (``EXTERNAL_SUBMIT`` / ``CLIENT_READY``) that drive the steppable
+simulator core.  Five shapes exist:
+
+* :class:`ClosedLoopSource` — the paper's setup: N think-time clients per
+  partition, each submitting its next request the moment the previous one
+  completes.  Load adapts to the cluster's speed (arrival rate = completion
+  rate).  This is the default when a spec declares no workload section, and
+  it produces results byte-identical to the pre-source session path.
+* :class:`OpenLoopSource` — an *arrival process*: requests arrive at wall
+  times drawn from a deterministic Poisson / uniform / bursty process built
+  on :class:`~repro.workload.rng.WorkloadRandom`, independent of how fast
+  the cluster drains them.  This is how overload happens — queues grow
+  without bound when the arrival rate exceeds the service rate — and it is
+  the workload shape production traffic actually has.
+* :class:`TraceReplaySource` — replays a recorded
+  :class:`~repro.workload.trace.WorkloadTrace` with its original (or
+  rescaled) timestamps: the record → train → replay loop of §3.1, closed.
+* :class:`PhasedSource` — a time-phased mixture: each phase contributes its
+  own arrival source for a fixed duration (workload shifts as data, not
+  code).
+* :class:`TenantSource` — a labeled composition of sources sharing one
+  cluster; per-tenant metrics are broken out in
+  :class:`~repro.sim.metrics.SimulationResult`.
+
+Sources are declarative and serializable: ``validate()`` raises
+:class:`~repro.errors.WorkloadError` on bad parameters, and
+``to_dict()`` / :meth:`WorkloadSource.from_dict` round-trip through plain
+JSON-friendly dicts exactly like the rest of
+:class:`~repro.session.ClusterSpec`.  ``compile(ctx)`` turns a source into
+a :class:`CompiledSource` — a deterministic, resumable stream of
+:class:`Arrival` records — so the same source object can open any number of
+sessions, each with an independent cursor.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import zlib
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, NamedTuple
+
+from ..errors import WorkloadError
+from ..types import ProcedureRequest
+from .rng import WorkloadRandom
+from .trace import WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..benchmarks.base import BenchmarkInstance
+    from .generator import WorkloadGenerator
+
+#: Arrival processes OpenLoopSource understands.
+ARRIVAL_PROCESSES = ("poisson", "uniform", "bursty")
+
+
+class Arrival(NamedTuple):
+    """One compiled arrival: when, what, and for which tenant."""
+
+    at_ms: float
+    request: ProcedureRequest
+    tenant: str | None = None
+
+
+class CompileContext(NamedTuple):
+    """What a source needs to turn its declaration into concrete requests."""
+
+    benchmark: "BenchmarkInstance"
+    seed: int = 0
+
+    def make_generator(self, seed: int) -> "WorkloadGenerator":
+        """A fresh benchmark generator with its own deterministic stream.
+
+        Each open-loop source draws requests from its own generator (seeded
+        from the session seed plus the source's seed) so arrival streams are
+        independent of the closed-loop clients and of each other.
+        """
+        instance = self.benchmark
+        return instance.bundle.make_generator(
+            instance.catalog, instance.config, WorkloadRandom(self.seed * 1_000_003 + seed + 7)
+        )
+
+
+# ----------------------------------------------------------------------
+# Compiled streams
+# ----------------------------------------------------------------------
+class CompiledSource:
+    """A resumable, deterministic arrival stream with one-step lookahead.
+
+    The session pulls arrivals in two shapes — the next ``count`` arrivals
+    (``run_for(txns=...)``) or every arrival up to a simulated deadline
+    (``run_for(sim_seconds=...)``) — and the cursor survives pauses and
+    mid-replay reconfiguration.
+    """
+
+    def __init__(self, arrivals: Iterator[Arrival]) -> None:
+        self._arrivals = arrivals
+        self._lookahead: Arrival | None = None
+        self._exhausted = False
+        self._emitted = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def emitted(self) -> int:
+        """Arrivals handed out so far (the stream cursor)."""
+        return self._emitted
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the stream has no further arrivals (open loops never are)."""
+        self.peek()
+        return self._exhausted and self._lookahead is None
+
+    def peek(self) -> Arrival | None:
+        """The next arrival without consuming it (``None`` when exhausted)."""
+        if self._lookahead is None and not self._exhausted:
+            try:
+                self._lookahead = next(self._arrivals)
+            except StopIteration:
+                self._exhausted = True
+        return self._lookahead
+
+    def pop(self) -> Arrival | None:
+        arrival = self.peek()
+        if arrival is not None:
+            self._lookahead = None
+            self._emitted += 1
+        return arrival
+
+    # ------------------------------------------------------------------
+    def take(self, count: int) -> list[Arrival]:
+        """The next ``count`` arrivals (fewer if the stream ends first)."""
+        out: list[Arrival] = []
+        while len(out) < count:
+            arrival = self.pop()
+            if arrival is None:
+                break
+            out.append(arrival)
+        return out
+
+    def take_until(self, deadline_ms: float) -> list[Arrival]:
+        """Every arrival with ``at_ms <= deadline_ms``, in timestamp order."""
+        out: list[Arrival] = []
+        while True:
+            arrival = self.peek()
+            if arrival is None or arrival.at_ms > deadline_ms:
+                break
+            out.append(self.pop())
+        return out
+
+
+# ----------------------------------------------------------------------
+# The source hierarchy
+# ----------------------------------------------------------------------
+class WorkloadSource(ABC):
+    """Declarative description of how traffic enters a cluster session."""
+
+    #: Registry discriminator used by :meth:`to_dict` / :meth:`from_dict`.
+    kind: str = ""
+
+    @abstractmethod
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on the first invalid parameter."""
+
+    @abstractmethod
+    def to_dict(self) -> dict:
+        """Plain JSON-friendly dict form, including the ``kind`` key."""
+
+    @abstractmethod
+    def compile(self, ctx: CompileContext) -> CompiledSource:
+        """A fresh arrival stream for one session (independent cursor)."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_dict(data: Mapping) -> "WorkloadSource":
+        """Rebuild any source from its :meth:`to_dict` form."""
+        if not isinstance(data, Mapping):
+            raise WorkloadError(
+                f"workload source must be a mapping, got {type(data).__name__}"
+            )
+        kind = data.get("kind")
+        factory = _SOURCE_KINDS.get(kind)
+        if factory is None:
+            raise WorkloadError(
+                f"unknown workload source kind {kind!r}; available: "
+                f"{', '.join(sorted(_SOURCE_KINDS))}"
+            )
+        return factory(data)
+
+    def describe(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.to_dict()}>"
+
+
+class ClosedLoopSource(WorkloadSource):
+    """The paper's closed loop: think-time clients saturating the node.
+
+    ``clients_per_partition`` and ``think_time_ms`` mirror the legacy
+    simulator knobs; a spec with no workload section behaves exactly as if
+    it declared ``ClosedLoopSource()`` with the spec's own values.
+    """
+
+    kind = "closed-loop"
+
+    def __init__(
+        self, clients_per_partition: int = 4, think_time_ms: float = 0.0
+    ) -> None:
+        self.clients_per_partition = clients_per_partition
+        self.think_time_ms = think_time_ms
+        self.validate()
+
+    def validate(self) -> None:
+        if (
+            not isinstance(self.clients_per_partition, int)
+            or isinstance(self.clients_per_partition, bool)
+            or self.clients_per_partition < 1
+        ):
+            raise WorkloadError(
+                f"clients_per_partition must be an integer >= 1, "
+                f"got {self.clients_per_partition!r}"
+            )
+        if self.think_time_ms < 0:
+            raise WorkloadError(
+                f"think_time_ms must be non-negative, got {self.think_time_ms!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "clients_per_partition": self.clients_per_partition,
+            "think_time_ms": self.think_time_ms,
+        }
+
+    def compile(self, ctx: CompileContext) -> CompiledSource:
+        # The closed loop emits no arrivals: the simulator's budget-parked
+        # clients drive submission (the session layer special-cases this
+        # source and never consumes the empty stream).
+        return CompiledSource(iter(()))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClosedLoopSource) and self.to_dict() == other.to_dict()
+
+
+class OpenLoopSource(WorkloadSource):
+    """Open-loop arrivals: requests arrive on a clock, not on completions.
+
+    ``rate_per_sec`` fixes the long-run arrival rate; ``arrival`` picks the
+    process shape:
+
+    * ``"poisson"`` — exponential inter-arrival gaps (memoryless, the
+      standard open-loop model), deterministic under ``seed``;
+    * ``"uniform"`` — a metronome: constant gaps of ``1000/rate`` ms;
+    * ``"bursty"`` — groups of ``burst_size`` arrivals packed at 4x the
+      rate followed by an idle gap, preserving the long-run rate (the
+      shape that stresses admission control and queue policies).
+
+    Requests are drawn from a dedicated benchmark generator (seeded from
+    the session seed plus ``seed``), so several open-loop sources — e.g.
+    tenants — produce independent deterministic mixes.  ``limit`` bounds
+    the stream; ``None`` means unbounded (the session pulls what it needs).
+    """
+
+    kind = "open-loop"
+
+    def __init__(
+        self,
+        rate_per_sec: float,
+        arrival: str = "poisson",
+        *,
+        seed: int = 0,
+        burst_size: int = 8,
+        limit: int | None = None,
+    ) -> None:
+        self.rate_per_sec = rate_per_sec
+        self.arrival = arrival
+        self.seed = seed
+        self.burst_size = burst_size
+        self.limit = limit
+        self.validate()
+
+    def validate(self) -> None:
+        if not isinstance(self.rate_per_sec, (int, float)) or self.rate_per_sec <= 0:
+            raise WorkloadError(
+                f"rate_per_sec must be positive, got {self.rate_per_sec!r}"
+            )
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise WorkloadError(
+                f"unknown arrival process {self.arrival!r}; available: "
+                f"{', '.join(ARRIVAL_PROCESSES)}"
+            )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise WorkloadError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.burst_size, int) or self.burst_size < 1:
+            raise WorkloadError(
+                f"burst_size must be an integer >= 1, got {self.burst_size!r}"
+            )
+        if self.limit is not None and (
+            not isinstance(self.limit, int) or self.limit < 1
+        ):
+            raise WorkloadError(f"limit must be a positive integer or None, got {self.limit!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "rate_per_sec": self.rate_per_sec,
+            "arrival": self.arrival,
+            "seed": self.seed,
+            "burst_size": self.burst_size,
+            "limit": self.limit,
+        }
+
+    def compile(self, ctx: CompileContext) -> CompiledSource:
+        generator = ctx.make_generator(self.seed)
+        gaps = arrival_gaps(
+            self.arrival, self.rate_per_sec,
+            seed=ctx.seed * 31 + self.seed, burst_size=self.burst_size,
+        )
+
+        def stream() -> Iterator[Arrival]:
+            clock = 0.0
+            emitted = 0
+            for gap in gaps:
+                clock += gap
+                raw = generator.next_request()
+                yield Arrival(clock, ProcedureRequest(raw.procedure, raw.parameters))
+                emitted += 1
+                if self.limit is not None and emitted >= self.limit:
+                    return
+
+        return CompiledSource(stream())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, OpenLoopSource) and self.to_dict() == other.to_dict()
+
+
+class TraceReplaySource(WorkloadSource):
+    """Replay a recorded :class:`WorkloadTrace` as live traffic.
+
+    Records with embedded submission timestamps (``at_ms``, stamped by
+    :class:`~repro.workload.recorder.TraceRecorder` when recording against
+    an arrival process) replay at those times; records without one fall
+    back to a metronome of ``default_gap_ms``.  ``speedup`` rescales time
+    (2.0 replays twice as fast — the what-if-load-doubles knob).
+
+    Exactly one of ``trace`` (in-memory, serialized inline) or ``path``
+    (a JSON-lines file, loaded lazily at compile time) must be given.
+    Replay is deterministic: the same trace yields the same arrival stream
+    in every session.
+    """
+
+    kind = "trace-replay"
+
+    def __init__(
+        self,
+        trace: WorkloadTrace | None = None,
+        *,
+        path: str | None = None,
+        speedup: float = 1.0,
+        default_gap_ms: float = 1.0,
+        limit: int | None = None,
+    ) -> None:
+        self.trace = trace
+        self.path = path
+        self.speedup = speedup
+        self.default_gap_ms = default_gap_ms
+        self.limit = limit
+        self.validate()
+
+    def validate(self) -> None:
+        if (self.trace is None) == (self.path is None):
+            raise WorkloadError(
+                "TraceReplaySource needs exactly one of trace= (in-memory) "
+                "or path= (JSON-lines file)"
+            )
+        if self.trace is not None and not isinstance(self.trace, WorkloadTrace):
+            raise WorkloadError(
+                f"trace must be a WorkloadTrace, got {type(self.trace).__name__}"
+            )
+        if not isinstance(self.speedup, (int, float)) or self.speedup <= 0:
+            raise WorkloadError(f"speedup must be positive, got {self.speedup!r}")
+        if not isinstance(self.default_gap_ms, (int, float)) or self.default_gap_ms < 0:
+            raise WorkloadError(
+                f"default_gap_ms must be non-negative, got {self.default_gap_ms!r}"
+            )
+        if self.limit is not None and (
+            not isinstance(self.limit, int) or self.limit < 1
+        ):
+            raise WorkloadError(f"limit must be a positive integer or None, got {self.limit!r}")
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "kind": self.kind,
+            "speedup": self.speedup,
+            "default_gap_ms": self.default_gap_ms,
+            "limit": self.limit,
+        }
+        if self.path is not None:
+            out["path"] = self.path
+        else:
+            out["records"] = [record.to_json() for record in self.trace]
+        return out
+
+    def _load(self) -> WorkloadTrace:
+        if self.trace is not None:
+            return self.trace
+        try:
+            return WorkloadTrace.load(self.path)
+        except WorkloadError:
+            raise
+        except OSError as error:
+            raise WorkloadError(
+                f"cannot read workload trace {self.path!r}: {error}"
+            ) from error
+
+    def compile(self, ctx: CompileContext) -> CompiledSource:
+        trace = self._load()
+        speedup = self.speedup
+        gap = self.default_gap_ms
+        limit = self.limit
+
+        def stream() -> Iterator[Arrival]:
+            clock = 0.0
+            for index, record in enumerate(trace):
+                if limit is not None and index >= limit:
+                    return
+                at = record.at_ms if record.at_ms is not None else index * gap
+                # Timestamps never run backwards, even in a hand-edited trace.
+                clock = max(clock, at / speedup)
+                yield Arrival(
+                    clock,
+                    ProcedureRequest(record.procedure, tuple(record.parameters)),
+                )
+
+        return CompiledSource(stream())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TraceReplaySource) and self.to_dict() == other.to_dict()
+
+
+class PhasedSource(WorkloadSource):
+    """Time-phased mixture: each phase contributes one arrival source.
+
+    ``phases`` is a sequence of ``(duration_ms, source)`` pairs; phase
+    *i+1* starts when phase *i*'s duration elapses, and each phase's source
+    emits only the arrivals that fall inside its window.  The final phase
+    may use ``None`` as its duration to run unbounded.  Phases must be
+    arrival sources (closed loops have no arrival clock to phase).
+    """
+
+    kind = "phased"
+
+    def __init__(
+        self, phases: Iterable[tuple[float | None, WorkloadSource]]
+    ) -> None:
+        self.phases = list(phases)
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.phases:
+            raise WorkloadError("PhasedSource needs at least one phase")
+        last = len(self.phases) - 1
+        for index, entry in enumerate(self.phases):
+            if not isinstance(entry, (tuple, list)) or len(entry) != 2:
+                raise WorkloadError(
+                    f"phase {index} must be a (duration_ms, source) pair, got {entry!r}"
+                )
+            duration, source = entry
+            if not isinstance(source, WorkloadSource):
+                raise WorkloadError(
+                    f"phase {index} source must be a WorkloadSource, "
+                    f"got {type(source).__name__}"
+                )
+            if isinstance(source, ClosedLoopSource):
+                raise WorkloadError(
+                    f"phase {index}: closed-loop sources cannot be phased "
+                    "(they have no arrival clock); use OpenLoopSource or "
+                    "TraceReplaySource phases"
+                )
+            source.validate()
+            if duration is None:
+                if index != last:
+                    raise WorkloadError(
+                        f"phase {index}: only the final phase may be unbounded "
+                        "(duration None)"
+                    )
+            elif not isinstance(duration, (int, float)) or duration <= 0:
+                raise WorkloadError(
+                    f"phase {index} duration_ms must be positive (or None for "
+                    f"the final phase), got {duration!r}"
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "phases": [
+                {"duration_ms": duration, "source": source.to_dict()}
+                for duration, source in self.phases
+            ],
+        }
+
+    def compile(self, ctx: CompileContext) -> CompiledSource:
+        def stream() -> Iterator[Arrival]:
+            offset = 0.0
+            for duration, source in self.phases:
+                compiled = source.compile(ctx)
+                while True:
+                    arrival = compiled.peek()
+                    if arrival is None:
+                        break
+                    if duration is not None and arrival.at_ms >= duration:
+                        break
+                    compiled.pop()
+                    yield arrival._replace(at_ms=offset + arrival.at_ms)
+                if duration is None:
+                    return
+                offset += duration
+
+        return CompiledSource(stream())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PhasedSource) and self.to_dict() == other.to_dict()
+
+
+class TenantSource(WorkloadSource):
+    """Labeled composition: several tenants share one cluster.
+
+    ``tenants`` maps a tenant name to its arrival source.  The compiled
+    stream is a timestamp-ordered merge of the per-tenant streams, each
+    arrival labeled with its tenant (ties break on declaration order, which
+    keeps merges deterministic).  Per-tenant throughput/latency appear in
+    :attr:`~repro.sim.metrics.SimulationResult.tenants` and through
+    ``ClusterSession.snapshot_metrics(tenant=...)``.
+    """
+
+    kind = "tenants"
+
+    def __init__(self, tenants: Mapping[str, WorkloadSource]) -> None:
+        self.tenants = dict(tenants)
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.tenants:
+            raise WorkloadError("TenantSource needs at least one tenant")
+        for name, source in self.tenants.items():
+            if not isinstance(name, str) or not name:
+                raise WorkloadError(f"tenant names must be non-empty strings, got {name!r}")
+            if not isinstance(source, WorkloadSource):
+                raise WorkloadError(
+                    f"tenant {name!r} source must be a WorkloadSource, "
+                    f"got {type(source).__name__}"
+                )
+            if isinstance(source, ClosedLoopSource):
+                raise WorkloadError(
+                    f"tenant {name!r}: closed-loop sources cannot be labeled "
+                    "tenants (they have no arrival clock); use OpenLoopSource "
+                    "or TraceReplaySource streams"
+                )
+            source.validate()
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "tenants": {name: source.to_dict() for name, source in self.tenants.items()},
+        }
+
+    def compile(self, ctx: CompileContext) -> CompiledSource:
+        # Each tenant compiles under a seed derived from its name, so two
+        # tenants declared with identical sources still produce independent
+        # (but deterministic) streams instead of byte-identical twins.
+        compiled = [
+            (order, name, source.compile(ctx._replace(
+                seed=ctx.seed + (zlib.crc32(name.encode("utf-8")) & 0xFFFF)
+            )))
+            for order, (name, source) in enumerate(self.tenants.items())
+        ]
+
+        def stream() -> Iterator[Arrival]:
+            heap: list[tuple[float, int, int]] = []
+            streams = {}
+            for order, name, sub in compiled:
+                streams[order] = (name, sub)
+                arrival = sub.peek()
+                if arrival is not None:
+                    heap.append((arrival.at_ms, order, 0))
+            heapq.heapify(heap)
+            sequence = 0
+            while heap:
+                _, order, _ = heapq.heappop(heap)
+                name, sub = streams[order]
+                arrival = sub.pop()
+                # Inner labels (a nested TenantSource) win over the outer name.
+                yield arrival._replace(tenant=arrival.tenant or name)
+                nxt = sub.peek()
+                if nxt is not None:
+                    sequence += 1
+                    heapq.heappush(heap, (nxt.at_ms, order, sequence))
+
+        return CompiledSource(stream())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TenantSource) and self.to_dict() == other.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Deterministic arrival-gap processes (shared with the trace recorder)
+# ----------------------------------------------------------------------
+def arrival_gaps(
+    process: str,
+    rate_per_sec: float,
+    *,
+    seed: int = 0,
+    burst_size: int = 8,
+) -> Iterator[float]:
+    """Infinite inter-arrival gaps (ms) for one arrival process.
+
+    All three processes preserve the long-run rate ``rate_per_sec`` and are
+    fully determined by ``seed`` — the property every replay/determinism
+    contract in this package leans on.
+    """
+    if rate_per_sec <= 0:
+        raise WorkloadError(f"rate_per_sec must be positive, got {rate_per_sec!r}")
+    mean_ms = 1000.0 / rate_per_sec
+    if process == "uniform":
+        def uniform() -> Iterator[float]:
+            while True:
+                yield mean_ms
+        return uniform()
+    if process == "poisson":
+        rng = WorkloadRandom(seed)
+        def poisson() -> Iterator[float]:
+            while True:
+                # floating() draws from [0, 1); log(1-u) is always finite.
+                yield -mean_ms * math.log(1.0 - rng.floating(0.0, 1.0))
+        return poisson()
+    if process == "bursty":
+        # burst_size arrivals packed at 4x the rate, then an idle gap that
+        # restores the long-run rate: one cycle spans burst_size * mean_ms.
+        intra = mean_ms / 4.0
+        pause = burst_size * mean_ms - (burst_size - 1) * intra
+        def bursty() -> Iterator[float]:
+            first = True
+            while True:
+                yield pause if not first else intra
+                first = False
+                for _ in range(burst_size - 1):
+                    yield intra
+        return bursty()
+    raise WorkloadError(
+        f"unknown arrival process {process!r}; available: {', '.join(ARRIVAL_PROCESSES)}"
+    )
+
+
+def arrival_times(
+    process: str,
+    rate_per_sec: float,
+    count: int,
+    *,
+    seed: int = 0,
+    burst_size: int = 8,
+) -> list[float]:
+    """The first ``count`` absolute arrival times (ms) of a process."""
+    if count < 0:
+        raise WorkloadError("count must be non-negative")
+    times: list[float] = []
+    clock = 0.0
+    gaps = arrival_gaps(process, rate_per_sec, seed=seed, burst_size=burst_size)
+    for _ in range(count):
+        clock += next(gaps)
+        times.append(clock)
+    return times
+
+
+# ----------------------------------------------------------------------
+# Registry (dict-form deserialization)
+# ----------------------------------------------------------------------
+def _closed_loop_from_dict(data: Mapping) -> ClosedLoopSource:
+    return ClosedLoopSource(
+        clients_per_partition=data.get("clients_per_partition", 4),
+        think_time_ms=data.get("think_time_ms", 0.0),
+    )
+
+
+def _open_loop_from_dict(data: Mapping) -> OpenLoopSource:
+    if "rate_per_sec" not in data:
+        raise WorkloadError("open-loop source dict is missing 'rate_per_sec'")
+    return OpenLoopSource(
+        data["rate_per_sec"],
+        data.get("arrival", "poisson"),
+        seed=data.get("seed", 0),
+        burst_size=data.get("burst_size", 8),
+        limit=data.get("limit"),
+    )
+
+
+def _trace_replay_from_dict(data: Mapping) -> TraceReplaySource:
+    from .trace import TransactionTraceRecord
+
+    trace = None
+    if "records" in data:
+        trace = WorkloadTrace(
+            [TransactionTraceRecord.from_json(entry) for entry in data["records"]]
+        )
+    return TraceReplaySource(
+        trace,
+        path=data.get("path"),
+        speedup=data.get("speedup", 1.0),
+        default_gap_ms=data.get("default_gap_ms", 1.0),
+        limit=data.get("limit"),
+    )
+
+
+def _phased_from_dict(data: Mapping) -> PhasedSource:
+    phases = data.get("phases")
+    if not isinstance(phases, (list, tuple)):
+        raise WorkloadError("phased source dict needs a 'phases' list")
+    built = []
+    for entry in phases:
+        if not isinstance(entry, Mapping) or "source" not in entry:
+            raise WorkloadError(
+                f"each phase must be a dict with 'duration_ms' and 'source', got {entry!r}"
+            )
+        built.append((entry.get("duration_ms"), WorkloadSource.from_dict(entry["source"])))
+    return PhasedSource(built)
+
+
+def _tenants_from_dict(data: Mapping) -> TenantSource:
+    tenants = data.get("tenants")
+    if not isinstance(tenants, Mapping):
+        raise WorkloadError("tenants source dict needs a 'tenants' mapping")
+    return TenantSource(
+        {name: WorkloadSource.from_dict(source) for name, source in tenants.items()}
+    )
+
+
+_SOURCE_KINDS: dict[str, Callable[[Mapping], WorkloadSource]] = {
+    ClosedLoopSource.kind: _closed_loop_from_dict,
+    OpenLoopSource.kind: _open_loop_from_dict,
+    TraceReplaySource.kind: _trace_replay_from_dict,
+    PhasedSource.kind: _phased_from_dict,
+    TenantSource.kind: _tenants_from_dict,
+}
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "CompileContext",
+    "CompiledSource",
+    "WorkloadSource",
+    "ClosedLoopSource",
+    "OpenLoopSource",
+    "TraceReplaySource",
+    "PhasedSource",
+    "TenantSource",
+    "arrival_gaps",
+    "arrival_times",
+]

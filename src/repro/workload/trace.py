@@ -48,26 +48,38 @@ class QueryTraceRecord:
 
 @dataclass(frozen=True)
 class TransactionTraceRecord:
-    """One traced transaction: procedure inputs plus the executed queries."""
+    """One traced transaction: procedure inputs plus the executed queries.
+
+    ``at_ms`` optionally records the transaction's submission timestamp
+    relative to the start of the trace.  The recorder stamps it when the
+    trace is collected against an arrival process, and
+    :class:`~repro.workload.sources.TraceReplaySource` replays stamped
+    records at their original (or rescaled) times; unstamped records fall
+    back to a fixed replay gap.
+    """
 
     txn_id: int
     procedure: str
     parameters: tuple
     queries: tuple[QueryTraceRecord, ...]
     aborted: bool = False
+    at_ms: float | None = None
 
     @property
     def query_count(self) -> int:
         return len(self.queries)
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "txn_id": self.txn_id,
             "procedure": self.procedure,
             "parameters": _jsonable(self.parameters),
             "queries": [q.to_json() for q in self.queries],
             "aborted": self.aborted,
         }
+        if self.at_ms is not None:
+            payload["at_ms"] = self.at_ms
+        return payload
 
     @staticmethod
     def from_json(payload: dict) -> "TransactionTraceRecord":
@@ -77,6 +89,7 @@ class TransactionTraceRecord:
             parameters=_detuple(payload["parameters"]),
             queries=tuple(QueryTraceRecord.from_json(q) for q in payload["queries"]),
             aborted=payload.get("aborted", False),
+            at_ms=payload.get("at_ms"),
         )
 
 

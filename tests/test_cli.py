@@ -169,3 +169,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.count("error:") == 3
         assert "session closed" in out
+
+    def test_record_then_replay_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.sim import SimulationResult
+        from repro.workload import WorkloadTrace
+
+        trace_path = tmp_path / "tatp.jsonl"
+        code = main(
+            ["record", "tatp", "--partitions", "2", "--transactions", "80",
+             "--rate", "500", "--output", str(trace_path)]
+        )
+        assert code == 0
+        assert "recorded 80 tatp transactions" in capsys.readouterr().out
+        recorded = WorkloadTrace.load(trace_path)
+        assert len(recorded) == 80
+        assert all(r.at_ms is not None for r in recorded)
+
+        code = main(
+            ["simulate", "tatp", "--strategy", "oracle", "--partitions", "2",
+             "--trace", "100", "--transactions", "200",
+             "--workload", str(trace_path), "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        result = SimulationResult.from_dict(data)
+        # Replay is bounded by the trace, not by --transactions.
+        assert result.total_transactions == 80
+        assert "max_ms" in next(iter(data["scheduler_stats"]["queue_wait_by_class"].values()))
+
+    def test_simulate_missing_workload_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "tatp", "--partitions", "2", "--trace", "100",
+             "--workload", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_workload_and_inflight_commands(self, capsys, monkeypatch, tmp_path):
+        import io
+
+        trace_path = tmp_path / "mini.jsonl"
+        assert main(
+            ["record", "tatp", "--partitions", "2", "--transactions", "30",
+             "--rate", "400", "--output", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+
+        script = "\n".join([
+            "run 20",
+            "workload open 500 poisson",
+            "runfor 0.04",
+            "inflight",
+            f"workload trace {trace_path}",
+            "run 30",
+            "workload closed",
+            "run 10",
+            "workload sideways",
+            "metrics",
+            "quit",
+        ]) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        code = main(["serve", "tatp", "--partitions", "2", "--trace", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload -> open-loop" in out
+        assert "workload -> trace-replay" in out
+        assert "workload -> closed-loop" in out
+        assert "transaction(s) in flight" in out
+        assert "error: workload takes" in out
+        assert "max_queue_wait_ms" in out
+        assert "session closed" in out
