@@ -13,6 +13,7 @@ be exercised without writing Python:
     $ python -m repro simulate tatp --workload /tmp/t.jsonl --json
     $ python -m repro serve tatp --partitions 4
     $ python -m repro experiment figure03 --scale small
+    $ python -m repro knee tatp --users 1000000
 
 ``simulate`` runs one configuration through a
 :class:`~repro.session.ClusterSession` and prints its summary (or, with
@@ -48,6 +49,7 @@ from .experiments import (
     run_figure12,
     run_figure13,
     run_model_figures,
+    run_overload_knee,
     run_summary,
     run_table03,
     run_table04,
@@ -67,6 +69,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "figure13": run_figure13,
     "models": run_model_figures,
     "summary": run_summary,
+    "knee": run_overload_knee,
 }
 
 
@@ -157,6 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
     experiment.add_argument(
         "--scale", choices=("small", "medium", "large", "paper"), default="small"
+    )
+
+    knee = subparsers.add_parser(
+        "knee",
+        help="binary-search the open-loop arrival rate to the latency knee "
+        "(cohort clients, streaming metrics)",
+    )
+    knee.add_argument("benchmark", nargs="?", default="tatp",
+                      choices=available_benchmarks())
+    knee.add_argument(
+        "--scale", choices=("small", "medium", "large", "paper"), default="small"
+    )
+    knee.add_argument(
+        "--users", type=int, default=None,
+        help="simulated client population (default: 100k small, 1M otherwise)",
+    )
+    knee.add_argument(
+        "--probe-seconds", type=float, default=2.0,
+        help="simulated seconds per rate probe",
     )
 
     return parser
@@ -379,15 +401,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+_SCALES = {
+    "small": ExperimentScale.small,
+    "medium": ExperimentScale.medium,
+    "large": ExperimentScale.large,
+    "paper": ExperimentScale.paper,
+}
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    scale = {
-        "small": ExperimentScale.small,
-        "medium": ExperimentScale.medium,
-        "large": ExperimentScale.large,
-        "paper": ExperimentScale.paper,
-    }[args.scale]()
+    scale = _SCALES[args.scale]()
     runner = EXPERIMENTS[args.id]
     result = runner(scale)
+    print(result.format())
+    return 0
+
+
+def _cmd_knee(args: argparse.Namespace) -> int:
+    result = run_overload_knee(
+        _SCALES[args.scale](),
+        args.benchmark,
+        users=args.users,
+        probe_seconds=args.probe_seconds,
+    )
     print(result.format())
     return 0
 
@@ -400,6 +436,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "record": _cmd_record,
     "serve": _cmd_serve,
     "experiment": _cmd_experiment,
+    "knee": _cmd_knee,
 }
 
 

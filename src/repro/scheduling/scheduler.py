@@ -152,9 +152,13 @@ class TransactionScheduler:
         policy: SchedulingPolicy | None = None,
         *,
         cost_model: "CostModel | None" = None,
+        streaming_waits: bool = False,
     ) -> None:
         self.policy = policy or ArrivalOrderPolicy()
         self.cost_model = cost_model or _default_cost_model()
+        #: Streaming mode: per-class waits accumulate into O(1)-memory
+        #: sketches instead of unbounded lists (``metrics_mode="streaming"``).
+        self._streaming_waits = streaming_waits
         self.stats = SchedulerStats()
         self._arrivals = 0
         self._heap: list[tuple[tuple, int, PendingTransaction]] = []
@@ -176,8 +180,9 @@ class TransactionScheduler:
         #: :meth:`rekey` — the scheduler keeps describing the same queue.
         #: Zero-wait dispatches (the pass-through fast path) are counted,
         #: not appended, so the saturated closed loop stays O(1) per
-        #: transaction in both time and memory.
-        self._waits: dict[str, list[float]] = {}
+        #: transaction in both time and memory.  With ``streaming_waits``
+        #: the per-class values are LatencySketch instances, not lists.
+        self._waits: dict[str, list] = {}
         self._zero_waits: dict[str, int] = {}
 
     # ------------------------------------------------------------------
@@ -346,7 +351,12 @@ class TransactionScheduler:
             return
         waits = self._waits.get(procedure)
         if waits is None:
-            waits = []
+            if self._streaming_waits:
+                from ..sim.sketch import LatencySketch  # lazy: avoids cycle
+
+                waits = LatencySketch()
+            else:
+                waits = []
             self._waits[procedure] = waits
         waits.append(wait_ms)
 
@@ -361,8 +371,35 @@ class TransactionScheduler:
         (zero-wait dispatches included as an implicit sorted prefix), so a
         class starved behind an endless stream of shorter transactions
         shows up as a p99/max far above its mean.
+
+        Under streaming mode the non-zero waits live in a
+        :class:`~repro.sim.sketch.LatencySketch` per class: count, mean and
+        max stay exact, percentiles come from the sketch (within its
+        documented error bound) at the zero-adjusted rank.
         """
         summary: dict[str, dict] = {}
+        if self._streaming_waits:
+            for procedure in sorted(set(self._waits) | set(self._zero_waits)):
+                sketch = self._waits.get(procedure)
+                zeros = self._zero_waits.get(procedure, 0)
+                nonzero = sketch.count if sketch is not None else 0
+                count = zeros + nonzero
+
+                def percentile(p: int) -> float:
+                    rank = max(0, -(-count * p // 100) - 1)
+                    if rank < zeros or not nonzero:
+                        return 0.0
+                    return sketch.quantile((rank - zeros + 1) / nonzero)
+
+                summary[procedure] = {
+                    "count": count,
+                    "mean_ms": (sketch.total if sketch is not None else 0.0) / count,
+                    "max_ms": sketch.max if nonzero else 0.0,
+                    "p50_ms": percentile(50),
+                    "p95_ms": percentile(95),
+                    "p99_ms": percentile(99),
+                }
+            return summary
         for procedure in sorted(set(self._waits) | set(self._zero_waits)):
             waits = sorted(self._waits.get(procedure, ()))
             zeros = self._zero_waits.get(procedure, 0)

@@ -196,6 +196,13 @@ class ClusterSpec:
     clients_per_partition: int = 4
     warmup_fraction: float = 0.1
     client_think_time_ms: float = 0.0
+    #: Latency accounting: ``"exact"`` (default) keeps every observation —
+    #: byte-identical to specs that predate this field — while
+    #: ``"streaming"`` replaces the unbounded per-latency lists with the
+    #: O(1)-memory sketches of :mod:`repro.sim.sketch`, the million-user
+    #: scale mode (counters stay exact; percentiles carry the sketch's
+    #: documented error bound).
+    metrics_mode: str = "exact"
     # --- workload ------------------------------------------------------
     #: How traffic enters the session: a :class:`WorkloadSource` (or its
     #: dict form).  ``None`` — the default — is the legacy closed loop
@@ -261,6 +268,11 @@ class ClusterSpec:
             raise SessionError(
                 f"client_think_time_ms must be non-negative, "
                 f"got {self.client_think_time_ms!r}"
+            )
+        if self.metrics_mode not in ("exact", "streaming"):
+            raise SessionError(
+                f"metrics_mode must be 'exact' or 'streaming', "
+                f"got {self.metrics_mode!r}"
             )
         if isinstance(self.policy, str) and self.policy not in available_policies():
             raise SessionError(
@@ -340,6 +352,7 @@ class ClusterSpec:
             "clients_per_partition": self.clients_per_partition,
             "warmup_fraction": self.warmup_fraction,
             "client_think_time_ms": self.client_think_time_ms,
+            "metrics_mode": self.metrics_mode,
             "workload": self.workload.to_dict() if self.workload is not None else None,
             "policy": policy,
             "admission": _init_field_dict(self.admission),
@@ -376,6 +389,7 @@ class ClusterSpec:
             policy=self.policy,
             admission_limits=self.admission,
             open_loop=open_loop,
+            metrics_mode=self.metrics_mode,
         )
 
 

@@ -34,13 +34,19 @@ The package has four pieces:
   fresh ``CostModel`` per configuration instead).  Workloads whose shapes
   are near-unique bypass the cache automatically after a probation window.
 * :class:`~repro.sim.metrics.SimulationResult` — metrics, accumulated in
-  flat arrays during the run and materialized once at the end.
+  flat arrays during the run and materialized once at the end.  Under
+  ``metrics_mode="streaming"`` the unbounded accumulators are replaced by
+  the O(1)-memory sketches in :mod:`~repro.sim.sketch`
+  (:class:`~repro.sim.sketch.LatencySketch`,
+  :class:`~repro.sim.sketch.CompletionWindow`) — the million-user scale
+  mode; exact mode stays the default and byte-identical.
 """
 
 from .cost_model import AttemptTiming, CostModel
 from .events import CLIENT_READY, EXTERNAL_SUBMIT, PARTITION_RELEASE, TXN_COMPLETE
 from .metrics import ProcedureBreakdown, SimulationResult, TenantBreakdown
 from .simulator import ClusterSimulator, InFlightTransaction, SimulatorConfig
+from .sketch import CompletionWindow, LatencySketch
 
 __all__ = [
     "CostModel",
@@ -50,6 +56,8 @@ __all__ = [
     "SimulationResult",
     "ProcedureBreakdown",
     "TenantBreakdown",
+    "LatencySketch",
+    "CompletionWindow",
     "InFlightTransaction",
     "CLIENT_READY",
     "TXN_COMPLETE",

@@ -8,9 +8,12 @@ here are the stable, introspectable surface the experiments consume.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from statistics import mean
 from typing import TYPE_CHECKING
+
+from .sketch import LatencySketch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..scheduling.admission import AdmissionStats
@@ -92,6 +95,9 @@ class TenantBreakdown:
     rejected: int = 0
     latencies_ms: list[float] = field(default_factory=list)
     duration_ms: float = 0.0
+    #: Streaming-mode latency summary (``metrics_mode="streaming"``); when
+    #: set, ``latencies_ms`` stays empty and latency queries go through it.
+    latency_sketch: LatencySketch | None = None
 
     @property
     def total_transactions(self) -> int:
@@ -105,6 +111,8 @@ class TenantBreakdown:
 
     @property
     def average_latency_ms(self) -> float:
+        if self.latency_sketch is not None:
+            return self.latency_sketch.mean
         if not self.latencies_ms:
             return 0.0
         return mean(self.latencies_ms)
@@ -119,6 +127,8 @@ class TenantBreakdown:
             "rejected": self.rejected,
             "latencies_ms": list(self.latencies_ms),
             "duration_ms": self.duration_ms,
+            "latency_summary": self.latency_sketch.to_dict()
+            if self.latency_sketch is not None else None,
             "derived": {
                 "throughput_txn_per_sec": self.throughput_txn_per_sec,
                 "average_latency_ms": self.average_latency_ms,
@@ -127,8 +137,13 @@ class TenantBreakdown:
 
     @classmethod
     def from_dict(cls, data: dict) -> "TenantBreakdown":
-        fields_ = {k: v for k, v in data.items() if k != "derived"}
-        return cls(**fields_)
+        fields_ = {
+            k: v for k, v in data.items() if k not in ("derived", "latency_summary")
+        }
+        breakdown = cls(**fields_)
+        if data.get("latency_summary") is not None:
+            breakdown.latency_sketch = LatencySketch.from_dict(data["latency_summary"])
+        return breakdown
 
 
 @dataclass
@@ -148,6 +163,12 @@ class SimulationResult:
     single_partition: int = 0
     distributed: int = 0
     latencies_ms: list[float] = field(default_factory=list)
+    #: How latency/window metrics were accumulated: ``"exact"`` stores
+    #: every latency in :attr:`latencies_ms`; ``"streaming"`` keeps an
+    #: O(1)-memory :attr:`latency_sketch` instead (scale mode).
+    metrics_mode: str = "exact"
+    #: Streaming-mode latency summary; ``None`` in exact mode.
+    latency_sketch: LatencySketch | None = None
     breakdowns: dict[str, ProcedureBreakdown] = field(default_factory=dict)
     #: Post-warm-up measurement window used for throughput.
     window_committed: int = 0
@@ -177,9 +198,26 @@ class SimulationResult:
 
     @property
     def average_latency_ms(self) -> float:
+        if self.latency_sketch is not None:
+            return self.latency_sketch.mean
         if not self.latencies_ms:
             return 0.0
         return mean(self.latencies_ms)
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank latency quantile for ``q`` in ``[0, 1]``.
+
+        Exact over the stored latencies in exact mode; in streaming mode the
+        sketch answers (within its documented error bound, see
+        :mod:`repro.sim.sketch`).
+        """
+        if self.latency_sketch is not None:
+            return self.latency_sketch.quantile(q)
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(0, math.ceil(len(ordered) * q) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
 
     @property
     def restart_rate(self) -> float:
@@ -213,6 +251,18 @@ class SimulationResult:
         it exactly (``derived`` is recomputed, never read back), which is
         what the CLI's ``simulate --json`` output and the benchmark
         baselines rely on instead of ad-hoc field plucking.
+
+        Payload size is bounded by the metrics mode: in exact mode
+        ``latencies_ms`` carries every accumulated latency and
+        ``latency_summary`` is ``None``; in streaming mode ``latencies_ms``
+        is empty and ``latency_summary`` carries the constant-size sketch
+        summary instead, so a million-transaction result serializes in a
+        few hundred bytes.  Round-trip contract: every counter, window
+        field, breakdown and stats block restores exactly in both modes;
+        in streaming mode the restored :attr:`latency_sketch` is a frozen
+        summary — count/total/min/max and the tracked percentiles
+        (p50/p95/p99) survive, raw samples do not (see
+        :meth:`~repro.sim.sketch.LatencySketch.from_dict`).
         """
         from dataclasses import asdict
 
@@ -220,6 +270,7 @@ class SimulationResult:
             "strategy": self.strategy,
             "benchmark": self.benchmark,
             "num_partitions": self.num_partitions,
+            "metrics_mode": self.metrics_mode,
             "simulated_duration_ms": self.simulated_duration_ms,
             "committed": self.committed,
             "user_aborted": self.user_aborted,
@@ -233,6 +284,8 @@ class SimulationResult:
             "window_committed": self.window_committed,
             "window_duration_ms": self.window_duration_ms,
             "latencies_ms": list(self.latencies_ms),
+            "latency_summary": self.latency_sketch.to_dict()
+            if self.latency_sketch is not None else None,
             "breakdowns": {
                 name: breakdown.to_dict()
                 for name, breakdown in sorted(self.breakdowns.items())
@@ -264,6 +317,8 @@ class SimulationResult:
             benchmark=data["benchmark"],
             num_partitions=data["num_partitions"],
             simulated_duration_ms=data["simulated_duration_ms"],
+            # Documents predating the scale mode are always exact.
+            metrics_mode=data.get("metrics_mode", "exact"),
         )
         for name in (
             "committed", "user_aborted", "restarts", "escalations",
@@ -272,6 +327,8 @@ class SimulationResult:
         ):
             setattr(result, name, data[name])
         result.latencies_ms = list(data["latencies_ms"])
+        if data.get("latency_summary") is not None:
+            result.latency_sketch = LatencySketch.from_dict(data["latency_summary"])
         result.breakdowns = {
             name: ProcedureBreakdown.from_dict(entry)
             for name, entry in data["breakdowns"].items()

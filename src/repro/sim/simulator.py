@@ -66,6 +66,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 
 from ..catalog.schema import Catalog
+from ..errors import SimulationError
 from ..scheduling.admission import AdmissionController, AdmissionDecision, AdmissionLimits
 from ..scheduling.policies import SchedulingPolicy, policy_by_name
 from ..scheduling.scheduler import TransactionScheduler
@@ -78,6 +79,7 @@ from ..workload.generator import WorkloadGenerator
 from .cost_model import CostModel
 from .events import CLIENT_READY, EXTERNAL_SUBMIT, PARTITION_RELEASE, TXN_COMPLETE
 from .metrics import ProcedureBreakdown, SimulationResult, TenantBreakdown
+from .sketch import CompletionWindow, LatencySketch
 
 #: Accumulator slots per procedure (see ``_replay_timing``).
 _TXNS, _EST, _PLAN, _EXEC, _COORD, _OTHER = range(6)
@@ -110,6 +112,11 @@ class SimulatorConfig:
     #: processes, trace replay, tenant streams).  The closed loop can still
     #: be started later via :meth:`ClusterSimulator.activate_clients`.
     open_loop: bool = False
+    #: ``"exact"`` stores every latency/completion (default, byte-identical
+    #: to the pre-scale-mode behavior); ``"streaming"`` accumulates into
+    #: O(1)-memory sketches (:mod:`repro.sim.sketch`) so unbounded runs
+    #: never grow per-transaction state — the million-user scale mode.
+    metrics_mode: str = "exact"
 
 
 @dataclass(frozen=True)
@@ -189,19 +196,32 @@ class ClusterSimulator:
         if self._began:
             return
         config = self.config
+        if config.metrics_mode not in ("exact", "streaming"):
+            raise SimulationError(
+                f"metrics_mode must be 'exact' or 'streaming', "
+                f"got {config.metrics_mode!r}"
+            )
+        streaming = config.metrics_mode == "streaming"
+        self._streaming = streaming
         self._num_partitions = self.catalog.num_partitions
         self._num_nodes = self.catalog.scheme.num_nodes
         self._num_clients = max(1, config.clients_per_partition * self._num_partitions)
         self.scheduler = TransactionScheduler(
-            self._make_policy(), cost_model=self.cost_model
+            self._make_policy(), cost_model=self.cost_model, streaming_waits=streaming
         )
         limits = config.admission_limits
         self.admission = AdmissionController(limits) if limits is not None else None
 
         self._partition_free = [0.0] * self._num_partitions
         # Batched accumulators, folded into a SimulationResult on demand.
-        self._latencies: list[float] = []
-        self._completions: list[tuple[float, bool]] = []
+        # Streaming mode swaps the unbounded lists for O(1)-memory sketches
+        # that answer to the same ``append`` call sites.
+        self._latencies: list[float] | LatencySketch = (
+            LatencySketch() if streaming else []
+        )
+        self._completions: list[tuple[float, bool]] | CompletionWindow = (
+            CompletionWindow() if streaming else []
+        )
         self._breakdown_acc: dict[str, list] = {}
         self._counters = {
             "committed": 0, "user_aborted": 0, "restarts": 0, "escalations": 0,
@@ -566,7 +586,8 @@ class ClusterSimulator:
         if acc is None:
             acc = {
                 "submitted": 0, "committed": 0, "user_aborted": 0,
-                "restarts": 0, "rejected": 0, "latencies": [],
+                "restarts": 0, "rejected": 0,
+                "latencies": LatencySketch() if self._streaming else [],
             }
             self._tenant_acc[tenant] = acc
         return acc
@@ -715,8 +736,14 @@ class ClusterSimulator:
             benchmark=self.benchmark_name,
             num_partitions=self._num_partitions,
             simulated_duration_ms=0.0,
+            metrics_mode=self.config.metrics_mode,
         )
-        result.latencies_ms = list(self._latencies) if copy else self._latencies
+        if self._streaming:
+            result.latency_sketch = (
+                self._latencies.copy() if copy else self._latencies
+            )
+        else:
+            result.latencies_ms = list(self._latencies) if copy else self._latencies
         counters = self._counters
         result.committed = counters["committed"]
         result.user_aborted = counters["user_aborted"]
@@ -755,16 +782,24 @@ class ClusterSimulator:
         self._finalize_window(self._completions, result)
         for tenant in sorted(self._tenant_acc):
             acc = self._tenant_acc[tenant]
-            result.tenants[tenant] = TenantBreakdown(
+            breakdown = TenantBreakdown(
                 tenant=tenant,
                 submitted=acc["submitted"],
                 committed=acc["committed"],
                 user_aborted=acc["user_aborted"],
                 restarts=acc["restarts"],
                 rejected=acc["rejected"],
-                latencies_ms=list(acc["latencies"]) if copy else acc["latencies"],
                 duration_ms=result.simulated_duration_ms,
             )
+            if self._streaming:
+                breakdown.latency_sketch = (
+                    acc["latencies"].copy() if copy else acc["latencies"]
+                )
+            else:
+                breakdown.latencies_ms = (
+                    list(acc["latencies"]) if copy else acc["latencies"]
+                )
+            result.tenants[tenant] = breakdown
         return result
 
     # ------------------------------------------------------------------
@@ -857,7 +892,19 @@ class ClusterSimulator:
         completion (recorded at ``end``) before an earlier folded one.  A
         linear scan detects that rare case and restores order with a stable
         sort on end time (batch runs never take it, keeping them exact).
+
+        In streaming mode the completions live in a bounded
+        :class:`CompletionWindow` histogram (order-insensitive), which
+        reproduces the same window to within one bucket.
         """
+        if isinstance(completions, CompletionWindow):
+            duration, window, window_committed = completions.window(
+                self.config.warmup_fraction
+            )
+            result.simulated_duration_ms = duration
+            result.window_duration_ms = window
+            result.window_committed = window_committed
+            return
         if not completions:
             result.simulated_duration_ms = 0.0
             return

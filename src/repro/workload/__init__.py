@@ -30,7 +30,16 @@ models:
     rescaled timestamps, closing the record → train → replay loop;
   - :class:`PhasedSource` — time-phased workload shifts as data;
   - :class:`TenantSource` — labeled multi-tenant streams sharing one
-    cluster, with per-tenant metric breakdowns.
+    cluster, with per-tenant metric breakdowns;
+  - :class:`ClientCohortSource` — a population of :class:`Cohort` groups
+    (closed- or open-loop users) aggregated by Poisson superposition, so a
+    million logical users cost O(#cohorts) state — the scale mode's
+    workload shape.
+
+With numpy available, open-loop arrival timestamps are generated in
+vectorized batches (:mod:`repro.workload.vectorized`) that are
+byte-identical to the scalar stream — the same seed always yields the same
+arrivals either way.
 
 Sources validate strictly, round-trip through ``to_dict`` /
 ``from_dict`` like the rest of :class:`~repro.session.ClusterSpec`, and
@@ -44,7 +53,9 @@ from .rng import WorkloadRandom
 from .sources import (
     ARRIVAL_PROCESSES,
     Arrival,
+    ClientCohortSource,
     ClosedLoopSource,
+    Cohort,
     CompileContext,
     CompiledSource,
     OpenLoopSource,
@@ -70,6 +81,8 @@ __all__ = [
     "TraceReplaySource",
     "PhasedSource",
     "TenantSource",
+    "Cohort",
+    "ClientCohortSource",
     "Arrival",
     "CompileContext",
     "CompiledSource",

@@ -29,6 +29,16 @@ class WorkloadRandom:
         # TPC-C's NURand constant; fixed so runs are reproducible.
         self._c_value = 123
 
+    @property
+    def core(self) -> random.Random:
+        """The underlying :class:`random.Random`.
+
+        Exposed for the vectorized arrival kernel, which transplants this
+        generator's Mersenne-Twister state into numpy to draw gap batches
+        from the *same* stream (see :mod:`repro.workload.vectorized`).
+        """
+        return self._random
+
     # ------------------------------------------------------------------
     # Plain delegation
     # ------------------------------------------------------------------

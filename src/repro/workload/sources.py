@@ -42,12 +42,15 @@ from __future__ import annotations
 
 import heapq
 import math
+import operator
 import zlib
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, NamedTuple
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, NamedTuple, Sequence
 
 from ..errors import WorkloadError
 from ..types import ProcedureRequest
+from . import vectorized as _vectorized
 from .rng import WorkloadRandom
 from .trace import WorkloadTrace
 
@@ -57,6 +60,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Arrival processes OpenLoopSource understands.
 ARRIVAL_PROCESSES = ("poisson", "uniform", "bursty")
+
+#: Arrivals materialized per batch by chunk-fed open-loop streams.  Bounds
+#: how far request generation runs ahead of what a session actually pulls
+#: while still amortizing the per-batch vector-kernel overhead to nothing.
+_ARRIVAL_CHUNK = 512
+
+#: Gaps drawn per batch when the iterator-form ``arrival_gaps`` stream
+#: internally routes through the vectorized kernel.
+_GAP_BATCH = _vectorized.DEFAULT_CHUNK
 
 
 class Arrival(NamedTuple):
@@ -89,18 +101,46 @@ class CompileContext(NamedTuple):
 # ----------------------------------------------------------------------
 # Compiled streams
 # ----------------------------------------------------------------------
+def _one_at_a_time(arrivals: Iterator[Arrival]) -> Iterator[Sequence[Arrival]]:
+    """Wrap a per-arrival iterator as singleton chunks (preserves laziness)."""
+    for arrival in arrivals:
+        yield (arrival,)
+
+
+_AT_MS = operator.itemgetter(0)  # Arrival.at_ms, positionally (hot path)
+
+
 class CompiledSource:
-    """A resumable, deterministic arrival stream with one-step lookahead.
+    """A resumable, deterministic arrival stream consumed in batches.
 
     The session pulls arrivals in two shapes — the next ``count`` arrivals
     (``run_for(txns=...)``) or every arrival up to a simulated deadline
     (``run_for(sim_seconds=...)``) — and the cursor survives pauses and
     mid-replay reconfiguration.
+
+    Internally the stream is a sequence of chunks (lists of arrivals in
+    timestamp order) consumed through a buffer + position cursor, so
+    ``take``/``take_until`` slice whole batches instead of doing a
+    per-element peek/pop dance.  Construct with either ``arrivals=`` (a
+    per-arrival iterator, buffered one element at a time — exactly the old
+    lookahead laziness) or ``chunks=`` (an iterator of pre-built arrival
+    batches, each sorted by ``at_ms``, as the vectorized open-loop compiler
+    produces).
     """
 
-    def __init__(self, arrivals: Iterator[Arrival]) -> None:
-        self._arrivals = arrivals
-        self._lookahead: Arrival | None = None
+    def __init__(
+        self,
+        arrivals: Iterator[Arrival] | None = None,
+        *,
+        chunks: Iterator[Sequence[Arrival]] | None = None,
+    ) -> None:
+        if (arrivals is None) == (chunks is None):
+            raise WorkloadError(
+                "CompiledSource needs exactly one of arrivals= or chunks="
+            )
+        self._chunks = chunks if chunks is not None else _one_at_a_time(arrivals)
+        self._buffer: Sequence[Arrival] = ()
+        self._pos = 0
         self._exhausted = False
         self._emitted = 0
 
@@ -113,44 +153,62 @@ class CompiledSource:
     @property
     def exhausted(self) -> bool:
         """True once the stream has no further arrivals (open loops never are)."""
-        self.peek()
-        return self._exhausted and self._lookahead is None
+        return not self._refill()
+
+    def _refill(self) -> bool:
+        """Ensure the buffer has an unconsumed arrival; False at stream end."""
+        while self._pos >= len(self._buffer):
+            if self._exhausted:
+                return False
+            try:
+                self._buffer = next(self._chunks)
+            except StopIteration:
+                self._exhausted = True
+                self._buffer = ()
+                self._pos = 0
+                return False
+            self._pos = 0
+        return True
 
     def peek(self) -> Arrival | None:
         """The next arrival without consuming it (``None`` when exhausted)."""
-        if self._lookahead is None and not self._exhausted:
-            try:
-                self._lookahead = next(self._arrivals)
-            except StopIteration:
-                self._exhausted = True
-        return self._lookahead
+        return self._buffer[self._pos] if self._refill() else None
 
     def pop(self) -> Arrival | None:
-        arrival = self.peek()
-        if arrival is not None:
-            self._lookahead = None
-            self._emitted += 1
+        if not self._refill():
+            return None
+        arrival = self._buffer[self._pos]
+        self._pos += 1
+        self._emitted += 1
         return arrival
 
     # ------------------------------------------------------------------
     def take(self, count: int) -> list[Arrival]:
         """The next ``count`` arrivals (fewer if the stream ends first)."""
         out: list[Arrival] = []
-        while len(out) < count:
-            arrival = self.pop()
-            if arrival is None:
-                break
-            out.append(arrival)
+        while len(out) < count and self._refill():
+            end = min(len(self._buffer), self._pos + count - len(out))
+            out.extend(self._buffer[self._pos:end])
+            self._emitted += end - self._pos
+            self._pos = end
         return out
 
     def take_until(self, deadline_ms: float) -> list[Arrival]:
         """Every arrival with ``at_ms <= deadline_ms``, in timestamp order."""
         out: list[Arrival] = []
-        while True:
-            arrival = self.peek()
-            if arrival is None or arrival.at_ms > deadline_ms:
+        while self._refill():
+            buffer = self._buffer
+            if buffer[self._pos].at_ms > deadline_ms:
                 break
-            out.append(self.pop())
+            if buffer[-1].at_ms <= deadline_ms:
+                end = len(buffer)  # whole remaining chunk is in range
+            else:
+                end = bisect_right(buffer, deadline_ms, self._pos + 1, key=_AT_MS)
+            out.extend(buffer[self._pos:end])
+            self._emitted += end - self._pos
+            self._pos = end
+            if end < len(buffer):
+                break
         return out
 
 
@@ -313,11 +371,37 @@ class OpenLoopSource(WorkloadSource):
             "limit": self.limit,
         }
 
-    def compile(self, ctx: CompileContext) -> CompiledSource:
+    def compile(self, ctx: CompileContext, *, _tenant: str | None = None) -> CompiledSource:
         generator = ctx.make_generator(self.seed)
+        gap_seed = ctx.seed * 31 + self.seed
+        if _vectorized.HAVE_NUMPY:
+            # Vectorized path: timestamps arrive in pre-built batches; each
+            # batch pairs time i with the generator's request i, exactly as
+            # the scalar loop below would (the streams are independent, so
+            # the pairing — and therefore the arrival stream — is identical).
+            time_chunks = _vectorized.arrival_time_chunks(
+                self.arrival, self.rate_per_sec,
+                seed=gap_seed, burst_size=self.burst_size,
+                chunk_size=_ARRIVAL_CHUNK, limit=self.limit,
+            )
+
+            def chunk_stream() -> Iterator[list[Arrival]]:
+                next_request = generator.next_request
+                for times in time_chunks:
+                    chunk = []
+                    append = chunk.append
+                    for at in times:
+                        raw = next_request()
+                        append(Arrival(
+                            at, ProcedureRequest(raw.procedure, raw.parameters), _tenant
+                        ))
+                    yield chunk
+
+            return CompiledSource(chunks=chunk_stream())
+
         gaps = arrival_gaps(
             self.arrival, self.rate_per_sec,
-            seed=ctx.seed * 31 + self.seed, burst_size=self.burst_size,
+            seed=gap_seed, burst_size=self.burst_size,
         )
 
         def stream() -> Iterator[Arrival]:
@@ -326,7 +410,9 @@ class OpenLoopSource(WorkloadSource):
             for gap in gaps:
                 clock += gap
                 raw = generator.next_request()
-                yield Arrival(clock, ProcedureRequest(raw.procedure, raw.parameters))
+                yield Arrival(
+                    clock, ProcedureRequest(raw.procedure, raw.parameters), _tenant
+                )
                 emitted += 1
                 if self.limit is not None and emitted >= self.limit:
                     return
@@ -577,32 +663,247 @@ class TenantSource(WorkloadSource):
             )))
             for order, (name, source) in enumerate(self.tenants.items())
         ]
-
-        def stream() -> Iterator[Arrival]:
-            heap: list[tuple[float, int, int]] = []
-            streams = {}
-            for order, name, sub in compiled:
-                streams[order] = (name, sub)
-                arrival = sub.peek()
-                if arrival is not None:
-                    heap.append((arrival.at_ms, order, 0))
-            heapq.heapify(heap)
-            sequence = 0
-            while heap:
-                _, order, _ = heapq.heappop(heap)
-                name, sub = streams[order]
-                arrival = sub.pop()
-                # Inner labels (a nested TenantSource) win over the outer name.
-                yield arrival._replace(tenant=arrival.tenant or name)
-                nxt = sub.peek()
-                if nxt is not None:
-                    sequence += 1
-                    heapq.heappush(heap, (nxt.at_ms, order, sequence))
-
-        return CompiledSource(stream())
+        return CompiledSource(_merge_labeled(compiled))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, TenantSource) and self.to_dict() == other.to_dict()
+
+
+def _merge_labeled(
+    compiled: list[tuple[int, str | None, CompiledSource]]
+) -> Iterator[Arrival]:
+    """Timestamp-ordered merge of labeled streams (ties break on order).
+
+    Shared by :class:`TenantSource` and :class:`ClientCohortSource`.  A
+    ``None`` label leaves arrivals unlabeled; otherwise the label fills any
+    arrival whose own tenant is unset (inner labels — a nested
+    TenantSource — win over the outer name).
+    """
+    heap: list[tuple[float, int, int]] = []
+    streams = {}
+    for order, name, sub in compiled:
+        streams[order] = (name, sub)
+        arrival = sub.peek()
+        if arrival is not None:
+            heap.append((arrival.at_ms, order, 0))
+    heapq.heapify(heap)
+    sequence = 0
+    while heap:
+        _, order, _ = heapq.heappop(heap)
+        name, sub = streams[order]
+        arrival = sub.pop()
+        if name is not None and arrival.tenant is None:
+            arrival = arrival._replace(tenant=name)
+        yield arrival
+        nxt = sub.peek()
+        if nxt is not None:
+            sequence += 1
+            heapq.heappush(heap, (nxt.at_ms, order, sequence))
+
+
+class Cohort:
+    """One homogeneous slice of a simulated client population.
+
+    A cohort declares ``users`` identical clients and how each behaves —
+    either **open-loop** (``rate_per_user_per_sec``: every user submits on
+    its own clock regardless of responses) or **closed-loop**
+    (``think_time_ms``: every user waits that long between completion and
+    next submission).  Exactly one of the two must be given.
+
+    Cohorts exist so a million-user population costs O(#cohorts) state
+    instead of a million live client objects: by Poisson superposition, N
+    independent users each arriving at rate *r* are statistically one
+    Poisson process at rate ``N*r``, so the whole cohort compiles to a
+    single aggregated arrival stream.  Closed-loop cohorts are approximated
+    the same way at rate ``users * 1000 / think_time_ms`` — the think-time-
+    dominated regime, accurate while response time is small relative to
+    think time (i.e. below saturation; past the knee a real closed loop
+    would self-throttle where this approximation keeps pushing, which is
+    exactly the overload behavior the knee-finder wants to measure).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        users: int,
+        *,
+        think_time_ms: float | None = None,
+        rate_per_user_per_sec: float | None = None,
+        arrival: str = "poisson",
+        burst_size: int = 8,
+    ) -> None:
+        self.name = name
+        self.users = users
+        self.think_time_ms = think_time_ms
+        self.rate_per_user_per_sec = rate_per_user_per_sec
+        self.arrival = arrival
+        self.burst_size = burst_size
+        self.validate()
+
+    def validate(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise WorkloadError(f"cohort name must be a non-empty string, got {self.name!r}")
+        if (
+            not isinstance(self.users, int)
+            or isinstance(self.users, bool)
+            or self.users < 1
+        ):
+            raise WorkloadError(
+                f"cohort {self.name!r}: users must be an integer >= 1, got {self.users!r}"
+            )
+        if (self.think_time_ms is None) == (self.rate_per_user_per_sec is None):
+            raise WorkloadError(
+                f"cohort {self.name!r} needs exactly one of think_time_ms= "
+                "(closed-loop users) or rate_per_user_per_sec= (open-loop users)"
+            )
+        if self.think_time_ms is not None and (
+            not isinstance(self.think_time_ms, (int, float)) or self.think_time_ms <= 0
+        ):
+            raise WorkloadError(
+                f"cohort {self.name!r}: think_time_ms must be positive, "
+                f"got {self.think_time_ms!r}"
+            )
+        if self.rate_per_user_per_sec is not None and (
+            not isinstance(self.rate_per_user_per_sec, (int, float))
+            or self.rate_per_user_per_sec <= 0
+        ):
+            raise WorkloadError(
+                f"cohort {self.name!r}: rate_per_user_per_sec must be positive, "
+                f"got {self.rate_per_user_per_sec!r}"
+            )
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise WorkloadError(
+                f"cohort {self.name!r}: unknown arrival process {self.arrival!r}; "
+                f"available: {', '.join(ARRIVAL_PROCESSES)}"
+            )
+        if not isinstance(self.burst_size, int) or self.burst_size < 1:
+            raise WorkloadError(
+                f"cohort {self.name!r}: burst_size must be an integer >= 1, "
+                f"got {self.burst_size!r}"
+            )
+
+    @property
+    def aggregate_rate_per_sec(self) -> float:
+        """The cohort's one-stream arrival rate (superposition of its users)."""
+        if self.rate_per_user_per_sec is not None:
+            return self.users * self.rate_per_user_per_sec
+        return self.users * 1000.0 / self.think_time_ms
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "users": self.users,
+            "arrival": self.arrival,
+            "burst_size": self.burst_size,
+        }
+        if self.think_time_ms is not None:
+            out["think_time_ms"] = self.think_time_ms
+        else:
+            out["rate_per_user_per_sec"] = self.rate_per_user_per_sec
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Cohort":
+        if not isinstance(data, Mapping) or "name" not in data or "users" not in data:
+            raise WorkloadError(
+                f"each cohort must be a dict with 'name' and 'users', got {data!r}"
+            )
+        return Cohort(
+            data["name"],
+            data["users"],
+            think_time_ms=data.get("think_time_ms"),
+            rate_per_user_per_sec=data.get("rate_per_user_per_sec"),
+            arrival=data.get("arrival", "poisson"),
+            burst_size=data.get("burst_size", 8),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Cohort) and self.to_dict() == other.to_dict()
+
+
+class ClientCohortSource(WorkloadSource):
+    """A client population expressed as weighted cohorts.
+
+    ``cohorts`` partitions the population into homogeneous groups (e.g.
+    900k casual browsers at 0.2 txn/s each + 100k power users at 2 txn/s).
+    Each cohort compiles to ONE aggregated arrival stream (see
+    :class:`Cohort` for the superposition argument), so total state is
+    O(#cohorts) no matter how many users are declared — the structural
+    trick that makes a ≥1M-user overload study tractable on one host.
+
+    With ``label_tenants`` (the default), arrivals are tagged with their
+    cohort name, so per-cohort throughput and latency fall out of the
+    existing per-tenant accounting for free; disable it to skip the
+    per-arrival labeling and merge bookkeeping when only aggregate metrics
+    matter (a single unlabeled cohort compiles straight to its stream).
+    """
+
+    kind = "cohorts"
+
+    def __init__(
+        self,
+        cohorts: Iterable[Cohort],
+        *,
+        seed: int = 0,
+        label_tenants: bool = True,
+    ) -> None:
+        self.cohorts = list(cohorts)
+        self.seed = seed
+        self.label_tenants = bool(label_tenants)
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.cohorts:
+            raise WorkloadError("ClientCohortSource needs at least one cohort")
+        seen: set[str] = set()
+        for cohort in self.cohorts:
+            if not isinstance(cohort, Cohort):
+                raise WorkloadError(
+                    f"cohorts must be Cohort instances, got {type(cohort).__name__}"
+                )
+            cohort.validate()
+            if cohort.name in seen:
+                raise WorkloadError(f"duplicate cohort name {cohort.name!r}")
+            seen.add(cohort.name)
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise WorkloadError(f"seed must be an integer, got {self.seed!r}")
+
+    def total_users(self) -> int:
+        """The declared population size across all cohorts."""
+        return sum(cohort.users for cohort in self.cohorts)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "cohorts": [cohort.to_dict() for cohort in self.cohorts],
+            "seed": self.seed,
+            "label_tenants": self.label_tenants,
+        }
+
+    def compile(self, ctx: CompileContext) -> CompiledSource:
+        compiled = []
+        for order, cohort in enumerate(self.cohorts):
+            # Per-cohort seed derived from the name, mirroring TenantSource,
+            # so identical cohort declarations still get independent streams.
+            sub_ctx = ctx._replace(
+                seed=ctx.seed + (zlib.crc32(cohort.name.encode("utf-8")) & 0xFFFF)
+            )
+            label = cohort.name if self.label_tenants else None
+            aggregated = OpenLoopSource(
+                cohort.aggregate_rate_per_sec,
+                cohort.arrival,
+                seed=self.seed + order,
+                burst_size=cohort.burst_size,
+            )
+            # Labels are applied at Arrival construction (no per-arrival
+            # _replace in the merge) — the merge only orders timestamps.
+            compiled.append((order, None, aggregated.compile(sub_ctx, _tenant=label)))
+        if len(compiled) == 1:
+            return compiled[0][2]
+        return CompiledSource(_merge_labeled(compiled))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClientCohortSource) and self.to_dict() == other.to_dict()
 
 
 # ----------------------------------------------------------------------
@@ -614,12 +915,21 @@ def arrival_gaps(
     *,
     seed: int = 0,
     burst_size: int = 8,
+    vectorized: bool | None = None,
 ) -> Iterator[float]:
     """Infinite inter-arrival gaps (ms) for one arrival process.
 
     All three processes preserve the long-run rate ``rate_per_sec`` and are
     fully determined by ``seed`` — the property every replay/determinism
     contract in this package leans on.
+
+    With numpy installed, Poisson gaps are drawn in batches through the
+    vectorized kernel (the canonical stream; see
+    :mod:`repro.workload.vectorized`), so iterator consumers and chunked
+    consumers observe byte-identical gaps.  ``vectorized`` forces the
+    choice for testing: ``False`` selects the pure-Python ``math.log``
+    fallback, which consumes the identical uniform draws and matches the
+    kernel's gaps to within one ulp of the log.
     """
     if rate_per_sec <= 0:
         raise WorkloadError(f"rate_per_sec must be positive, got {rate_per_sec!r}")
@@ -631,6 +941,15 @@ def arrival_gaps(
         return uniform()
     if process == "poisson":
         rng = WorkloadRandom(seed)
+        use_kernel = _vectorized.HAVE_NUMPY if vectorized is None else vectorized
+        if use_kernel:
+            def poisson_batched() -> Iterator[float]:
+                core = rng.core
+                while True:
+                    yield from _vectorized.exponential_gap_batch(
+                        core, mean_ms, _GAP_BATCH
+                    ).tolist()
+            return poisson_batched()
         def poisson() -> Iterator[float]:
             while True:
                 # floating() draws from [0, 1); log(1-u) is always finite.
@@ -661,13 +980,26 @@ def arrival_times(
     *,
     seed: int = 0,
     burst_size: int = 8,
+    vectorized: bool | None = None,
 ) -> list[float]:
-    """The first ``count`` absolute arrival times (ms) of a process."""
+    """The first ``count`` absolute arrival times (ms) of a process.
+
+    Uses the vectorized kernel in one shot when numpy is available (byte-
+    identical to accumulating :func:`arrival_gaps`); ``vectorized=False``
+    forces the scalar accumulation for testing and numpy-less hosts.
+    """
     if count < 0:
         raise WorkloadError("count must be non-negative")
+    use_kernel = _vectorized.HAVE_NUMPY if vectorized is None else vectorized
+    if use_kernel:
+        return _vectorized.vectorized_arrival_times(
+            process, rate_per_sec, count, seed=seed, burst_size=burst_size
+        )
     times: list[float] = []
     clock = 0.0
-    gaps = arrival_gaps(process, rate_per_sec, seed=seed, burst_size=burst_size)
+    gaps = arrival_gaps(
+        process, rate_per_sec, seed=seed, burst_size=burst_size, vectorized=False
+    )
     for _ in range(count):
         clock += next(gaps)
         times.append(clock)
@@ -736,12 +1068,24 @@ def _tenants_from_dict(data: Mapping) -> TenantSource:
     )
 
 
+def _cohorts_from_dict(data: Mapping) -> ClientCohortSource:
+    cohorts = data.get("cohorts")
+    if not isinstance(cohorts, (list, tuple)):
+        raise WorkloadError("cohorts source dict needs a 'cohorts' list")
+    return ClientCohortSource(
+        [Cohort.from_dict(entry) for entry in cohorts],
+        seed=data.get("seed", 0),
+        label_tenants=data.get("label_tenants", True),
+    )
+
+
 _SOURCE_KINDS: dict[str, Callable[[Mapping], WorkloadSource]] = {
     ClosedLoopSource.kind: _closed_loop_from_dict,
     OpenLoopSource.kind: _open_loop_from_dict,
     TraceReplaySource.kind: _trace_replay_from_dict,
     PhasedSource.kind: _phased_from_dict,
     TenantSource.kind: _tenants_from_dict,
+    ClientCohortSource.kind: _cohorts_from_dict,
 }
 
 __all__ = [
@@ -755,6 +1099,8 @@ __all__ = [
     "TraceReplaySource",
     "PhasedSource",
     "TenantSource",
+    "Cohort",
+    "ClientCohortSource",
     "arrival_gaps",
     "arrival_times",
 ]
