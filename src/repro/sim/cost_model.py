@@ -162,8 +162,71 @@ class CostModel:
                     self._schedule_cache.clear()
             else:
                 self._cache_hits += 1
+        return self._timing_from(schedule, plan.estimation_ms)
+
+    def attempt_timings(
+        self,
+        pairs,
+        num_partitions: int,
+    ) -> list["AttemptTiming"]:
+        """Timings for every ``(plan, attempt)`` pair of one transaction.
+
+        Restarted transactions often repeat the same plan shape (a fully
+        distributed retry re-executes the same invocation sequence), so the
+        shape key is built and the schedule cache probed **once per distinct
+        shape per transaction** instead of once per attempt; repeated shapes
+        reuse the schedule via a tiny per-transaction memo.  Field-identical
+        to calling :meth:`attempt_timing` per pair (the cache stores the
+        same schedules either way; only probe counts differ, and those only
+        steer the wall-clock bypass heuristic, never a simulated value).
+        """
+        if self._cache_bypassed:
+            return [
+                self._timing_from(
+                    self._compute_schedule(
+                        plan.base_partition, plan.lock_set(num_partitions), attempt
+                    ),
+                    plan.estimation_ms,
+                )
+                for plan, attempt in pairs
+            ]
+        memo: dict = {}
+        timings = []
+        for plan, attempt in pairs:
+            lock_set = plan.lock_set(num_partitions)
+            key = (
+                plan.base_partition,
+                lock_set,
+                tuple(invocation.partitions for invocation in attempt.invocations),
+                attempt.undo_records_written,
+                attempt.committed,
+                attempt.finished_partitions,
+            )
+            schedule = memo.get(key)
+            if schedule is None:
+                schedule = self._schedule_cache.get(key)
+                self._cache_checks += 1
+                if schedule is None:
+                    schedule = self._compute_schedule(
+                        plan.base_partition, lock_set, attempt
+                    )
+                    self._schedule_cache[key] = schedule
+                    if (
+                        self._cache_checks >= self._CACHE_PROBATION
+                        and self._cache_hits
+                        < self._cache_checks * self._CACHE_MIN_HIT_RATE
+                    ):
+                        self._cache_bypassed = True
+                        self._schedule_cache.clear()
+                else:
+                    self._cache_hits += 1
+                memo[key] = schedule
+            timings.append(self._timing_from(schedule, plan.estimation_ms))
+        return timings
+
+    def _timing_from(self, schedule, estimation_ms: float) -> "AttemptTiming":
+        """Attach a plan's estimation cost to a shape-derived schedule."""
         execution_ms, coordination_ms, base_total_ms, release_plan = schedule
-        estimation_ms = plan.estimation_ms
         total_ms = base_total_ms + estimation_ms
         release_offsets: dict[PartitionId, float] = {}
         for partition_id, early_release in release_plan:

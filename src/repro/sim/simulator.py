@@ -117,6 +117,15 @@ class SimulatorConfig:
     #: O(1)-memory sketches (:mod:`repro.sim.sketch`) so unbounded runs
     #: never grow per-transaction state — the million-user scale mode.
     metrics_mode: str = "exact"
+    #: ``"inline"`` executes every transaction in the event loop (default);
+    #: ``"sharded"`` shards the partition stores across OS worker processes
+    #: and dispatches predictable single-partition transactions to them
+    #: (:mod:`repro.sim.backend`).  Simulated results are byte-identical
+    #: either way; only wall-clock throughput differs.
+    execution_backend: str = "inline"
+    #: Worker-process count for the sharded backend (clamped to the
+    #: partition count; ignored by the inline backend).
+    num_workers: int = 2
 
 
 @dataclass(frozen=True)
@@ -179,6 +188,11 @@ class ClusterSimulator:
         #: Populated by :meth:`begin` (scheduler + admission introspection).
         self.scheduler: TransactionScheduler | None = None
         self.admission: AdmissionController | None = None
+        #: Execution backend (created at the first :meth:`begin` of a
+        #: sharded run; survives :meth:`reset` so worker processes persist
+        #: across episodes exactly like the database does).
+        self._backend = None
+        self._execute = self.coordinator.execute_transaction
         self._began = False
 
     # ------------------------------------------------------------------
@@ -200,6 +214,11 @@ class ClusterSimulator:
             raise SimulationError(
                 f"metrics_mode must be 'exact' or 'streaming', "
                 f"got {config.metrics_mode!r}"
+            )
+        if config.execution_backend not in ("inline", "sharded"):
+            raise SimulationError(
+                f"execution_backend must be 'inline' or 'sharded', "
+                f"got {config.execution_backend!r}"
             )
         streaming = config.metrics_mode == "streaming"
         self._streaming = streaming
@@ -252,6 +271,16 @@ class ClusterSimulator:
         #: (TXN_COMPLETE / PARTITION_RELEASE / EXTERNAL_SUBMIT).
         self._general_events = 0
         self._now = 0.0
+        if config.execution_backend == "sharded":
+            if self._backend is None:
+                from .backend import ShardedBackend
+
+                self._backend = ShardedBackend(self, config.num_workers)
+            # Once workers exist, every out-of-pipeline execution must
+            # broadcast its writes to them.
+            self._execute = self._backend.execute_local
+        else:
+            self._execute = self.coordinator.execute_transaction
         self._began = True
 
     @property
@@ -393,8 +422,16 @@ class ClusterSimulator:
     def reset(self) -> None:
         """Discard all incremental state; the next drive starts a fresh
         episode (the database and strategy keep their accumulated state,
-        exactly as repeated legacy ``run()`` calls did)."""
+        exactly as repeated legacy ``run()`` calls did — and so does the
+        sharded backend's worker pool, whose database copies track the
+        coordinator's)."""
         self._began = False
+
+    def close(self) -> None:
+        """Release backend resources (sharded worker processes).  Idempotent;
+        the inline backend holds none."""
+        if self._backend is not None:
+            self._backend.shutdown()
 
     def run(self) -> SimulationResult:
         """One-shot batch entry point (``config.total_transactions`` txns).
@@ -438,7 +475,10 @@ class ClusterSimulator:
             # folded into its next CLIENT_READY event — one heap entry per
             # transaction.  Submissions still go through the scheduler, so
             # the policy orders them and the stats stay live.
-            self._run_fast(limit)
+            if self._backend is not None:
+                self._backend.run_fast(limit)
+            else:
+                self._run_fast(limit)
         else:
             self._run_general(deadline_ms, limit, need_estimates, gate_on_partitions)
 
@@ -461,7 +501,7 @@ class ClusterSimulator:
         scheduler_pop = self.scheduler.pop
         record_zero_wait = self.scheduler.record_zero_wait
         next_request = self.generator.next_request
-        execute = self.coordinator.execute_transaction
+        execute = self._execute
         processed = 0
         while events and processed < limit:
             processed += 1
@@ -604,7 +644,7 @@ class ClusterSimulator:
         breakdown_acc = self._breakdown_acc
         next_wakeup = self._next_wakeup
         redirect_ms = self.cost_model.redirect_ms
-        execute = self.coordinator.execute_transaction
+        execute = self._execute
         blocked: list = []
         blocked_until = _INF
         while scheduler:
@@ -820,8 +860,18 @@ class ClusterSimulator:
             breakdown_acc[record.procedure] = acc
         pairs = record.attempt_pairs()
         last_index = len(pairs) - 1
+        if last_index > 0:
+            # Restarted transaction: batch the schedule-cache probes — one
+            # per distinct plan shape instead of one per attempt.
+            timings = self.cost_model.attempt_timings(pairs, num_partitions)
+        else:
+            timings = None
         for attempt_index, (plan, attempt) in enumerate(pairs):
-            timing = attempt_timing(plan, attempt, num_partitions)
+            timing = (
+                timings[attempt_index]
+                if timings is not None
+                else attempt_timing(plan, attempt, num_partitions)
+            )
             lock_set = plan.lock_set(num_partitions).partitions
             ready = clock + plan.estimation_ms + timing.planning_ms
             start = ready

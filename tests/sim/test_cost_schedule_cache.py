@@ -126,6 +126,38 @@ class TestScheduleCache:
         assert model._cache_bypassed  # unique shapes triggered the bypass
 
 
+class TestBatchTimings:
+    def test_attempt_timings_field_identical_to_per_attempt(self):
+        """The batched replay API must be field-identical to probing the
+        schedule cache once per attempt — including when a restarted
+        transaction repeats the same plan shape (the per-transaction
+        memo path)."""
+        plan_sp = _plan(0, (0,))
+        plan_dist = _plan(0, (0, 1, 2, 3))
+        attempt_fail = _attempt([[0], [0]], committed=False)
+        attempt_retry = _attempt([[0], [1], [2]], finished=frozenset({1, 2}))
+        pairs = [
+            (plan_sp, attempt_fail),
+            (plan_dist, attempt_retry),
+            (plan_dist, attempt_retry),  # repeated shape → memo hit
+            (plan_sp, _attempt([[0]], undo=2)),
+        ]
+        batched = CostModel().attempt_timings(pairs, 4)
+        reference = CostModel()
+        singles = [
+            reference.attempt_timing(plan, attempt, 4) for plan, attempt in pairs
+        ]
+        assert len(batched) == len(singles)
+        for got, want in zip(batched, singles):
+            assert got.total_ms == want.total_ms
+            assert got.estimation_ms == want.estimation_ms
+            assert got.planning_ms == want.planning_ms
+            assert got.setup_ms == want.setup_ms
+            assert got.execution_ms == want.execution_ms
+            assert got.coordination_ms == want.coordination_ms
+            assert got.release_offsets == want.release_offsets
+
+
 class TestAttemptPairAPI:
     def test_add_attempt_keeps_pairs_aligned(self):
         from repro.txn.record import TransactionRecord

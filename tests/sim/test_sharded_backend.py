@@ -1,0 +1,185 @@
+"""Tests for the sharded parallel execution backend (:mod:`repro.sim.backend`).
+
+The backend's whole contract is *byte-identical simulated results*: the
+coordinator keeps every simulated decision, workers only pre-execute
+transaction logic, and the fold path must reproduce exactly what the
+inline backend would have computed.  These tests hold it to that:
+
+* ``SimulationResult.to_dict()`` equality against the inline backend on
+  TATP and TPC-C, across all four execution strategies and worker counts.
+  Dispatching requires warm estimate caches (a processed Markov model),
+  so the Houdini runs are long enough to actually dispatch — and assert
+  that they did; the other strategies must degrade to pure local
+  execution and still match;
+* the same equality for a scripted session that mixes the fast loop, an
+  out-of-loop ``submit`` (general event loop) and a second fast stretch,
+  which exercises the worker write-replay path;
+* a killed worker surfaces a prompt ``SessionError`` instead of hanging
+  the coordinator;
+* spec validation and round-tripping of the new fields.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro import pipeline
+from repro.errors import SessionError
+from repro.session import Cluster, ClusterSpec
+from repro.types import ProcedureRequest
+
+STRATEGIES = (
+    "assume-distributed",
+    "assume-single-partition",
+    "oracle",
+    "houdini",
+)
+
+#: Transactions per run: enough for the estimate cache to warm up and the
+#: dispatch path to engage under Houdini; short for the strategies that
+#: can never dispatch (no Houdini runtime → no speculation).
+_TXNS = {"houdini": 1200}
+_TXNS_DEFAULT = 250
+
+#: Inline reference results, computed once per configuration (both sides
+#: of every comparison train from scratch, so sharing the inline side
+#: across worker counts is safe).
+_INLINE_CACHE: dict = {}
+
+
+def _run(bench, strategy, backend, workers=2, seed=17):
+    txns = _TXNS.get(strategy, _TXNS_DEFAULT)
+    artifacts = pipeline.train(bench, 4, trace_transactions=150, seed=seed)
+    session = Cluster.open(
+        ClusterSpec(
+            benchmark=bench,
+            num_partitions=4,
+            strategy=strategy,
+            execution_backend=backend,
+            num_workers=workers,
+        ),
+        artifacts=artifacts,
+        strategy=pipeline.make_strategy(strategy, artifacts),
+    )
+    try:
+        result = session.run_for(txns=txns).to_dict()
+        backend_obj = session.simulator._backend
+        stats = dict(backend_obj.stats) if backend_obj is not None else None
+        return result, stats
+    finally:
+        session.close()
+
+
+def _inline_reference(bench, strategy):
+    key = (bench, strategy)
+    if key not in _INLINE_CACHE:
+        _INLINE_CACHE[key] = _run(bench, strategy, "inline")[0]
+    return _INLINE_CACHE[key]
+
+
+class TestByteEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("bench", ["tatp", "tpcc"])
+    def test_sharded_equals_inline(self, bench, strategy):
+        sharded, stats = _run(bench, strategy, "sharded", workers=2)
+        if strategy == "houdini":
+            assert stats["dispatched"] > 0, "dispatch path never engaged"
+        assert sharded == _inline_reference(bench, strategy)
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_worker_count_does_not_change_results(self, workers):
+        sharded, stats = _run("tatp", "houdini", "sharded", workers=workers)
+        assert stats["dispatched"] > 0, "dispatch path never engaged"
+        assert sharded == _inline_reference("tatp", "houdini")
+
+    def test_scripted_session_with_out_of_loop_submit(self):
+        """Fast loop → general loop (out-of-loop submit) → fast loop."""
+
+        def scripted(backend):
+            artifacts = pipeline.train("tatp", 4, trace_transactions=150, seed=11)
+            session = Cluster.open(
+                ClusterSpec(
+                    benchmark="tatp",
+                    num_partitions=4,
+                    execution_backend=backend,
+                    num_workers=2,
+                ),
+                artifacts=artifacts,
+            )
+            session.run_for(txns=1000)
+            raw = session.simulator.generator.next_request()
+            session.submit(ProcedureRequest(raw.procedure, raw.parameters, 0, 0))
+            session.run_for(txns=300)
+            return session.close().to_dict()
+
+        assert scripted("sharded") == scripted("inline")
+
+
+class TestWorkerFailure:
+    def test_killed_worker_raises_session_error_promptly(self):
+        artifacts = pipeline.train("tatp", 4, trace_transactions=150, seed=3)
+        session = Cluster.open(
+            ClusterSpec(
+                benchmark="tatp",
+                num_partitions=4,
+                execution_backend="sharded",
+                num_workers=2,
+            ),
+            artifacts=artifacts,
+        )
+        try:
+            session.run_for(txns=1000)
+            backend = session.simulator._backend
+            assert backend._started, "expected the run to dispatch work"
+            os.kill(backend._procs[0].pid, signal.SIGKILL)
+            started = time.monotonic()
+            with pytest.raises(SessionError, match="worker"):
+                session.run_for(txns=1000)
+            assert time.monotonic() - started < 30.0
+        finally:
+            # The session is unusable (close() would drain through the
+            # dead pool); reap the processes directly.
+            session.simulator.close()
+
+    def test_close_shuts_down_worker_pool(self):
+        artifacts = pipeline.train("tatp", 4, trace_transactions=150, seed=5)
+        session = Cluster.open(
+            ClusterSpec(
+                benchmark="tatp",
+                num_partitions=4,
+                execution_backend="sharded",
+                num_workers=2,
+            ),
+            artifacts=artifacts,
+        )
+        session.run_for(txns=1000)
+        backend = session.simulator._backend
+        processes = list(backend._procs)
+        assert processes, "expected the run to start the worker pool"
+        session.close()
+        assert not backend._started
+        for process in processes:
+            assert not process.is_alive()
+
+
+class TestSpecValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SessionError, match="execution_backend"):
+            ClusterSpec(execution_backend="threads")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(SessionError, match="num_workers"):
+            ClusterSpec(num_workers=0)
+
+    def test_round_trip_preserves_backend_fields(self):
+        spec = ClusterSpec(execution_backend="sharded", num_workers=3)
+        data = spec.to_dict()
+        assert data["execution_backend"] == "sharded"
+        assert data["num_workers"] == 3
+        again = ClusterSpec.from_kwargs(**data)
+        assert again.execution_backend == "sharded"
+        assert again.num_workers == 3
