@@ -1,0 +1,155 @@
+"""The repo's enforced invariants, as data.
+
+Every rule in :mod:`repro.analysis.rules` is parameterized by one of the
+registries below instead of hard-coding class or attribute names, so
+extending a contract to a new subsystem is a one-line edit here — the rule
+machinery never changes.  The registries are the written-down form of the
+contracts that previously lived only in docstrings and reviewers' heads:
+
+* the determinism contract (all randomness and clocks route through
+  :class:`~repro.workload.rng.WorkloadRandom` / seeded generators; the
+  byte-equivalence suites rely on it);
+* the prediction-version contract (mutating a Markov model's structure
+  must advance :attr:`~repro.markov.model.MarkovModel.version`, the token
+  the §6.3 estimate cache and compiled walks validate against);
+* the cache-invalidation contract (derived caches are cleared through
+  their named contract methods, never by reaching into private dicts);
+* the cross-process contract (worker processes of the sharded backend are
+  pure executors — no clock, no RNG, no scheduler — and the pipe protocol
+  speaks named tags from one shared module);
+* the serialization contract (``to_dict`` output round-trips through
+  ``from_dict``).
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+#: Fully-resolved call targets that introduce nondeterminism.  Calls are
+#: resolved through import aliases (``from time import time`` is caught).
+#: ``time.perf_counter`` is deliberately absent: it measures *wall-clock
+#: cost of the planner itself* (``estimation_ms``), which is a measured
+#: quantity, not a simulated decision input.
+BANNED_CALLS: dict[str, str] = {
+    "time.time": "wall-clock time; simulated time comes from the event loop",
+    "time.time_ns": "wall-clock time; simulated time comes from the event loop",
+    "time.monotonic": "host clock; simulated time comes from the event loop",
+    "time.monotonic_ns": "host clock; simulated time comes from the event loop",
+    "datetime.datetime.now": "wall-clock date; derive timestamps from the run seed",
+    "datetime.datetime.utcnow": "wall-clock date; derive timestamps from the run seed",
+    "datetime.datetime.today": "wall-clock date; derive timestamps from the run seed",
+    "datetime.date.today": "wall-clock date; derive timestamps from the run seed",
+    "os.urandom": "OS entropy; route randomness through WorkloadRandom",
+    "os.getrandom": "OS entropy; route randomness through WorkloadRandom",
+    "uuid.uuid1": "host/time-derived id; derive ids from seeded counters",
+    "uuid.uuid4": "OS entropy; derive ids from seeded counters",
+}
+
+#: Modules whose *module-level* functions draw from hidden global state.
+#: Instantiating a seeded generator from them (``random.Random(seed)``,
+#: ``numpy.random.default_rng(seed)``) is the sanctioned pattern and stays
+#: allowed; calling the module-level singletons is banned.
+BANNED_MODULE_RANDOM: dict[str, frozenset[str]] = {
+    # module -> constructor names that remain allowed
+    "random": frozenset({"Random"}),
+    "numpy.random": frozenset({"default_rng", "Generator", "RandomState", "MT19937"}),
+    "secrets": frozenset(),
+}
+
+# ----------------------------------------------------------------------
+# version-bump
+# ----------------------------------------------------------------------
+#: Classes whose structural mutations must advance a version counter.
+#: ``tracked`` names the attributes holding prediction-relevant structure;
+#: any method that mutates one of them (directly, through a local alias,
+#: or via a mutating dict/set method call) must — itself or through
+#: another method it calls — assign/augment the ``version`` attribute.
+VERSIONED_CLASSES: dict[str, dict] = {
+    "MarkovModel": {
+        "tracked": frozenset({"_vertices", "_edges", "_reverse"}),
+        "version": "version",
+        "hint": "bump self.version (or delegate to _add_vertex/_add_edge_visit)",
+    },
+}
+
+#: Attribute-name suffix of cache-feeding cost constants: assigning one on
+#: a live instance must go through the class's ``__setattr__`` clearing
+#: path (``CostModel.__setattr__`` drops the schedule cache), so bypasses
+#: — ``object.__setattr__(obj, "..._ms", v)`` or ``obj.__dict__[...]`` —
+#: are violations everywhere except inside a ``__setattr__`` definition.
+CACHE_FEEDING_SUFFIX = "_ms"
+
+# ----------------------------------------------------------------------
+# cache-poke
+# ----------------------------------------------------------------------
+#: Private cache containers and their owning class.  Touching one of these
+#: attributes in code that is not inside the owner class is a violation;
+#: the message names the contract method(s) to use instead.
+PROTECTED_CACHES: dict[str, tuple[str, str]] = {
+    # attribute -> (owner class, contract methods to use instead)
+    "_entries": ("EstimateCache", "lookup()/peek()/store()/invalidate()/invalidate_procedure()"),
+    "_schedule_cache": ("CostModel", "assign the *_ms field or call clear_schedule_cache()"),
+    "_walk_tables": ("PathEstimator", "walk_record()/clear_walk_records()"),
+    "_sorted_successors": ("MarkovModel", "successors()/process(); mutate via record_transition(s)"),
+    "_successor_records": ("MarkovModel", "successor_records()/process()"),
+    "_successor_hints": ("MarkovModel", "successor_hint()/process()"),
+    "_successor_index": ("MarkovModel", "probe_successor()/process()"),
+    "_successor_groups": ("MarkovModel", "successor_groups()/process()"),
+}
+
+# ----------------------------------------------------------------------
+# process-hygiene
+# ----------------------------------------------------------------------
+#: Module path suffixes (posix, relative) of worker-side code.  Workers
+#: are pure executors: importing coordinator-only subsystems — or any
+#: clock/entropy module — from one of these is a violation.
+WORKER_MODULE_SUFFIXES: tuple[str, ...] = ("sim/backend/worker.py",)
+
+#: Import prefixes only the coordinator may use (scheduler, admission,
+#: workload/RNG, metrics, the event loop and strategy state).
+COORDINATOR_ONLY_IMPORTS: tuple[str, ...] = (
+    "repro.scheduling",
+    "repro.workload",
+    "repro.houdini",
+    "repro.strategies",
+    "repro.sim.events",
+    "repro.sim.simulator",
+    "repro.sim.metrics",
+    "repro.sim.sketch",
+)
+
+#: Absolute modules banned outright in worker-side code (clocks, entropy).
+WORKER_BANNED_MODULES: tuple[str, ...] = (
+    "time",
+    "random",
+    "uuid",
+    "secrets",
+    "datetime",
+)
+
+#: Modules that speak the sharded backend's pipe protocol.  Inside them,
+#: short string literals (the message/report tags) must be named constants
+#: imported from the protocol module — an inline ``"d"`` in one peer can
+#: silently disagree with the other's.
+PROTOCOL_SPEAKER_SUFFIXES: tuple[str, ...] = (
+    "sim/backend/sharded.py",
+    "sim/backend/worker.py",
+)
+
+#: The single module allowed to *define* protocol tags.  Its module-level
+#: constants must be pairwise distinct within each direction of the pipe.
+PROTOCOL_DEF_SUFFIX = "sim/backend/protocol.py"
+
+#: Maximum length of a string literal treated as a protocol tag inside a
+#: speaker module (tags are 1-3 chars; real prose is longer).
+PROTOCOL_TAG_MAX_LEN = 3
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+#: ``to_dict`` keys that are derived/recomputed on load by convention and
+#: therefore not required to appear in ``from_dict``: ``derived`` blocks
+#: are rebuilt from counters, ``version``/``summary`` are format stamps
+#: and rollups regenerated on the next dump.
+RECOMPUTED_KEYS: frozenset[str] = frozenset({"derived", "version", "summary"})

@@ -1,0 +1,178 @@
+"""``process-hygiene``: workers stay pure, the pipe speaks named tags.
+
+The sharded backend splits the simulation across OS processes: the
+coordinator owns the clock, scheduler, admission, RNG and metrics; workers
+execute storage operations and report back.  Two things keep that split
+sound, and both are mechanical:
+
+* **import hygiene** — a module on the worker side of the fork (path
+  suffix in :data:`~repro.analysis.contracts.WORKER_MODULE_SUFFIXES`) must
+  not import coordinator-only subsystems or any clock/entropy module.
+  A worker that imports the scheduler can silently diverge from the
+  coordinator's view; a worker that reads a clock breaks twin-run
+  byte-equivalence.
+* **named protocol tags** — the pipe protocol's message/report tags live
+  as module-level constants in ``sim/backend/protocol.py`` and both
+  speakers import them, so the two sides agree *by construction*.  An
+  inline ``"d"`` in one peer can silently disagree with the other's; any
+  short string literal inside a speaker module (outside module-level
+  constant definitions and docstrings) is flagged.  Within the protocol
+  module itself, two constants sharing a value is flagged — tag collisions
+  make messages ambiguous.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .. import contracts
+from ..core import Finding, ModuleInfo, ProjectIndex, Rule
+
+
+class ProcessHygieneRule(Rule):
+    id = "process-hygiene"
+    summary = (
+        "worker modules import no coordinator-only state; pipe-protocol "
+        "tags are named constants from sim/backend/protocol.py"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        path = module.display_path.replace("\\", "/")
+        if path.endswith(contracts.WORKER_MODULE_SUFFIXES):
+            yield from self._check_worker_imports(module)
+        if path.endswith(contracts.PROTOCOL_SPEAKER_SUFFIXES):
+            yield from self._check_inline_tags(module)
+        if path.endswith(contracts.PROTOCOL_DEF_SUFFIX):
+            yield from self._check_tag_uniqueness(module)
+
+    # ------------------------------------------------------------------
+    # worker-side import hygiene
+    # ------------------------------------------------------------------
+    def _check_worker_imports(self, module: ModuleInfo) -> Iterator[Finding]:
+        flagged: set[ast.AST] = set()
+        for dotted, node in module.resolved_imports():
+            if node in flagged:
+                continue  # one finding per import statement
+            root = dotted.split(".")[0]
+            if root in contracts.WORKER_BANNED_MODULES:
+                flagged.add(node)
+                yield self.finding(
+                    module, node,
+                    f"worker-side module imports '{dotted}': workers are "
+                    "pure executors with no clock or entropy",
+                )
+                continue
+            for banned in contracts.COORDINATOR_ONLY_IMPORTS:
+                if dotted == banned or dotted.startswith(banned + "."):
+                    flagged.add(node)
+                    yield self.finding(
+                        module, node,
+                        f"worker-side module imports coordinator-only "
+                        f"'{dotted}'; workers must not touch scheduler/"
+                        "workload/metrics/strategy state",
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    # inline protocol tags in speaker modules
+    # ------------------------------------------------------------------
+    def _check_inline_tags(self, module: ModuleInfo) -> Iterator[Finding]:
+        const_values = _module_constant_literals(module.tree)
+        const_values |= _slots_literals(module.tree)
+        docstrings = _docstring_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if not isinstance(value, str):
+                continue
+            if not (0 < len(value) <= contracts.PROTOCOL_TAG_MAX_LEN):
+                continue
+            if not value.isalnum():
+                continue
+            if node in const_values or node in docstrings:
+                continue
+            yield self.finding(
+                module, node,
+                f"inline short string literal {value!r} in a protocol "
+                "speaker module; use a named tag constant from "
+                "sim/backend/protocol.py",
+            )
+
+    # ------------------------------------------------------------------
+    # tag uniqueness in the protocol module
+    # ------------------------------------------------------------------
+    def _check_tag_uniqueness(self, module: ModuleInfo) -> Iterator[Finding]:
+        seen: dict[str, str] = {}
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+                continue
+            name = stmt.targets[0].id
+            if not (isinstance(stmt.value, ast.Constant) and isinstance(stmt.value.value, str)):
+                continue
+            value = stmt.value.value
+            if value in seen:
+                yield self.finding(
+                    module, stmt,
+                    f"protocol tag {name} reuses value {value!r} already "
+                    f"bound to {seen[value]}; tags must be distinct",
+                )
+            else:
+                seen[value] = name
+
+
+def _module_constant_literals(tree: ast.Module) -> set[ast.Constant]:
+    """String ``ast.Constant`` nodes on the RHS of module-level assignments.
+
+    These are the constant *definitions* (``TAG_DISPATCH = "d"``) and are
+    the one place a speaker module may spell a tag out.  Tuple RHS values
+    (``A, B = "a", "b"``) are covered too.
+    """
+    allowed: set[ast.Constant] = set()
+    for stmt in tree.body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = stmt.value
+        if value is None:
+            continue
+        for node in ast.walk(value):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                allowed.add(node)
+    return allowed
+
+
+def _slots_literals(tree: ast.Module) -> set[ast.Constant]:
+    """Strings inside ``__slots__`` assignments — member names, not tags."""
+    out: set[ast.Constant] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__slots__" for t in targets
+        ):
+            continue
+        if node.value is None:
+            continue
+        for child in ast.walk(node.value):
+            if isinstance(child, ast.Constant) and isinstance(child.value, str):
+                out.add(child)
+    return out
+
+
+def _docstring_nodes(tree: ast.Module) -> set[ast.Constant]:
+    docs: set[ast.Constant] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                docs.add(body[0].value)
+    return docs

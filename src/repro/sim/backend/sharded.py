@@ -53,6 +53,17 @@ from ...strategies.houdini_strategy import HoudiniStrategy
 from ...types import ProcedureRequest
 from ..events import CLIENT_READY
 from .effects import CapturingUndoLog, apply_ops
+from .protocol import (
+    MSG_BATCH,
+    MSG_QUIT,
+    MSG_REPORT,
+    MSG_ROLLBACK,
+    MSG_ROLLBACK_ACK,
+    REPORT_ERR,
+    REPORT_OK,
+    SUB_DISPATCH,
+    SUB_EFFECTS,
+)
 from .worker import worker_main
 
 _INF = float("inf")
@@ -178,7 +189,7 @@ class ShardedBackend:
             return
         for conn in self._conns:
             try:
-                conn.send(("q",))
+                conn.send((MSG_QUIT,))
             except (BrokenPipeError, OSError):
                 pass
         for process in self._procs:
@@ -224,7 +235,7 @@ class ShardedBackend:
         if outbox:
             self._outbox[worker] = []
             self._flushed_high[worker] = self._buffered_high[worker]
-            self._send(worker, ("B", outbox))
+            self._send(worker, (MSG_BATCH, outbox))
 
     def _recv(self, worker: int):
         conn = self._conns[worker]
@@ -252,7 +263,7 @@ class ShardedBackend:
                 # The dispatch we are waiting on is still buffered.
                 self._flush(worker)
             message = self._recv(worker)
-            if message[0] != "R":
+            if message[0] != MSG_REPORT:
                 raise SessionError(
                     "sharded backend protocol error: expected report "
                     f"batch, got {message[:2]!r}"
@@ -260,12 +271,12 @@ class ShardedBackend:
             inbox.extend(message[1])
         report = inbox.popleft()
         tag = report[0]
-        if tag == "err":
+        if tag == REPORT_ERR:
             raise SessionError(
                 f"sharded backend worker {worker} failed executing "
                 f"{entry.request.procedure}: {report[2]}"
             )
-        if tag != "ok" or report[1] != entry.did:
+        if tag != REPORT_OK or report[1] != entry.did:
             raise SessionError(
                 "sharded backend protocol error: expected report for "
                 f"dispatch {entry.did}, got {report[:2]!r}"
@@ -311,7 +322,7 @@ class ShardedBackend:
         self._enqueue(
             worker,
             (
-                "d",
+                SUB_DISPATCH,
                 entry.did,
                 entry.request,
                 entry.spec.base_partition,
@@ -383,7 +394,7 @@ class ShardedBackend:
         if not ops or not self._started:
             return
         if self.num_workers == 1:
-            self._enqueue(0, ("x", ops))
+            self._enqueue(0, (SUB_EFFECTS, ops))
             return
         shard_ops: list[list | None] = [None] * self.num_workers
         for op in ops:
@@ -393,7 +404,7 @@ class ShardedBackend:
             shard_ops[worker].append(op)
         for worker, ops_for_worker in enumerate(shard_ops):
             if ops_for_worker is not None:
-                self._enqueue(worker, ("x", ops_for_worker))
+                self._enqueue(worker, (SUB_EFFECTS, ops_for_worker))
 
     def _execute_capturing(self, request):
         """Execute locally on the coordinator, returning (record, ops)."""
@@ -436,13 +447,13 @@ class ShardedBackend:
             # before it), so replay-then-rollback ordering is safe.
             outbox = self._outbox[worker]
             if outbox:
-                self._outbox[worker] = [m for m in outbox if m[0] != "d"]
+                self._outbox[worker] = [m for m in outbox if m[0] != SUB_DISPATCH]
                 self._flush(worker)
             # Re-dispatches reuse the dids just discarded, so the flush
             # high-water marks must not claim to cover them anymore.
             self._buffered_high[worker] = -1
             self._flushed_high[worker] = -1
-            self._send(worker, ("r", boundary))
+            self._send(worker, (MSG_ROLLBACK, boundary))
         for worker in range(self.num_workers):
             # Reports already received, and any still in the pipe before
             # the ack, all belong to discarded dispatches.
@@ -450,15 +461,15 @@ class ShardedBackend:
             while True:
                 message = self._recv(worker)
                 tag = message[0]
-                if tag == "rb" and message[1] == boundary:
+                if tag == MSG_ROLLBACK_ACK and message[1] == boundary:
                     break
-                if tag != "R":
+                if tag != MSG_REPORT:
                     raise SessionError(
                         "sharded backend protocol error during rollback "
                         f"cascade: got {message[:2]!r}"
                     )
                 for report in message[1]:
-                    if report[0] == "err":
+                    if report[0] == REPORT_ERR:
                         raise SessionError(
                             f"sharded backend worker {worker} failed "
                             f"during rollback cascade: {report[2]}"

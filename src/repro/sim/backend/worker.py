@@ -51,6 +51,16 @@ from __future__ import annotations
 from ...engine.engine import ExecutionEngine
 from ...storage.undo_log import UndoAction
 from .effects import CapturingUndoLog, apply_ops
+from .protocol import (
+    MSG_BATCH,
+    MSG_QUIT,
+    MSG_REPORT,
+    MSG_ROLLBACK,
+    MSG_ROLLBACK_ACK,
+    REPORT_ERR,
+    REPORT_OK,
+    SUB_DISPATCH,
+)
 
 
 def worker_main(conn, catalog, database, shard_partitions) -> None:
@@ -62,11 +72,11 @@ def worker_main(conn, catalog, database, shard_partitions) -> None:
         while True:
             message = conn.recv()
             tag = message[0]
-            if tag == "B":
+            if tag == MSG_BATCH:
                 reports: list[tuple] = []
                 failed = False
                 for sub in message[1]:
-                    if sub[0] == "d":
+                    if sub[0] == SUB_DISPATCH:
                         _, did, request, base, locked, watermark = sub
                         for old_did in [d for d in held if d <= watermark]:
                             del held[old_did]
@@ -91,7 +101,7 @@ def worker_main(conn, catalog, database, shard_partitions) -> None:
                         except Exception as error:  # noqa: BLE001
                             reports.append(
                                 (
-                                    "err",
+                                    REPORT_ERR,
                                     did,
                                     f"{type(error).__name__}: {error}",
                                 )
@@ -99,18 +109,20 @@ def worker_main(conn, catalog, database, shard_partitions) -> None:
                             failed = True
                             break
                         held[did] = log.held_records
-                        reports.append(("ok", did, result, effects, op_counts))
-                    else:  # "x"
+                        reports.append((REPORT_OK, did, result, effects, op_counts))
+                    else:  # SUB_EFFECTS
                         apply_ops(database, sub[1], shard)
                 if reports:
-                    conn.send(("R", reports))
+                    conn.send((MSG_REPORT, reports))
                 if failed:
                     return
-            elif tag == "r":
+            elif tag == MSG_ROLLBACK:
                 boundary = message[1]
                 _rollback_from(database, held, boundary)
-                conn.send(("rb", boundary))
-            else:  # "q"
+                conn.send((MSG_ROLLBACK_ACK, boundary))
+            elif tag == MSG_QUIT:
+                return
+            else:  # unknown tag: protocol bug, exit rather than wedge
                 return
     except (EOFError, OSError, KeyboardInterrupt):
         return

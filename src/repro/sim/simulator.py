@@ -162,6 +162,19 @@ class InFlightTransaction:
             "predicted_remaining_ms": self.predicted_remaining_ms,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "InFlightTransaction":
+        return cls(
+            state=data["state"],
+            procedure=data["procedure"],
+            tenant=data.get("tenant"),
+            txn_id=data.get("txn_id"),
+            attempt=int(data["attempt"]),
+            partitions=tuple(data["partitions"]),
+            submitted_at_ms=float(data["submitted_at_ms"]),
+            predicted_remaining_ms=float(data["predicted_remaining_ms"]),
+        )
+
 
 class ClusterSimulator:
     """Steppable event core for one (benchmark, strategy, cluster) configuration."""

@@ -1,0 +1,145 @@
+"""Positive/negative fixtures for the ``determinism`` rule."""
+
+from __future__ import annotations
+
+
+class TestBannedCalls:
+    def test_time_time_flagged(self, check):
+        findings = check({"mod.py": """
+            import time
+
+            def stamp():
+                return time.time()
+        """}, rule="determinism")
+        assert len(findings) == 1
+        assert "time.time" in findings[0].message
+
+    def test_from_import_alias_flagged(self, check):
+        findings = check({"mod.py": """
+            from time import time as wall
+
+            def stamp():
+                return wall()
+        """}, rule="determinism")
+        assert len(findings) == 1
+
+    def test_perf_counter_allowed(self, check):
+        findings = check({"mod.py": """
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """}, rule="determinism")
+        assert findings == []
+
+    def test_uuid4_flagged(self, check):
+        findings = check({"mod.py": """
+            import uuid
+
+            def ident():
+                return uuid.uuid4()
+        """}, rule="determinism")
+        assert len(findings) == 1
+
+    def test_datetime_now_flagged(self, check):
+        findings = check({"mod.py": """
+            import datetime
+
+            def today():
+                return datetime.datetime.now()
+        """}, rule="determinism")
+        assert len(findings) == 1
+
+
+class TestModuleLevelRandom:
+    def test_module_random_flagged(self, check):
+        findings = check({"mod.py": """
+            import random
+
+            def draw():
+                return random.random()
+        """}, rule="determinism")
+        assert len(findings) == 1
+        assert "WorkloadRandom" in findings[0].message
+
+    def test_seeded_instance_allowed(self, check):
+        findings = check({"mod.py": """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+        """}, rule="determinism")
+        assert findings == []
+
+    def test_numpy_default_rng_allowed(self, check):
+        findings = check({"mod.py": """
+            import numpy
+
+            def make(seed):
+                return numpy.random.default_rng(seed)
+        """}, rule="determinism")
+        assert findings == []
+
+    def test_local_name_not_confused_with_module(self, check):
+        # A local object that happens to be called ``random`` must not
+        # trip the rule: resolution goes through the import map only.
+        findings = check({"mod.py": """
+            def draw(random):
+                return random.random()
+        """}, rule="determinism")
+        assert findings == []
+
+
+class TestSetIterationOrder:
+    def test_list_of_set_flagged(self, check):
+        findings = check({"mod.py": """
+            def order(items):
+                return list(set(items))
+        """}, rule="determinism")
+        assert len(findings) == 1
+        assert "sorted" in findings[0].message
+
+    def test_sorted_set_allowed(self, check):
+        findings = check({"mod.py": """
+            def order(items):
+                return sorted(set(items))
+        """}, rule="determinism")
+        assert findings == []
+
+    def test_for_over_set_literal_flagged(self, check):
+        findings = check({"mod.py": """
+            def walk():
+                for item in {1, 2, 3}:
+                    print(item)
+        """}, rule="determinism")
+        assert len(findings) == 1
+
+    def test_comprehension_over_set_call_flagged(self, check):
+        findings = check({"mod.py": """
+            def dedup(items):
+                return [item for item in set(items)]
+        """}, rule="determinism")
+        assert len(findings) == 1
+
+    def test_set_comprehension_result_exempt(self, check):
+        # The output is itself unordered: no order is being fixed.
+        findings = check({"mod.py": """
+            def dedup(items):
+                return {item for item in set(items)}
+        """}, rule="determinism")
+        assert findings == []
+
+    def test_set_algebra_flagged(self, check):
+        findings = check({"mod.py": """
+            def union(a, b):
+                return list(set(a) | set(b))
+        """}, rule="determinism")
+        assert len(findings) == 1
+
+    def test_plain_list_iteration_allowed(self, check):
+        findings = check({"mod.py": """
+            def walk(items):
+                for item in list(items):
+                    print(item)
+        """}, rule="determinism")
+        assert findings == []

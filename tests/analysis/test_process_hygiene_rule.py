@@ -1,0 +1,96 @@
+"""Positive/negative fixtures for the ``process-hygiene`` rule."""
+
+from __future__ import annotations
+
+
+class TestWorkerImports:
+    def test_clock_import_in_worker_flagged(self, check):
+        findings = check({"sim/backend/worker.py": """
+            import time
+        """}, rule="process-hygiene")
+        assert len(findings) == 1
+        assert "clock or entropy" in findings[0].message
+
+    def test_coordinator_only_import_in_worker_flagged(self, check):
+        findings = check({"sim/backend/worker.py": """
+            from repro.scheduling import admission
+        """}, rule="process-hygiene")
+        assert len(findings) == 1
+        assert "coordinator-only" in findings[0].message
+
+    def test_engine_import_in_worker_allowed(self, check):
+        findings = check({"sim/backend/worker.py": """
+            from repro.engine.engine import ExecutionEngine
+        """}, rule="process-hygiene")
+        assert findings == []
+
+    def test_clock_import_elsewhere_ignored(self, check):
+        # The import-hygiene half only scopes to worker modules; the
+        # determinism rule owns clock *calls* everywhere else.
+        findings = check({"sim/cost_model.py": """
+            import time
+        """}, rule="process-hygiene")
+        assert findings == []
+
+
+class TestInlineTags:
+    def test_inline_tag_in_speaker_flagged(self, check):
+        findings = check({"sim/backend/sharded.py": """
+            def send(conn, payload):
+                conn.send(("B", payload))
+        """}, rule="process-hygiene")
+        assert len(findings) == 1
+        assert "named tag constant" in findings[0].message
+
+    def test_imported_constant_allowed(self, check):
+        findings = check({"sim/backend/sharded.py": """
+            from .protocol import MSG_BATCH
+
+            def send(conn, payload):
+                conn.send((MSG_BATCH, payload))
+        """}, rule="process-hygiene")
+        assert findings == []
+
+    def test_module_level_constant_definition_allowed(self, check):
+        findings = check({"sim/backend/sharded.py": """
+            _LOCAL, _INFLIGHT, _DEFERRED = "l", "w", "q"
+        """}, rule="process-hygiene")
+        assert findings == []
+
+    def test_slots_member_names_allowed(self, check):
+        findings = check({"sim/backend/sharded.py": """
+            class Entry:
+                __slots__ = ("did", "ops")
+        """}, rule="process-hygiene")
+        assert findings == []
+
+    def test_long_strings_allowed(self, check):
+        findings = check({"sim/backend/sharded.py": """
+            def fail():
+                raise RuntimeError("sharded backend protocol error")
+        """}, rule="process-hygiene")
+        assert findings == []
+
+    def test_non_speaker_module_ignored(self, check):
+        findings = check({"sim/simulator.py": """
+            def send(conn, payload):
+                conn.send(("B", payload))
+        """}, rule="process-hygiene")
+        assert findings == []
+
+
+class TestProtocolTagUniqueness:
+    def test_duplicate_tag_values_flagged(self, check):
+        findings = check({"sim/backend/protocol.py": """
+            MSG_BATCH = "B"
+            MSG_REPORT = "B"
+        """}, rule="process-hygiene")
+        assert len(findings) == 1
+        assert "distinct" in findings[0].message
+
+    def test_distinct_tag_values_allowed(self, check):
+        findings = check({"sim/backend/protocol.py": """
+            MSG_BATCH = "B"
+            MSG_REPORT = "R"
+        """}, rule="process-hygiene")
+        assert findings == []
