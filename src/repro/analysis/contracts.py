@@ -90,7 +90,13 @@ PROTECTED_CACHES: dict[str, tuple[str, str]] = {
     # attribute -> (owner class, contract methods to use instead)
     "_entries": ("EstimateCache", "lookup()/peek()/store()/invalidate()/invalidate_procedure()"),
     "_schedule_cache": ("CostModel", "assign the *_ms field or call clear_schedule_cache()"),
-    "_walk_tables": ("PathEstimator", "walk_record()/clear_walk_records()"),
+    "_walk_tables": ("PathEstimator", "walk_record()/clear_walk_records()/drop_walk_records()"),
+    # Self-tuning (hot model swap) contract surfaces: the provider's model
+    # table only changes through install_model() — the atomic swap point —
+    # and the detector/manager state only moves through their observe loop.
+    "_models": ("GlobalModelProvider", "model_for()/models()/model_for_procedure()/install_model()"),
+    "_windows": ("DriftDetector", "observe()/score()/check()/reset()"),
+    "_states": ("SelfTuneManager", "observe()/snapshot()"),
     "_sorted_successors": ("MarkovModel", "successors()/process(); mutate via record_transition(s)"),
     "_successor_records": ("MarkovModel", "successor_records()/process()"),
     "_successor_hints": ("MarkovModel", "successor_hint()/process()"),

@@ -341,6 +341,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("session open; commands: run N | runfor SECONDS | policy NAME|none"
           " | admission k=v[,k=v]|off | caching on|off | threshold X"
           " | workload closed|open RATE [poisson|uniform|bursty]|trace PATH [SPEEDUP]"
+          " | selftune on [k=v,...]|off|status | drift"
           " | inflight | metrics [--json] | spec | drain | quit")
     interactive = sys.stdin.isatty()
     while True:
@@ -412,6 +413,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                           "or 'trace PATH [SPEEDUP]'")
                     continue
                 print(f"workload -> {session.workload.to_dict()['kind']}")
+            elif command == "selftune":
+                token = rest[0].lower() if rest else "status"
+                if token == "off":
+                    session.reconfigure(selftune=None)
+                    print("selftune -> off")
+                elif token == "on":
+                    fields = {}
+                    for pair in " ".join(rest[1:]).replace(",", " ").split():
+                        key, _, value = pair.partition("=")
+                        if value in ("true", "false"):
+                            fields[key] = value == "true"
+                        else:
+                            fields[key] = float(value) if "." in value else int(value)
+                    session.reconfigure(selftune=fields)
+                    print(f"selftune -> on {fields or '(defaults)'}")
+                elif token == "status":
+                    if session.selftune is None:
+                        print("selftune: off")
+                    else:
+                        stats = session.selftune.stats
+                        print(f"selftune: on drifts={stats.drifts_detected} "
+                              f"retrains={stats.retrains_completed}/"
+                              f"{stats.retrains_started} swaps={stats.swaps}")
+                else:
+                    print("error: selftune takes 'on [k=v,...]', 'off' or 'status'")
+            elif command == "drift":
+                if session.selftune is None:
+                    print("selftune: off (enable with 'selftune on')")
+                else:
+                    snapshot = session.selftune.snapshot()
+                    print(f"drifts={snapshot['drifts_detected']} "
+                          f"retrains={snapshot['retrains_completed']}/"
+                          f"{snapshot['retrains_started']} swaps={snapshot['swaps']}")
+                    for name, entry in snapshot["procedures"].items():
+                        verdict = entry["last_verdict"]
+                        if verdict is None:
+                            print(f"  {name}: observed={entry['observations']} "
+                                  f"(no check yet)")
+                            continue
+                        flag = "DRIFTED" if verdict["drifted"] else "ok"
+                        pending = " retraining" if entry["retrain_pending"] else ""
+                        print(f"  {name}: {flag} divergence={verdict['divergence']:.3f} "
+                              f"accuracy={verdict['accuracy']:.3f} "
+                              f"swaps={entry['swaps']}{pending}")
             elif command == "inflight":
                 entries = session.in_flight()
                 print(f"{len(entries)} transaction(s) in flight")
@@ -430,6 +475,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 else:
                     for key, value in snapshot.summary_row().items():
                         print(f"{key}: {value}")
+                    for name, entry in snapshot.maintenance.items():
+                        print(f"maintenance[{name}]: "
+                              f"transitions={entry['transitions_observed']} "
+                              f"checks={entry['accuracy_checks']} "
+                              f"recomputations={entry['recomputations']} "
+                              f"accuracy={entry['last_accuracy']:.3f}")
             elif command == "spec":
                 print(json.dumps(session.spec.to_dict(), default=str, indent=2))
             elif command == "drain":
@@ -437,8 +488,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 print(f"drained; {result.total_transactions} txns total")
             else:
                 print(f"unknown command {command!r}; commands: run, runfor, policy, "
-                      f"admission, caching, threshold, workload, inflight, "
-                      f"metrics, spec, drain, quit")
+                      f"admission, caching, threshold, workload, selftune, drift, "
+                      f"inflight, metrics, spec, drain, quit")
         except (ReproError, ValueError, IndexError) as error:
             print(f"error: {error}")
     final = session.close()

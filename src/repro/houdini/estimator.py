@@ -163,6 +163,17 @@ class PathEstimator:
         """
         self._walk_tables.clear()
 
+    def drop_walk_records(self, procedure: str) -> None:
+        """Drop the compiled-walk tables of one procedure only.
+
+        The hot-swap contract: installing a retrained model for procedure P
+        must evict P's compiled walks without touching any other procedure's
+        memoized state (the version token would catch stale tables anyway,
+        but dropping them releases the retired model immediately).
+        """
+        for key in [key for key in self._walk_tables if key[0] == procedure]:
+            del self._walk_tables[key]
+
     def binding_signature(self, request: ProcedureRequest) -> tuple | None:
         """The request's partition-binding signature (everything a walk reads
         from its parameters), or ``None`` when no signature can vouch for it.

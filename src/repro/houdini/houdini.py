@@ -27,6 +27,10 @@ from .providers import ModelProvider
 from .runtime import HoudiniRuntime
 from .stats import HoudiniStats
 
+#: Distinguishes "parameter not passed" from an explicit ``None`` (which is a
+#: meaningful value for ``maintenance_window``: it disables the window).
+_UNSET = object()
+
 
 @dataclass(slots=True)
 class HoudiniPlan:
@@ -72,6 +76,14 @@ class Houdini:
         self.learning = learning
         self._maintenance_interval = 200
         self._since_maintenance = 0
+        #: Optional self-tuning observer (``repro.selftune``): fed every
+        #: attempt's transition path after maintenance has seen it, so drift
+        #: detection and hot model swaps happen between transactions.
+        self._selftune = None
+
+    def set_selftune(self, observer) -> None:
+        """Attach (or with ``None`` detach) the self-tuning observer."""
+        self._selftune = observer
 
     # ------------------------------------------------------------------
     def estimate(self, request: ProcedureRequest) -> PathEstimate:
@@ -293,6 +305,14 @@ class Houdini:
                     # procedures' entries instead of flushing the cache.
                     for procedure in recomputed:
                         self.estimate_cache.invalidate_procedure(procedure)
+            if self._selftune is not None:
+                # After the maintenance block so the detector sees the
+                # freshest accuracy signal.  The observer may swap the
+                # procedure's model here — between transactions, which is
+                # what makes the swap atomic.
+                self._selftune.observe(
+                    request.procedure, model, runtime.stats.transitions
+                )
         self._record_outcome_stats(request, houdini_plan, attempt)
 
     # ------------------------------------------------------------------
@@ -345,6 +365,7 @@ class Houdini:
         *,
         estimate_caching: bool | None = None,
         confidence_threshold: float | None = None,
+        maintenance_window: int | None | object = _UNSET,
     ) -> None:
         """Apply live configuration changes, routing through the invalidation
         contracts.
@@ -353,10 +374,15 @@ class Houdini:
         compiled whole-walk records and the §6.3 estimate cache both store
         decisions that baked the old threshold in.  ``estimate_caching``
         toggles the §6.3 cache: enabling installs a fresh (empty) cache,
-        disabling invalidates and removes it.  Either way the next
-        :meth:`plan` call operates entirely under the new configuration.
+        disabling invalidates and removes it.  ``maintenance_window`` resizes
+        the §4.5 sliding window; every tracked maintenance rebuilds its
+        counters from the recent tail (``None`` disables the window).  Either
+        way the next :meth:`plan` call operates entirely under the new
+        configuration.
         """
         config = self.config
+        if maintenance_window is not _UNSET:
+            self.maintenance.set_window(maintenance_window)
         if confidence_threshold is not None:
             if not 0.0 <= confidence_threshold <= 1.0:
                 raise ValueError("confidence_threshold must be within [0, 1]")

@@ -18,6 +18,20 @@ from ..markov.model import MarkovModel
 from ..markov.vertex import VertexKey
 from .config import HoudiniConfig
 
+#: How many recent transitions every maintenance keeps regardless of the
+#: configured window.  This tail is what ``set_window`` rebuilds the sliding
+#: window from when a window is enabled (or shrunk) mid-run — without it,
+#: enabling a window via ``reconfigure`` would silently keep the unbounded
+#: all-time counters until enough new traffic arrived to fill the window.
+TAIL_LIMIT = 2048
+
+
+def _validate_window(window) -> None:
+    if window is not None and (
+        isinstance(window, bool) or not isinstance(window, int) or window < 1
+    ):
+        raise ValueError("maintenance window must be a positive int or None")
+
 
 @dataclass
 class MaintenanceStats:
@@ -45,6 +59,9 @@ class ModelMaintenance:
         self._window: deque[tuple[VertexKey, VertexKey]] | None = (
             deque() if self.config.maintenance_window else None
         )
+        #: Bounded always-on record of the most recent transitions so the
+        #: sliding window can be (re)built when it is resized mid-run.
+        self._tail: deque[tuple[VertexKey, VertexKey]] = deque(maxlen=TAIL_LIMIT)
 
     # ------------------------------------------------------------------
     def record_transitions(self, transitions) -> None:
@@ -52,10 +69,31 @@ class ModelMaintenance:
         for source, target in transitions:
             self._observed[source][target] += 1
             self.stats.transitions_observed += 1
+            self._tail.append((source, target))
             if self._window is not None:
                 self._window.append((source, target))
                 if len(self._window) > self.config.maintenance_window:
                     self._evict(*self._window.popleft())
+
+    def set_window(self, window: int | None) -> None:
+        """Resize (or disable) the sliding window mid-run.
+
+        Enabling or shrinking the window rebuilds the observed counters from
+        the recent tail so drift checks immediately reflect only the last
+        ``window`` transitions — the all-time history is discarded rather than
+        silently kept until new traffic pushes it out.  ``None`` disables the
+        window: the current counters are kept and accumulate from here on.
+        """
+        _validate_window(window)
+        self.config.maintenance_window = window
+        if window is None:
+            self._window = None
+            return
+        tail = list(self._tail)[-window:]
+        self._observed = defaultdict(lambda: defaultdict(int))
+        for source, target in tail:
+            self._observed[source][target] += 1
+        self._window = deque(tail)
 
     def _evict(self, source: VertexKey, target: VertexKey) -> None:
         """Forget one windowed-out transition."""
@@ -113,6 +151,7 @@ class ModelMaintenance:
         )
         self.stats.recomputations += 1
         self._observed.clear()
+        self._tail.clear()
         if self._window is not None:
             self._window.clear()
 
@@ -146,5 +185,50 @@ class MaintenanceRegistry:
             if maintenance.check()
         ]
 
+    def set_window(self, window: int | None) -> None:
+        """Resize the sliding window of every tracked maintenance.
+
+        New maintenances created afterwards pick the window up from the
+        shared config; existing ones rebuild their counters from the recent
+        tail (see :meth:`ModelMaintenance.set_window`).
+        """
+        _validate_window(window)
+        self.config.maintenance_window = window
+        for maintenance in self._by_model.values():
+            maintenance.set_window(window)
+
+    def forget(self, model: MarkovModel) -> None:
+        """Stop tracking ``model`` (hot swap retired it).
+
+        Must be called while the caller still holds a reference to the old
+        model — afterwards its ``id`` may be recycled and would alias the
+        registry entry onto an unrelated model.
+        """
+        self._by_model.pop(id(model), None)
+
     def maintenances(self):
         return list(self._by_model.values())
+
+    def stats_by_procedure(self) -> dict[str, dict[str, int | float]]:
+        """Roll maintenance counters up per procedure for metrics surfaces.
+
+        Counters are summed over a procedure's models (a partitioned provider
+        tracks several per procedure); ``last_accuracy`` reports the worst.
+        """
+        rollup: dict[str, dict[str, int | float]] = {}
+        for maintenance in self._by_model.values():
+            procedure = maintenance.model.procedure
+            entry = rollup.get(procedure)
+            if entry is None:
+                entry = rollup[procedure] = {
+                    "transitions_observed": 0,
+                    "accuracy_checks": 0,
+                    "recomputations": 0,
+                    "last_accuracy": 1.0,
+                }
+            stats = maintenance.stats
+            entry["transitions_observed"] += stats.transitions_observed
+            entry["accuracy_checks"] += stats.accuracy_checks
+            entry["recomputations"] += stats.recomputations
+            entry["last_accuracy"] = min(entry["last_accuracy"], stats.last_accuracy)
+        return {procedure: rollup[procedure] for procedure in sorted(rollup)}

@@ -53,5 +53,22 @@ class GlobalModelProvider(ModelProvider):
     def model_for_procedure(self, procedure: str) -> MarkovModel | None:
         return self._models.get(procedure)
 
+    def install_model(self, procedure: str, model: MarkovModel) -> MarkovModel | None:
+        """Replace the model served for ``procedure``; return the old one.
+
+        This is the hot-swap entry point: the assignment is a single dict
+        store, so every ``model_for`` call either sees the old model or the
+        new one, never a mix.  Callers own the invalidation side — dropping
+        the retired model's compiled walks, estimate-cache entries and
+        maintenance state (see ``repro.selftune.swap``).
+        """
+        if model.procedure != procedure:
+            raise ValueError(
+                f"model is for procedure {model.procedure!r}, not {procedure!r}"
+            )
+        previous = self._models.get(procedure)
+        self._models[procedure] = model
+        return previous
+
     def __len__(self) -> int:
         return len(self._models)

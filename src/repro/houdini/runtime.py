@@ -163,8 +163,12 @@ class HoudiniRuntime:
         # probability, and — because a rollback forced by an OP2
         # misprediction would be just as unrecoverable — must have no
         # residual probability of touching a partition outside the lock set.
+        # Early-prepare gambles already taken this attempt (OP4) are a third
+        # abort source: accessing a finished partition forces a restart, so
+        # undo logging stays on while any finish declaration is pending.
         if (
             not self._undo_disabled
+            and not self.stats.finished_partitions
             and self.predicted_single_partition
             and table.abort <= 0.0
             and vertex.hits >= self.config.op3_min_observations
@@ -176,6 +180,12 @@ class HoudiniRuntime:
         # OP4: declare partitions finished when their finish probability
         # clears the (floored) confidence threshold.
         if not self.allow_early_prepare:
+            return
+        if self._undo_disabled:
+            # The mirror of the OP3 guard above: a wrong finish declaration
+            # forces an abort, and without an undo buffer that abort is
+            # unrecoverable — so once logging is off, no new early-prepare
+            # gambles are taken.
             return
         finish_threshold = max(self.config.confidence_threshold, self.config.op4_floor)
         if context.locked_partitions is None:

@@ -1,0 +1,39 @@
+"""Self-tuning subsystem: the production answer to the paper's §4.5.
+
+Maintenance (``repro.houdini.maintenance``) can recompute a drifting model's
+probabilities from run-time counters, but nothing in the paper closes the
+loop — drift is only acted on when an operator intervenes, and a retrained
+model never reaches a running system.  This package closes it:
+
+* :class:`DriftDetector` — online windowed divergence scoring between the
+  observed transition paths and the live model's expectations;
+* :class:`Retrainer` — background rebuild of the drifted procedure's Markov
+  model from the recorded tail, timed in simulated milliseconds;
+* :class:`ModelSwapController` — atomic hot swap of the rebuilt model into
+  the running session through the existing invalidation contracts;
+* :class:`SelfTuneManager` — the loop: observe -> detect -> retrain -> swap,
+  fed by Houdini after every transaction attempt.
+
+Enable it with ``ClusterSpec(selftune=SelfTuneConfig(...))`` (or a plain
+field dict), toggle it live with ``session.reconfigure(selftune=...)``, and
+read its verdicts from ``session.snapshot_metrics().selftune`` or the
+``repro serve`` ``drift`` command.  An enabled self-tuner preserves
+byte-determinism: same seed + same workload schedule -> same bytes.
+"""
+
+from .config import SelfTuneConfig
+from .detector import DriftDetector
+from .manager import SelfTuneManager, SelfTuneStats
+from .retrain import Retrainer, RetrainJob, retrain_model
+from .swap import ModelSwapController
+
+__all__ = [
+    "SelfTuneConfig",
+    "DriftDetector",
+    "Retrainer",
+    "RetrainJob",
+    "retrain_model",
+    "ModelSwapController",
+    "SelfTuneManager",
+    "SelfTuneStats",
+]

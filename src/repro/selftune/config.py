@@ -1,0 +1,74 @@
+"""Configuration for the self-tuning subsystem.
+
+The defaults close the loop on the time scale the paper's maintenance story
+operates at: drift checks every ~50 transactions per procedure, a divergence
+window of a few hundred transitions, and a retrain latency of a few simulated
+milliseconds (the paper quotes <= 5 ms for an on-line recomputation; a full
+rebuild from the tail is modelled slightly slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class SelfTuneConfig:
+    """Tunables of the observe -> detect -> retrain -> swap loop."""
+
+    #: Run a drift check every N observed transactions of a procedure.
+    check_interval_txns: int = 50
+    #: Sliding window of recent (source, target) transitions the detector
+    #: scores divergence over, per procedure.
+    window_transitions: int = 400
+    #: Drift verdict when the worst per-vertex divergence (1 - distribution
+    #: overlap with the model's expectations) exceeds this.
+    divergence_threshold: float = 0.25
+    #: A vertex's observed transitions must reach this count inside the
+    #: window before its divergence is trusted.
+    min_observations: int = 20
+    #: Also declare drift when maintenance's last measured prediction
+    #: accuracy for the procedure sits below the Houdini maintenance
+    #: threshold (the paper's 75%).
+    use_accuracy_signal: bool = True
+    #: How many recent transactions (complete transition paths) are recorded
+    #: per procedure as the retraining corpus.
+    retrain_tail_txns: int = 512
+    #: A retrain must have at least this many recorded transactions to work
+    #: with; drift verdicts before that only count, they do not retrain.
+    retrain_min_tail_txns: int = 64
+    #: Simulated milliseconds a background retrain takes before the rebuilt
+    #: model is ready to swap in.
+    retrain_latency_ms: float = 10.0
+    #: After a swap, no new retrain starts for this many observed
+    #: transactions of the procedure (lets the fresh model settle).
+    cooldown_txns: int = 200
+
+    def __post_init__(self) -> None:
+        for name in (
+            "check_interval_txns",
+            "window_transitions",
+            "min_observations",
+            "retrain_tail_txns",
+            "retrain_min_tail_txns",
+        ):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive int, got {value!r}")
+        if isinstance(self.cooldown_txns, bool) or not isinstance(self.cooldown_txns, int) or self.cooldown_txns < 0:
+            raise ValueError(f"cooldown_txns must be a non-negative int, got {self.cooldown_txns!r}")
+        if not 0.0 < self.divergence_threshold <= 1.0:
+            raise ValueError("divergence_threshold must be within (0, 1]")
+        if self.retrain_latency_ms < 0.0:
+            raise ValueError("retrain_latency_ms must be non-negative")
+        if self.retrain_min_tail_txns > self.retrain_tail_txns:
+            raise ValueError("retrain_min_tail_txns cannot exceed retrain_tail_txns")
+        if not isinstance(self.use_accuracy_signal, bool):
+            raise ValueError("use_accuracy_signal must be a bool")
+
+    def to_dict(self) -> dict:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SelfTuneConfig":
+        return cls(**dict(data))

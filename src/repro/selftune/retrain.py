@@ -1,0 +1,98 @@
+"""Background retraining from the recorded tail.
+
+A retrain job freezes a copy of the procedure's recent transition paths (the
+run-time monitor records complete begin -> ... -> commit/abort chains) and
+rebuilds a fresh :class:`~repro.markov.model.MarkovModel` from them — the
+same construction path off-line training uses, so the §4.1 invariants
+(terminal vertices, placeholder typing, probability tables) all hold.
+
+"Background" is modelled in **simulated time**: the job becomes ready
+``retrain_latency_ms`` after it started on the simulator's transaction
+clock, and the actual rebuild happens at the completion boundary between two
+transactions.  That keeps runs byte-deterministic — the wall clock never
+decides when a retrained model lands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..markov.model import MarkovModel
+from .config import SelfTuneConfig
+
+
+@dataclass(frozen=True)
+class RetrainJob:
+    """One in-flight background retrain for a procedure."""
+
+    procedure: str
+    started_at_ms: float
+    ready_at_ms: float
+    #: Frozen copy of the recorded tail: a tuple of transition paths, each a
+    #: tuple of (source, target) VertexKey pairs spanning begin to terminal.
+    paths: tuple
+
+
+def retrain_model(
+    old_model: MarkovModel,
+    paths,
+    *,
+    precompute_tables: bool = True,
+) -> MarkovModel:
+    """Rebuild a procedure's model from recorded transition paths.
+
+    Vertex query types are backfilled from ``old_model``: the run-time
+    monitor created every vertex it visited there (with the invocation's
+    query type), so the old model is a complete type oracle for the tail.
+    Begin hits and ``transactions_observed`` are counted per path — the OP3
+    selector's support accounting (``sampling_risk``) reads both.
+    """
+    model = MarkovModel(old_model.procedure, old_model.num_partitions)
+    for path in paths:
+        for pair in path:
+            for key in pair:
+                if model.find_vertex(key) is None:
+                    previous = old_model.find_vertex(key)
+                    model.add_placeholder(
+                        key,
+                        previous.query_type if previous is not None else None,
+                    )
+    begin = model.begin
+    for path in paths:
+        if not path:
+            continue
+        model.vertex(begin).hits += 1
+        model.record_transitions(path)
+        model.transactions_observed += 1
+    model.process(precompute_tables=precompute_tables)
+    return model
+
+
+class Retrainer:
+    """Schedules and builds background retrains, driven by simulated time."""
+
+    def __init__(self, config: SelfTuneConfig | None = None) -> None:
+        self.config = config or SelfTuneConfig()
+
+    def start(self, procedure: str, paths, now_ms: float) -> RetrainJob:
+        """Freeze the tail and schedule the rebuild's completion time."""
+        return RetrainJob(
+            procedure=procedure,
+            started_at_ms=now_ms,
+            ready_at_ms=now_ms + self.config.retrain_latency_ms,
+            paths=tuple(paths),
+        )
+
+    def ready(self, job: RetrainJob, now_ms: float) -> bool:
+        return now_ms >= job.ready_at_ms
+
+    def build(
+        self,
+        job: RetrainJob,
+        old_model: MarkovModel,
+        *,
+        precompute_tables: bool = True,
+    ) -> MarkovModel:
+        return retrain_model(
+            old_model, job.paths, precompute_tables=precompute_tables
+        )

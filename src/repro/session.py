@@ -111,6 +111,7 @@ from .markov import MarkovModel, build_models_from_trace
 from .modelpart import ModelPartitioner, PartitionedModelProvider, PartitionerConfig
 from .scheduling.admission import AdmissionLimits
 from .scheduling.policies import SchedulingPolicy, available_policies
+from .selftune import SelfTuneConfig, SelfTuneManager
 from .sim import ClusterSimulator, CostModel, SimulationResult, SimulatorConfig
 from .strategies import (
     AssumeDistributedStrategy,
@@ -192,6 +193,12 @@ class ClusterSpec:
     learning: bool = True
     model_provider: str = "global"
     houdini: HoudiniConfig | None = None
+    #: Self-tuning loop (:mod:`repro.selftune`): a
+    #: :class:`~repro.selftune.SelfTuneConfig` (or its field dict) enables
+    #: online drift detection, background retraining and atomic hot model
+    #: swaps; ``None`` (default) leaves the loop off.  Requires a learning
+    #: Houdini strategy with the global model provider.
+    selftune: SelfTuneConfig | Mapping | None = None
     # --- simulator -----------------------------------------------------
     clients_per_partition: int = 4
     warmup_fraction: float = 0.1
@@ -231,6 +238,8 @@ class ClusterSpec:
     def __post_init__(self) -> None:
         if isinstance(self.houdini, Mapping):
             self.houdini = _coerce(HoudiniConfig, self.houdini, "houdini")
+        if isinstance(self.selftune, Mapping):
+            self.selftune = _coerce(SelfTuneConfig, self.selftune, "selftune")
         if isinstance(self.admission, Mapping):
             self.admission = _coerce(AdmissionLimits, self.admission, "admission")
         if isinstance(self.cost_model, Mapping):
@@ -308,6 +317,25 @@ class ClusterSpec:
                 f"houdini must be a HoudiniConfig or a field dict, "
                 f"got {type(self.houdini).__name__}"
             )
+        if self.selftune is not None:
+            if not isinstance(self.selftune, SelfTuneConfig):
+                raise SessionError(
+                    f"selftune must be a SelfTuneConfig or a field dict, "
+                    f"got {type(self.selftune).__name__}"
+                )
+            if not self.strategy.startswith("houdini"):
+                raise SessionError(
+                    f"selftune requires a Houdini strategy, got {self.strategy!r}"
+                )
+            if self.model_provider != "global" or self.strategy == "houdini-partitioned":
+                raise SessionError(
+                    "selftune currently supports the global model provider only"
+                )
+            if not self.learning:
+                raise SessionError(
+                    "selftune requires learning=True (it consumes the "
+                    "run-time transition stream)"
+                )
         if self.admission is not None and not isinstance(self.admission, AdmissionLimits):
             raise SessionError(
                 f"admission must be AdmissionLimits or a field dict, "
@@ -372,6 +400,7 @@ class ClusterSpec:
             "learning": self.learning,
             "model_provider": self.model_provider,
             "houdini": _init_field_dict(self.houdini),
+            "selftune": _init_field_dict(self.selftune),
             "clients_per_partition": self.clients_per_partition,
             "warmup_fraction": self.warmup_fraction,
             "client_think_time_ms": self.client_think_time_ms,
@@ -718,7 +747,36 @@ class ClusterSession:
         self._arrival_offset = 0.0
         if spec.workload is not None and not isinstance(spec.workload, ClosedLoopSource):
             self._arrivals = self._compile_source(spec.workload)
+        #: The self-tuning manager (``None`` unless enabled by the spec or a
+        #: later ``reconfigure(selftune=...)``).
+        self.selftune: SelfTuneManager | None = None
+        if spec.selftune is not None:
+            # Copied like the HoudiniConfig above: the spec stays reusable.
+            self._install_selftune(replace(spec.selftune))
         simulator.begin()
+
+    def _install_selftune(self, config: SelfTuneConfig) -> None:
+        houdini = self.houdini
+        if houdini is None:
+            raise SessionError(
+                f"selftune requires a Houdini strategy, got {self.strategy.name!r}"
+            )
+        if not isinstance(houdini.provider, GlobalModelProvider):
+            raise SessionError(
+                "selftune currently supports the global model provider only"
+            )
+        if not houdini.learning:
+            raise SessionError(
+                "selftune requires learning=True (it consumes the run-time "
+                "transition stream)"
+            )
+        simulator = self.simulator
+        manager = SelfTuneManager(
+            houdini, config, clock=lambda: simulator.txn_clock_ms
+        )
+        houdini.set_selftune(manager)
+        simulator.set_selftune(manager)
+        self.selftune = manager
 
     def _compile_source(self, source: WorkloadSource) -> CompiledSource:
         """Compile a source, surfacing failures (e.g. an unreadable trace
@@ -831,6 +889,8 @@ class ClusterSession:
         generator: WorkloadGenerator | None = None,
         cost: Mapping[str, float] | None = None,
         workload: WorkloadSource | Mapping | None = None,
+        maintenance_window: Any = _UNSET,
+        selftune: Any = _UNSET,
     ) -> "ClusterSession":
         """Apply live configuration changes (see the module docstring).
 
@@ -839,6 +899,12 @@ class ClusterSession:
         any other source freezes them and streams its arrivals from the
         current simulated time on — the cluster, models and learned state
         all survive, only the traffic changes.
+
+        ``maintenance_window=`` resizes the §4.5 sliding window live: every
+        tracked maintenance rebuilds its counters from the recent tail
+        (``None`` disables the window).  ``selftune=`` enables the
+        self-tuning loop mid-session (a :class:`SelfTuneConfig` or field
+        dict) or, with ``None``, detaches it.
 
         Returns ``self`` so calls chain:
         ``session.reconfigure(policy="shortest-predicted").run_for(txns=500)``.
@@ -920,6 +986,36 @@ class ClusterSession:
                 )
             except ValueError as error:
                 raise SessionError(str(error)) from error
+        if maintenance_window is not _UNSET:
+            houdini = self.houdini
+            if houdini is None:
+                raise SessionError(
+                    "maintenance_window reconfiguration requires a "
+                    f"Houdini-backed strategy (this session runs "
+                    f"{self.strategy.name!r})"
+                )
+            try:
+                houdini.reconfigure(maintenance_window=maintenance_window)
+            except ValueError as error:
+                raise SessionError(str(error)) from error
+        if selftune is not _UNSET:
+            if selftune is None:
+                houdini = self.houdini
+                if houdini is not None:
+                    houdini.set_selftune(None)
+                simulator.set_selftune(None)
+                self.selftune = None
+            else:
+                if isinstance(selftune, Mapping):
+                    selftune = _coerce(SelfTuneConfig, selftune, "selftune")
+                elif isinstance(selftune, SelfTuneConfig):
+                    selftune = replace(selftune)
+                else:
+                    raise SessionError(
+                        f"selftune must be a SelfTuneConfig, a field dict or "
+                        f"None, got {type(selftune).__name__}"
+                    )
+                self._install_selftune(selftune)
         return self
 
     # ------------------------------------------------------------------
@@ -1031,17 +1127,21 @@ class ClusterSession:
                         changes["estimate_caching"] = new
                     elif name == "confidence_threshold":
                         changes["confidence_threshold"] = new
+                    elif name == "maintenance_window":
+                        changes["maintenance_window"] = new
                     else:
                         raise SessionError(
                             f"houdini field {name!r} is not live-reconfigurable; "
-                            "only enable_estimate_caching and "
-                            "confidence_threshold can change in a schedule"
+                            "only enable_estimate_caching, confidence_threshold "
+                            "and maintenance_window can change in a schedule"
                         )
+            elif key == "selftune":
+                changes["selftune"] = value
             else:
                 raise SessionError(
                     f"spec field {key!r} is not live-reconfigurable; schedules "
-                    "may change policy, admission, cost_model, workload and "
-                    "the Houdini runtime knobs"
+                    "may change policy, admission, cost_model, workload, "
+                    "selftune and the Houdini runtime knobs"
                 )
         if changes:
             self.reconfigure(**changes)

@@ -508,6 +508,10 @@ class ShardedBackend:
     def _fold_one(self) -> None:
         sim = self.sim
         entry = self._pending.pop(0)
+        # Folds replay in submission order, so pinning the transaction clock
+        # to the entry's pop time reproduces the inline backend's clock
+        # exactly (inline executes at pop).
+        sim._txn_clock = entry.pop_time
         if entry.kind == _INFLIGHT:
             record = self._fold_dispatched(entry)
         else:

@@ -182,6 +182,13 @@ class SimulationResult:
     #: Per-tenant breakdowns for tenant-labeled traffic (``TenantSource``);
     #: empty for unlabeled workloads.
     tenants: dict[str, TenantBreakdown] = field(default_factory=dict)
+    #: Per-procedure §4.5 maintenance counters (transitions_observed,
+    #: accuracy_checks, recomputations, last_accuracy); empty for
+    #: non-Houdini strategies.
+    maintenance: dict[str, dict] = field(default_factory=dict)
+    #: Self-tuning loop snapshot (drift/retrain/swap counters and
+    #: per-procedure verdicts); ``None`` when self-tuning is not enabled.
+    selftune: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -298,6 +305,11 @@ class SimulationResult:
                 name: breakdown.to_dict()
                 for name, breakdown in sorted(self.tenants.items())
             },
+            "maintenance": {
+                name: dict(entry)
+                for name, entry in sorted(self.maintenance.items())
+            },
+            "selftune": self.selftune,
             "derived": {
                 "throughput_txn_per_sec": self.throughput_txn_per_sec,
                 "average_latency_ms": self.average_latency_ms,
@@ -341,6 +353,11 @@ class SimulationResult:
             name: TenantBreakdown.from_dict(entry)
             for name, entry in data.get("tenants", {}).items()
         }
+        result.maintenance = {
+            name: dict(entry)
+            for name, entry in data.get("maintenance", {}).items()
+        }
+        result.selftune = data.get("selftune")
         return result
 
     def summary_row(self) -> dict:
@@ -364,6 +381,8 @@ class SimulationResult:
                 name: round(breakdown.throughput_txn_per_sec, 1)
                 for name, breakdown in sorted(self.tenants.items())
             }
+        if self.selftune is not None:
+            row["selftune_swaps"] = self.selftune.get("swaps", 0)
         return row
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

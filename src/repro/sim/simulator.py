@@ -207,6 +207,13 @@ class ClusterSimulator:
         self._backend = None
         self._execute = self.coordinator.execute_transaction
         self._began = False
+        #: Optional self-tuning manager (``repro.selftune``); installed by the
+        #: session so :meth:`_build_result` can report its counters.
+        self.selftune = None
+
+    def set_selftune(self, manager) -> None:
+        """Attach (or with ``None`` detach) the self-tuning manager."""
+        self.selftune = manager
 
     # ------------------------------------------------------------------
     def _make_policy(self) -> SchedulingPolicy | None:
@@ -284,6 +291,12 @@ class ClusterSimulator:
         #: (TXN_COMPLETE / PARTITION_RELEASE / EXTERNAL_SUBMIT).
         self._general_events = 0
         self._now = 0.0
+        #: Submission/pop time of the transaction currently executing: the
+        #: deterministic clock self-tuning retrain jobs run against.  Unlike
+        #: ``_now`` it is set at every execute site (including sharded folds,
+        #: which replay at the entry's pop time), so it reads identically
+        #: across backends.
+        self._txn_clock = 0.0
         if config.execution_backend == "sharded":
             if self._backend is None:
                 from .backend import ShardedBackend
@@ -300,6 +313,17 @@ class ClusterSimulator:
     def now_ms(self) -> float:
         """Current simulated time (the timestamp of the last processed event)."""
         return self._now if self._began else 0.0
+
+    @property
+    def txn_clock_ms(self) -> float:
+        """Simulated submission time of the currently executing transaction.
+
+        This is the clock the self-tuning subsystem schedules retrain jobs
+        against: it advances identically under the inline and sharded
+        backends (sharded folds replay in submission order at pop time), so
+        time-driven decisions stay byte-deterministic across backends.
+        """
+        return self._txn_clock if self._began else 0.0
 
     @property
     def submitted(self) -> int:
@@ -537,6 +561,7 @@ class ClusterSimulator:
             pending = scheduler_pop()
             # Dispatch follows submission immediately on this path.
             record_zero_wait(pending.request.procedure)
+            self._txn_clock = now
             record = execute(pending.request)
             end = replay(record, now, partition_free, breakdown_acc)
             latencies.append(end - pending.submit_time_ms)
@@ -696,6 +721,7 @@ class ClusterSimulator:
                         )
                     continue
             scheduler.record_wait(pending.request.procedure, now - pending.submit_time_ms)
+            self._txn_clock = now
             record = execute(pending.request)
             end = self._replay_timing(record, now, partition_free, breakdown_acc)
             latency = end - pending.submit_time_ms
@@ -853,6 +879,14 @@ class ClusterSimulator:
                     list(acc["latencies"]) if copy else acc["latencies"]
                 )
             result.tenants[tenant] = breakdown
+        # Maintenance (§4.5) and self-tuning activity, surfaced per snapshot.
+        # Built here — shared by run()/snapshot()/sharded folds — so session
+        # and batch results stay byte-identical.
+        houdini = getattr(self.strategy, "houdini", None)
+        if houdini is not None:
+            result.maintenance = houdini.maintenance.stats_by_procedure()
+        if self.selftune is not None:
+            result.selftune = self.selftune.snapshot()
         return result
 
     # ------------------------------------------------------------------

@@ -85,6 +85,85 @@ class TestWindowedMaintenance:
         ) == 0
         assert len(maintenance._window) == 0
 
+class TestWindowReconfiguration:
+    """``set_window`` mid-run: the window must rebuild from the recent tail
+    instead of silently keeping the unbounded all-time history."""
+
+    def test_enabling_a_window_rebuilds_counters_from_the_tail(self):
+        model, begin, local_key, remote_key = _branching_model()
+        maintenance = ModelMaintenance(model, HoudiniConfig(maintenance_window=None))
+        for _ in range(80):
+            maintenance.record_transitions([(begin, remote_key)])
+        for _ in range(20):
+            maintenance.record_transitions([(begin, local_key)])
+        # Unwindowed: all 100 transitions counted.
+        assert sum(maintenance._observed[begin].values()) == 100
+
+        maintenance.set_window(20)
+
+        # Only the 20 most recent transitions (all local) survive.
+        assert sum(maintenance._observed[begin].values()) == 20
+        assert maintenance._observed[begin].get(remote_key, 0) == 0
+        assert maintenance._observed[begin][local_key] == 20
+        assert len(maintenance._window) == 20
+        assert maintenance.config.maintenance_window == 20
+
+    def test_shrinking_a_window_drops_the_oldest_entries(self):
+        model, begin, local_key, remote_key = _branching_model()
+        maintenance = ModelMaintenance(model, HoudiniConfig(maintenance_window=50))
+        for _ in range(30):
+            maintenance.record_transitions([(begin, remote_key)])
+        for _ in range(10):
+            maintenance.record_transitions([(begin, local_key)])
+        maintenance.set_window(10)
+        assert maintenance._observed[begin].get(remote_key, 0) == 0
+        assert maintenance._observed[begin][local_key] == 10
+
+    def test_disabling_the_window_keeps_current_counters(self):
+        model, begin, local_key, _ = _branching_model()
+        maintenance = ModelMaintenance(model, HoudiniConfig(maintenance_window=10))
+        for _ in range(30):
+            maintenance.record_transitions([(begin, local_key)])
+        assert sum(maintenance._observed[begin].values()) == 10
+        maintenance.set_window(None)
+        assert maintenance._window is None
+        # Counters keep accumulating unbounded from here on.
+        for _ in range(30):
+            maintenance.record_transitions([(begin, local_key)])
+        assert sum(maintenance._observed[begin].values()) == 40
+
+    def test_invalid_window_values_rejected(self):
+        model, _, _, _ = _branching_model()
+        maintenance = ModelMaintenance(model, HoudiniConfig())
+        import pytest
+
+        with pytest.raises(ValueError, match="window"):
+            maintenance.set_window(0)
+        with pytest.raises(ValueError, match="window"):
+            maintenance.set_window(True)
+        with pytest.raises(ValueError, match="window"):
+            maintenance.set_window("10")
+
+    def test_registry_resizes_every_tracked_maintenance(self):
+        from repro.houdini import MaintenanceRegistry
+
+        model_a, begin_a, local_a, _ = _branching_model()
+        model_b, begin_b, local_b, _ = _branching_model()
+        registry = MaintenanceRegistry(HoudiniConfig(maintenance_window=None))
+        for model, begin, key in ((model_a, begin_a, local_a),
+                                  (model_b, begin_b, local_b)):
+            maintenance = registry.for_model(model)
+            for _ in range(50):
+                maintenance.record_transitions([(begin, key)])
+        registry.set_window(15)
+        assert registry.config.maintenance_window == 15
+        for maintenance in registry.maintenances():
+            assert sum(
+                sum(counts.values()) for counts in maintenance._observed.values()
+            ) == 15
+
+
+class TestWindowedCheck:
     def test_windowed_check_triggers_recompute_on_sustained_drift(self):
         model, begin, local_key, remote_key = _branching_model()
         config = HoudiniConfig(

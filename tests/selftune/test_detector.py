@@ -1,0 +1,119 @@
+"""Unit tests for the drift detector (:mod:`repro.selftune.detector`)."""
+
+from __future__ import annotations
+
+from repro.markov import MarkovModel, PathStep
+from repro.markov.vertex import COMMIT_KEY, VertexKey
+from repro.selftune import DriftDetector, SelfTuneConfig
+from repro.types import PartitionSet, QueryType
+
+
+def _branching_model() -> tuple[MarkovModel, VertexKey, VertexKey, VertexKey]:
+    """A model whose first query goes to partition 0 (90%) or 1 (10%)."""
+    model = MarkovModel("Proc", 2)
+    local = PathStep("Q", QueryType.READ, PartitionSet.of([0]), PartitionSet.of([]), 0)
+    remote = PathStep("Q", QueryType.READ, PartitionSet.of([1]), PartitionSet.of([]), 0)
+    for _ in range(90):
+        model.add_path([local], aborted=False)
+    for _ in range(10):
+        model.add_path([remote], aborted=False)
+    model.process()
+    return model, model.begin, local.key(), remote.key()
+
+
+def _feed(detector: DriftDetector, begin, query_key, count: int) -> None:
+    for _ in range(count):
+        detector.observe(
+            "Proc", ((begin, query_key), (query_key, COMMIT_KEY))
+        )
+
+
+class TestDivergenceScore:
+    def test_matching_traffic_scores_near_zero(self):
+        model, begin, local, remote = _branching_model()
+        detector = DriftDetector(SelfTuneConfig(min_observations=20))
+        _feed(detector, begin, local, 90)
+        _feed(detector, begin, remote, 10)
+        assert detector.score("Proc", model) < 0.05
+
+    def test_shifted_traffic_scores_high(self):
+        model, begin, _, remote = _branching_model()
+        detector = DriftDetector(SelfTuneConfig(min_observations=20))
+        # The model says 10% remote; the live traffic is 100% remote.
+        _feed(detector, begin, remote, 100)
+        assert detector.score("Proc", model) >= 0.85
+
+    def test_min_observations_gates_the_score(self):
+        model, begin, _, remote = _branching_model()
+        detector = DriftDetector(SelfTuneConfig(min_observations=20))
+        # 5 wildly divergent transactions are not enough evidence.
+        _feed(detector, begin, remote, 5)
+        assert detector.score("Proc", model) == 0.0
+
+    def test_empty_window_scores_zero(self):
+        model, _, _, _ = _branching_model()
+        detector = DriftDetector()
+        assert detector.score("Proc", model) == 0.0
+        assert detector.window_size("Proc") == 0
+
+    def test_window_is_bounded(self):
+        model, begin, local, remote = _branching_model()
+        detector = DriftDetector(
+            SelfTuneConfig(window_transitions=40, min_observations=10)
+        )
+        # An old remote burst must slide out once local traffic fills the
+        # window (each transaction contributes two transitions).
+        _feed(detector, begin, remote, 50)
+        _feed(detector, begin, local, 20)
+        assert detector.window_size("Proc") == 40
+        assert detector.score("Proc", model) < 0.15
+
+    def test_reset_clears_the_window(self):
+        model, begin, _, remote = _branching_model()
+        detector = DriftDetector(SelfTuneConfig(min_observations=20))
+        _feed(detector, begin, remote, 100)
+        detector.reset("Proc")
+        assert detector.window_size("Proc") == 0
+        assert detector.score("Proc", model) == 0.0
+
+
+class TestVerdict:
+    def test_drifted_verdict_on_divergence(self):
+        model, begin, _, remote = _branching_model()
+        detector = DriftDetector(
+            SelfTuneConfig(divergence_threshold=0.3, min_observations=20)
+        )
+        _feed(detector, begin, remote, 100)
+        verdict = detector.check("Proc", model)
+        assert verdict["drifted"] is True
+        assert verdict["divergence"] >= 0.85
+        assert verdict["procedure"] == "Proc"
+        assert verdict["window"] == 200
+
+    def test_clean_verdict_on_matching_traffic(self):
+        model, begin, local, remote = _branching_model()
+        detector = DriftDetector(
+            SelfTuneConfig(divergence_threshold=0.3, min_observations=20)
+        )
+        _feed(detector, begin, local, 90)
+        _feed(detector, begin, remote, 10)
+        verdict = detector.check("Proc", model, accuracy=0.95,
+                                 accuracy_threshold=0.75)
+        assert verdict["drifted"] is False
+
+    def test_accuracy_signal_declares_drift_without_divergence(self):
+        """Maintenance measuring a bad accuracy trips the verdict even when
+        the divergence window has not filled up yet."""
+        model, _, _, _ = _branching_model()
+        detector = DriftDetector(SelfTuneConfig(use_accuracy_signal=True))
+        verdict = detector.check("Proc", model, accuracy=0.4,
+                                 accuracy_threshold=0.75)
+        assert verdict["drifted"] is True
+        assert verdict["divergence"] == 0.0
+
+    def test_accuracy_signal_can_be_disabled(self):
+        model, _, _, _ = _branching_model()
+        detector = DriftDetector(SelfTuneConfig(use_accuracy_signal=False))
+        verdict = detector.check("Proc", model, accuracy=0.4,
+                                 accuracy_threshold=0.75)
+        assert verdict["drifted"] is False

@@ -1,0 +1,97 @@
+"""Unit tests for background retraining (:mod:`repro.selftune.retrain`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.markov import MarkovModel, PathStep
+from repro.markov.vertex import COMMIT_KEY, VertexKey
+from repro.selftune import Retrainer, SelfTuneConfig
+from repro.selftune.retrain import retrain_model
+from repro.types import PartitionSet, QueryType
+
+
+def _trained_model() -> tuple[MarkovModel, VertexKey, VertexKey, VertexKey]:
+    model = MarkovModel("Proc", 2)
+    local = PathStep("Q", QueryType.READ, PartitionSet.of([0]), PartitionSet.of([]), 0)
+    remote = PathStep("Q", QueryType.WRITE, PartitionSet.of([1]), PartitionSet.of([]), 0)
+    for _ in range(90):
+        model.add_path([local], aborted=False)
+    for _ in range(10):
+        model.add_path([remote], aborted=False)
+    model.process()
+    return model, model.begin, local.key(), remote.key()
+
+
+def _path(begin, query_key):
+    return ((begin, query_key), (query_key, COMMIT_KEY))
+
+
+class TestRetrainModel:
+    def test_rebuilds_from_paths_with_shifted_distribution(self):
+        old, begin, local, remote = _trained_model()
+        # The recorded tail is 30% local / 70% remote — the opposite mix.
+        paths = [_path(begin, local)] * 30 + [_path(begin, remote)] * 70
+        new = retrain_model(old, paths)
+        assert new is not old
+        assert new.procedure == old.procedure
+        assert new.processed
+        distribution = new.edge_distribution(new.begin)
+        assert distribution[local] == pytest.approx(0.3)
+        assert distribution[remote] == pytest.approx(0.7)
+
+    def test_support_counters_reflect_the_tail(self):
+        """The OP3 selector reads begin hits and transactions_observed as its
+        sampling-support evidence; both must equal the tail size."""
+        old, begin, local, _ = _trained_model()
+        paths = [_path(begin, local)] * 40
+        new = retrain_model(old, paths)
+        assert new.transactions_observed == 40
+        assert new.vertex(new.begin).hits == 40
+
+    def test_query_types_backfilled_from_old_model(self):
+        old, begin, local, remote = _trained_model()
+        new = retrain_model(old, [_path(begin, local), _path(begin, remote)])
+        assert new.find_vertex(local).query_type == QueryType.READ
+        assert new.find_vertex(remote).query_type == QueryType.WRITE
+
+    def test_empty_tail_produces_empty_processed_model(self):
+        old, _, _, _ = _trained_model()
+        new = retrain_model(old, [])
+        assert new.processed
+        assert new.transactions_observed == 0
+
+    def test_precompute_tables_flag_is_forwarded(self):
+        old, begin, local, _ = _trained_model()
+        with_tables = retrain_model(old, [_path(begin, local)] * 5,
+                                    precompute_tables=True)
+        assert with_tables.find_vertex(local).table is not None
+
+
+class TestRetrainer:
+    def test_job_freezes_the_tail_and_schedules_completion(self):
+        old, begin, local, _ = _trained_model()
+        retrainer = Retrainer(SelfTuneConfig(retrain_latency_ms=10.0))
+        tail = [_path(begin, local)] * 3
+        job = retrainer.start("Proc", tail, now_ms=100.0)
+        assert job.procedure == "Proc"
+        assert job.started_at_ms == 100.0
+        assert job.ready_at_ms == 110.0
+        assert isinstance(job.paths, tuple) and len(job.paths) == 3
+        # The frozen copy does not alias the caller's list.
+        tail.append(_path(begin, local))
+        assert len(job.paths) == 3
+
+    def test_ready_obeys_simulated_latency(self):
+        retrainer = Retrainer(SelfTuneConfig(retrain_latency_ms=10.0))
+        job = retrainer.start("Proc", [], now_ms=100.0)
+        assert not retrainer.ready(job, 105.0)
+        assert retrainer.ready(job, 110.0)
+
+    def test_build_returns_a_processed_replacement(self):
+        old, begin, local, _ = _trained_model()
+        retrainer = Retrainer(SelfTuneConfig(retrain_latency_ms=0.0))
+        job = retrainer.start("Proc", [_path(begin, local)] * 8, now_ms=0.0)
+        new = retrainer.build(job, old)
+        assert new.processed
+        assert new.transactions_observed == 8
