@@ -97,6 +97,16 @@ PROTECTED_CACHES: dict[str, tuple[str, str]] = {
     "_models": ("GlobalModelProvider", "model_for()/models()/model_for_procedure()/install_model()"),
     "_windows": ("DriftDetector", "observe()/score()/check()/reset()"),
     "_states": ("SelfTuneManager", "observe()/snapshot()"),
+    # Multi-tenancy contract surfaces: queues and virtual clocks only move
+    # through the scheduler's push/pop/rekey/adopt surface, quota slots
+    # through would_admit()/admit()/release_if_admitted(), SLO counters
+    # through record(), and the in-flight work heap through
+    # note_dispatch()/inflight_remaining_ms().
+    "_tenant_queues": ("TenantScheduler", "submit()/pop()/requeue()/rekey()/adopt_from()/set_tenancy()"),
+    "_tenant_vtime": ("TenantScheduler", "note_dispatched()/fairness_snapshot()"),
+    "_quota_held": ("TenantQuotaController", "would_admit()/admit()/release_if_admitted()"),
+    "_slo_counts": ("SLOTracker", "record()/set_config()/snapshot()"),
+    "_work_ends": ("TenancyManager", "note_dispatch()/seed_inflight()/inflight_remaining_ms()"),
     "_sorted_successors": ("MarkovModel", "successors()/process(); mutate via record_transition(s)"),
     "_successor_records": ("MarkovModel", "successor_records()/process()"),
     "_successor_hints": ("MarkovModel", "successor_hint()/process()"),
@@ -116,6 +126,7 @@ WORKER_MODULE_SUFFIXES: tuple[str, ...] = ("sim/backend/worker.py",)
 #: workload/RNG, metrics, the event loop and strategy state).
 COORDINATOR_ONLY_IMPORTS: tuple[str, ...] = (
     "repro.scheduling",
+    "repro.tenancy",
     "repro.workload",
     "repro.houdini",
     "repro.strategies",

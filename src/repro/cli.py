@@ -342,7 +342,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           " | admission k=v[,k=v]|off | caching on|off | threshold X"
           " | workload closed|open RATE [poisson|uniform|bursty]|trace PATH [SPEEDUP]"
           " | selftune on [k=v,...]|off|status | drift"
-          " | inflight | metrics [--json] | spec | drain | quit")
+          " | tenancy set LABEL k=v[,k=v]|drop LABEL|shared N|shed on|off|status|off"
+          " | slo | inflight | metrics [--json] | spec | drain | quit")
     interactive = sys.stdin.isatty()
     while True:
         if interactive:
@@ -457,6 +458,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         print(f"  {name}: {flag} divergence={verdict['divergence']:.3f} "
                               f"accuracy={verdict['accuracy']:.3f} "
                               f"swaps={entry['swaps']}{pending}")
+            elif command == "tenancy":
+                from .tenancy import TenancyConfig
+
+                token = rest[0].lower() if rest else "status"
+                manager = session.simulator.tenancy
+                base = (
+                    manager.config.to_dict()
+                    if manager is not None else TenancyConfig().to_dict()
+                )
+                if token == "off":
+                    session.reconfigure(tenancy=None)
+                    print("tenancy -> off")
+                elif token == "status":
+                    if manager is None:
+                        print("tenancy: off (enable with 'tenancy set LABEL k=v')")
+                    else:
+                        print(json.dumps(
+                            manager.snapshot(session.simulator.scheduler), indent=2
+                        ))
+                elif token == "set" and len(rest) >= 2:
+                    label = rest[1]
+                    alias = {"slo": "slo_latency_ms", "quantile": "slo_quantile"}
+                    policy = dict(base["tenants"].get(label, {}))
+                    for pair in " ".join(rest[2:]).replace(",", " ").split():
+                        key, _, value = pair.partition("=")
+                        key = alias.get(key, key)
+                        if value == "none":
+                            policy[key] = None
+                        elif key == "quota":
+                            policy[key] = int(value)
+                        else:
+                            policy[key] = float(value)
+                    base["tenants"][label] = policy
+                    session.reconfigure(tenancy=base)
+                    print(f"tenancy[{label}] -> {policy}")
+                elif token == "drop" and len(rest) >= 2:
+                    if base["tenants"].pop(rest[1], None) is None:
+                        print(f"error: unknown tenant {rest[1]!r}")
+                        continue
+                    session.reconfigure(tenancy=base)
+                    print(f"tenancy[{rest[1]}] dropped")
+                elif token == "shared" and len(rest) >= 2:
+                    base["shared_quota"] = int(rest[1])
+                    session.reconfigure(tenancy=base)
+                    print(f"tenancy shared_quota -> {base['shared_quota']}")
+                elif token == "shed" and len(rest) >= 2:
+                    base["shed"] = rest[1].lower() == "on"
+                    if len(rest) > 2:
+                        base["shed_headroom"] = float(rest[2])
+                    session.reconfigure(tenancy=base)
+                    print(f"tenancy shed -> {'on' if base['shed'] else 'off'} "
+                          f"(headroom {base['shed_headroom']:g})")
+                else:
+                    print("error: tenancy takes 'set LABEL k=v[,k=v]' "
+                          "(weight/quota/slo/quantile), 'drop LABEL', "
+                          "'shared N', 'shed on|off [HEADROOM]', 'status' or 'off'")
+            elif command == "slo":
+                manager = session.simulator.tenancy
+                if manager is None:
+                    print("tenancy: off (enable with 'tenancy set LABEL slo=MS')")
+                else:
+                    snapshot = manager.snapshot(session.simulator.scheduler)
+                    if not snapshot["slo"]:
+                        print("no SLO-bearing tenants (set one with "
+                              "'tenancy set LABEL slo=MS')")
+                    for label, entry in snapshot["slo"].items():
+                        shed = snapshot["arrivals"].get(label, {})
+                        print(f"  {label}: {'MET' if entry['met'] else 'MISSED'} "
+                              f"p{entry['quantile'] * 100:g}<="
+                              f"{entry['target_ms']:g}ms "
+                              f"compliance={entry['compliance']:.3f} "
+                              f"burn={entry['burn_rate']:.2f} "
+                              f"completed={entry['completed']} "
+                              f"shed_rate={shed.get('shed_rate', 0.0):.3f}")
             elif command == "inflight":
                 entries = session.in_flight()
                 print(f"{len(entries)} transaction(s) in flight")
@@ -489,7 +564,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else:
                 print(f"unknown command {command!r}; commands: run, runfor, policy, "
                       f"admission, caching, threshold, workload, selftune, drift, "
-                      f"inflight, metrics, spec, drain, quit")
+                      f"tenancy, slo, inflight, metrics, spec, drain, quit")
         except (ReproError, ValueError, IndexError) as error:
             print(f"error: {error}")
     final = session.close()

@@ -199,9 +199,16 @@ class TransactionScheduler:
         estimate: PathEstimate | None = None,
         *,
         base_partition: PartitionId = 0,
+        tenant: str | None = None,
     ) -> PendingTransaction:
-        """Queue one request, deriving predictions from its estimate if given."""
-        pending = PendingTransaction(request=request, arrival_index=self._arrivals)
+        """Queue one request, deriving predictions from its estimate if given.
+
+        ``tenant`` must be set *here* (not after the call): subclasses that
+        maintain per-tenant queues read the label at push time.
+        """
+        pending = PendingTransaction(
+            request=request, arrival_index=self._arrivals, tenant=tenant
+        )
         self._arrivals += 1
         if estimate is not None and not estimate.degenerate:
             cost = self._predicted_cost(request.procedure, estimate, base_partition)
@@ -229,6 +236,17 @@ class TransactionScheduler:
             cost = PredictedCost.from_estimate(estimate, base_partition, self.cost_model)
             self._cost_cache[key] = cost
         return cost
+
+    def predicted_cost_for(
+        self, procedure: str, estimate: PathEstimate, base_partition: PartitionId
+    ) -> PredictedCost:
+        """Public, cached estimate → predicted-cost conversion.
+
+        Lets callers outside the queue (the tenancy shedding policy) price
+        an arrival on the same scale — and through the same per-class cache
+        — the scheduler itself uses.
+        """
+        return self._predicted_cost(procedure, estimate, base_partition)
 
     def rekey(self, policy: SchedulingPolicy | None) -> None:
         """Adopt a new policy mid-stream, re-keying every queued transaction.
@@ -269,6 +287,14 @@ class TransactionScheduler:
         self.stats.dispatched -= 1
         self.stats.rejected += 1
 
+    def note_dispatched(self, pending: PendingTransaction) -> None:
+        """The latest pop cleared every gate and is starting execution.
+
+        No-op here; :class:`~repro.tenancy.scheduler.TenantScheduler`
+        advances its global virtual-time watermark on this signal (and only
+        on it — blocked pops are refunded and must not move the clock).
+        """
+
     def requeue(self, pending: PendingTransaction) -> None:
         """Return a transaction without counting a deferral.
 
@@ -280,7 +306,8 @@ class TransactionScheduler:
         self.stats.requeued += 1
         self._push(pending)
 
-    def _push(self, pending: PendingTransaction) -> None:
+    def _entry(self, pending: PendingTransaction) -> tuple[tuple, int, PendingTransaction]:
+        """Compose one heap entry (policy key, FIFO sequence, transaction)."""
         policy = self.policy
         class_signature = (
             pending.procedure,
@@ -292,10 +319,10 @@ class TransactionScheduler:
             class_part = policy.class_key(pending)
             self._class_keys[class_signature] = class_part
         self._sequence += 1
-        heapq.heappush(
-            self._heap,
-            (policy.compose_key(class_part, pending), self._sequence, pending),
-        )
+        return (policy.compose_key(class_part, pending), self._sequence, pending)
+
+    def _push(self, pending: PendingTransaction) -> None:
+        heapq.heappush(self._heap, self._entry(pending))
         if self._track_reorder:
             heapq.heappush(self._arrival_heap, pending.arrival_index)
 
@@ -305,9 +332,14 @@ class TransactionScheduler:
         if not self._heap:
             raise IndexError("pop from an empty TransactionScheduler")
         _, __, pending = heapq.heappop(self._heap)
+        self._note_pop(pending)
+        return pending
+
+    def _note_pop(self, pending: PendingTransaction) -> None:
+        """Account one dispatch: stats plus queue-jump detection."""
         self.stats.dispatched += 1
         if not self._track_reorder:
-            return pending
+            return
         arrival = pending.arrival_index
         consumed = self._consumed
         consumed[arrival] = consumed.get(arrival, 0) + 1
@@ -325,7 +357,6 @@ class TransactionScheduler:
         if arrival_heap and arrival_heap[0] < arrival:
             # An older transaction is still waiting: the policy jumped the queue.
             self.stats.reordered += 1
-        return pending
 
     def peek(self) -> PendingTransaction | None:
         """The transaction that :meth:`pop` would return, without removing it."""
@@ -421,8 +452,48 @@ class TransactionScheduler:
 
     def drain(self) -> Iterable[PendingTransaction]:
         """Pop until the queue is empty (dispatch order of the whole backlog)."""
-        while self._heap:
+        while self:
             yield self.pop()
+
+    # ------------------------------------------------------------------
+    def _drain_queued(self) -> list[PendingTransaction]:
+        """Remove and return every queued transaction, in dispatch order.
+
+        Unlike :meth:`rekey`'s heap-array walk this sorts by (key, seq), so
+        FIFO order among equal-priority siblings survives a transplant into
+        a differently shaped queue (:meth:`adopt_from`).
+        """
+        queued = [
+            entry[2] for entry in sorted(self._heap, key=lambda e: (e[0], e[1]))
+        ]
+        self._heap.clear()
+        return queued
+
+    def adopt_from(self, other: "TransactionScheduler") -> None:
+        """Take over another scheduler's state (live tenancy attach/detach).
+
+        Policy, cost model, caches, stats and wait records move across so
+        the queue keeps describing the same node; still-queued transactions
+        are re-pushed through this scheduler's own (polymorphic) queue
+        structure in the other's dispatch order.  Queue-jump bookkeeping
+        restarts from the still-queued arrivals, exactly as in
+        :meth:`rekey`.
+        """
+        self.policy = other.policy
+        self.cost_model = other.cost_model
+        self._streaming_waits = other._streaming_waits
+        self.stats = other.stats
+        self._arrivals = other._arrivals
+        self._sequence = other._sequence
+        self._cost_cache = other._cost_cache
+        self._class_keys = other._class_keys
+        self._waits = other._waits
+        self._zero_waits = other._zero_waits
+        self._track_reorder = not self.policy.preserves_arrival_order
+        self._arrival_heap = []
+        self._consumed = {}
+        for pending in other._drain_queued():
+            self._push(pending)
 
     # ------------------------------------------------------------------
     def predicted_backlog_ms(self) -> float:

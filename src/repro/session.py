@@ -103,7 +103,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Iterable, Mapping
 
 from .benchmarks import BenchmarkInstance, available_benchmarks, get_benchmark
-from .errors import SessionError, WorkloadError
+from .errors import SessionError, SimulationError, WorkloadError
 from .houdini import GlobalModelProvider, Houdini, HoudiniConfig
 from .houdini.providers import ModelProvider
 from .mapping import ParameterMappingSet, build_parameter_mappings
@@ -113,6 +113,7 @@ from .scheduling.admission import AdmissionLimits
 from .scheduling.policies import SchedulingPolicy, available_policies
 from .selftune import SelfTuneConfig, SelfTuneManager
 from .sim import ClusterSimulator, CostModel, SimulationResult, SimulatorConfig
+from .tenancy import TenancyConfig
 from .strategies import (
     AssumeDistributedStrategy,
     AssumeSinglePartitionStrategy,
@@ -199,6 +200,12 @@ class ClusterSpec:
     #: swaps; ``None`` (default) leaves the loop off.  Requires a learning
     #: Houdini strategy with the global model provider.
     selftune: SelfTuneConfig | Mapping | None = None
+    #: Multi-tenant policy (:mod:`repro.tenancy`): a
+    #: :class:`~repro.tenancy.TenancyConfig` (or its dict form) layers
+    #: per-tenant weighted fair queuing, admission quotas, latency SLOs and
+    #: predicted-work shedding over the node scheduler; ``None`` (default)
+    #: keeps the single shared scheduler.
+    tenancy: TenancyConfig | Mapping | None = None
     # --- simulator -----------------------------------------------------
     clients_per_partition: int = 4
     warmup_fraction: float = 0.1
@@ -240,6 +247,8 @@ class ClusterSpec:
             self.houdini = _coerce(HoudiniConfig, self.houdini, "houdini")
         if isinstance(self.selftune, Mapping):
             self.selftune = _coerce(SelfTuneConfig, self.selftune, "selftune")
+        if isinstance(self.tenancy, Mapping):
+            self.tenancy = _coerce_tenancy(self.tenancy)
         if isinstance(self.admission, Mapping):
             self.admission = _coerce(AdmissionLimits, self.admission, "admission")
         if isinstance(self.cost_model, Mapping):
@@ -336,6 +345,11 @@ class ClusterSpec:
                     "selftune requires learning=True (it consumes the "
                     "run-time transition stream)"
                 )
+        if self.tenancy is not None and not isinstance(self.tenancy, TenancyConfig):
+            raise SessionError(
+                f"tenancy must be a TenancyConfig or its dict form, "
+                f"got {type(self.tenancy).__name__}"
+            )
         if self.admission is not None and not isinstance(self.admission, AdmissionLimits):
             raise SessionError(
                 f"admission must be AdmissionLimits or a field dict, "
@@ -401,6 +415,9 @@ class ClusterSpec:
             "model_provider": self.model_provider,
             "houdini": _init_field_dict(self.houdini),
             "selftune": _init_field_dict(self.selftune),
+            # Nested per-tenant policies need the recursive dict form, not
+            # the flat init-field dict.
+            "tenancy": self.tenancy.to_dict() if self.tenancy is not None else None,
             "clients_per_partition": self.clients_per_partition,
             "warmup_fraction": self.warmup_fraction,
             "client_think_time_ms": self.client_think_time_ms,
@@ -446,6 +463,8 @@ class ClusterSpec:
             metrics_mode=self.metrics_mode,
             execution_backend=self.execution_backend,
             num_workers=self.num_workers,
+            # Copied so live reconfigure never mutates the (reusable) spec.
+            tenancy=self.tenancy.copy() if self.tenancy is not None else None,
         )
 
 
@@ -472,6 +491,16 @@ def _coerce_workload(data: Mapping | WorkloadSource | None) -> WorkloadSource | 
         return WorkloadSource.from_dict(data)
     except WorkloadError as error:
         raise SessionError(f"invalid workload source: {error}") from error
+
+
+def _coerce_tenancy(data: Mapping | TenancyConfig) -> TenancyConfig:
+    """Coerce a tenancy declaration (dict form allowed), strict validation."""
+    if isinstance(data, TenancyConfig):
+        return data
+    try:
+        return TenancyConfig.from_dict(data)
+    except (TypeError, SimulationError) as error:
+        raise SessionError(f"invalid tenancy configuration: {error}") from error
 
 
 def _coerce(cls, data: Mapping, label: str):
@@ -806,15 +835,23 @@ class ClusterSession:
             raise SessionError("session is closed")
 
     # ------------------------------------------------------------------
-    def submit(self, request: ProcedureRequest, *, at_ms: float | None = None) -> None:
+    def submit(
+        self,
+        request: ProcedureRequest,
+        *,
+        at_ms: float | None = None,
+        tenant: str | None = None,
+    ) -> None:
         """Inject one out-of-loop request (processed when the session is driven).
 
         The request enters the node scheduler at ``max(at_ms, now)`` without
         consuming closed-loop budget; its metrics land in the same
-        accumulators as closed-loop traffic.
+        accumulators as closed-loop traffic.  ``tenant=`` labels it for the
+        per-tenant breakdowns and, when tenancy is enabled, subjects it to
+        that tenant's weight, quota, SLO tracking and shedding.
         """
         self._check_open()
-        self.simulator.submit_request(request, at_ms=at_ms)
+        self.simulator.submit_request(request, at_ms=at_ms, tenant=tenant)
 
     def step(self) -> bool:
         """Process exactly one simulator event; ``False`` if none remain."""
@@ -891,6 +928,7 @@ class ClusterSession:
         workload: WorkloadSource | Mapping | None = None,
         maintenance_window: Any = _UNSET,
         selftune: Any = _UNSET,
+        tenancy: Any = _UNSET,
     ) -> "ClusterSession":
         """Apply live configuration changes (see the module docstring).
 
@@ -905,6 +943,12 @@ class ClusterSession:
         (``None`` disables the window).  ``selftune=`` enables the
         self-tuning loop mid-session (a :class:`SelfTuneConfig` or field
         dict) or, with ``None``, detaches it.
+
+        ``tenancy=`` installs, swaps, or (with ``None``) removes the
+        multi-tenant policy live: the node queue is transplanted between the
+        shared and the per-tenant scheduler in dispatch order, quota slots
+        held by in-flight transactions release exactly what they charged,
+        and SLO counters reset only for tenants whose objective changed.
 
         Returns ``self`` so calls chain:
         ``session.reconfigure(policy="shortest-predicted").run_for(txns=500)``.
@@ -1016,6 +1060,18 @@ class ClusterSession:
                         f"None, got {type(selftune).__name__}"
                     )
                 self._install_selftune(selftune)
+        if tenancy is not _UNSET:
+            if isinstance(tenancy, Mapping):
+                tenancy = _coerce_tenancy(tenancy)
+            elif isinstance(tenancy, TenancyConfig):
+                # Copied so the caller's config object stays reusable.
+                tenancy = tenancy.copy()
+            elif tenancy is not None:
+                raise SessionError(
+                    f"tenancy must be a TenancyConfig, its dict form or None, "
+                    f"got {type(tenancy).__name__}"
+                )
+            simulator.set_tenancy(tenancy)
         return self
 
     # ------------------------------------------------------------------
@@ -1068,10 +1124,10 @@ class ClusterSession:
         runs its live workload up to each ``at_ms`` in order and applies the
         diff there, so the same seed and schedule always reproduce the same
         result, byte for byte.  Only live-reconfigurable fields may appear
-        in a diff: ``policy``, ``admission``, ``cost_model``, ``workload``
-        and the Houdini runtime knobs (``enable_estimate_caching``,
-        ``confidence_threshold``); anything else raises
-        :class:`SessionError`.
+        in a diff: ``policy``, ``admission``, ``cost_model``, ``workload``,
+        ``selftune``, ``tenancy`` and the Houdini runtime knobs
+        (``enable_estimate_caching``, ``confidence_threshold``); anything
+        else raises :class:`SessionError`.
         """
         self._check_open()
         entries = sorted(schedule, key=lambda entry: entry[0])
@@ -1137,11 +1193,13 @@ class ClusterSession:
                         )
             elif key == "selftune":
                 changes["selftune"] = value
+            elif key == "tenancy":
+                changes["tenancy"] = value
             else:
                 raise SessionError(
                     f"spec field {key!r} is not live-reconfigurable; schedules "
                     "may change policy, admission, cost_model, workload, "
-                    "selftune and the Houdini runtime knobs"
+                    "selftune, tenancy and the Houdini runtime knobs"
                 )
         if changes:
             self.reconfigure(**changes)

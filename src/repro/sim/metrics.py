@@ -189,6 +189,10 @@ class SimulationResult:
     #: Self-tuning loop snapshot (drift/retrain/swap counters and
     #: per-procedure verdicts); ``None`` when self-tuning is not enabled.
     selftune: dict | None = None
+    #: Multi-tenant SLO snapshot (per-tenant arrivals/sheds, SLO compliance
+    #: and burn rate, quota occupancy, fair-queuing virtual times); ``None``
+    #: when tenancy is not enabled.
+    tenancy: dict | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -310,6 +314,7 @@ class SimulationResult:
                 for name, entry in sorted(self.maintenance.items())
             },
             "selftune": self.selftune,
+            "tenancy": self.tenancy,
             "derived": {
                 "throughput_txn_per_sec": self.throughput_txn_per_sec,
                 "average_latency_ms": self.average_latency_ms,
@@ -358,6 +363,7 @@ class SimulationResult:
             for name, entry in data.get("maintenance", {}).items()
         }
         result.selftune = data.get("selftune")
+        result.tenancy = data.get("tenancy")
         return result
 
     def summary_row(self) -> dict:
@@ -383,6 +389,10 @@ class SimulationResult:
             }
         if self.selftune is not None:
             row["selftune_swaps"] = self.selftune.get("swaps", 0)
+        if self.tenancy is not None:
+            row["shed"] = sum(
+                entry["shed"] for entry in self.tenancy.get("arrivals", {}).values()
+            )
         return row
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

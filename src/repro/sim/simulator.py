@@ -71,6 +71,7 @@ from ..scheduling.admission import AdmissionController, AdmissionDecision, Admis
 from ..scheduling.policies import SchedulingPolicy, policy_by_name
 from ..scheduling.scheduler import TransactionScheduler
 from ..storage.partition_store import Database
+from ..tenancy import TenancyConfig, TenancyManager, TenantScheduler
 from ..txn.coordinator import TransactionCoordinator
 from ..txn.record import TransactionRecord
 from ..txn.strategy import ExecutionStrategy
@@ -126,6 +127,10 @@ class SimulatorConfig:
     #: Worker-process count for the sharded backend (clamped to the
     #: partition count; ignored by the inline backend).
     num_workers: int = 2
+    #: Multi-tenant policy (``repro.tenancy``): per-tenant weighted fair
+    #: queuing, admission quotas, latency SLOs and predicted-work shedding.
+    #: ``None`` keeps the single shared scheduler.
+    tenancy: "TenancyConfig | None" = None
 
 
 @dataclass(frozen=True)
@@ -210,6 +215,10 @@ class ClusterSimulator:
         #: Optional self-tuning manager (``repro.selftune``); installed by the
         #: session so :meth:`_build_result` can report its counters.
         self.selftune = None
+        #: Tenancy runtime (``repro.tenancy.TenancyManager``); created by
+        #: :meth:`begin` when ``config.tenancy`` is set, or live-attached
+        #: through :meth:`set_tenancy`.
+        self.tenancy: TenancyManager | None = None
 
     def set_selftune(self, manager) -> None:
         """Attach (or with ``None`` detach) the self-tuning manager."""
@@ -245,9 +254,21 @@ class ClusterSimulator:
         self._num_partitions = self.catalog.num_partitions
         self._num_nodes = self.catalog.scheme.num_nodes
         self._num_clients = max(1, config.clients_per_partition * self._num_partitions)
-        self.scheduler = TransactionScheduler(
-            self._make_policy(), cost_model=self.cost_model, streaming_waits=streaming
-        )
+        if config.tenancy is not None:
+            self.scheduler = TenantScheduler(
+                config.tenancy,
+                self._make_policy(),
+                cost_model=self.cost_model,
+                streaming_waits=streaming,
+            )
+            self.tenancy = TenancyManager(config.tenancy)
+        else:
+            self.scheduler = TransactionScheduler(
+                self._make_policy(),
+                cost_model=self.cost_model,
+                streaming_waits=streaming,
+            )
+            self.tenancy = None
         limits = config.admission_limits
         self.admission = AdmissionController(limits) if limits is not None else None
 
@@ -290,6 +311,11 @@ class ClusterSimulator:
         #: Outstanding heap entries the FCFS fast path cannot interpret
         #: (TXN_COMPLETE / PARTITION_RELEASE / EXTERNAL_SUBMIT).
         self._general_events = 0
+        #: Queued transactions the partition gate cannot block (no in-range
+        #: predicted partitions).  When this is zero and every partition is
+        #: busy, a drain scan cannot dispatch anything — ``_drain`` skips
+        #: the pop/requeue pass entirely and just arms a release wake-up.
+        self._ungated_queued = 0
         self._now = 0.0
         #: Submission/pop time of the transaction currently executing: the
         #: deterministic clock self-tuning retrain jobs run against.  Unlike
@@ -427,6 +453,39 @@ class ClusterSimulator:
         """Swap the workload generator (takes effect on the next submission)."""
         self.generator = generator
 
+    def set_tenancy(self, tenancy: TenancyConfig | None) -> None:
+        """Install, swap, or remove the tenancy runtime on a live core.
+
+        Attach transplants the shared queue into a :class:`TenantScheduler`
+        (stats, caches and queued transactions carry over in dispatch order)
+        and seeds the in-flight predicted-work signal from the outstanding
+        completion events; detach transplants it back into a flat scheduler.
+        Transactions admitted under quotas before a swap release the slots
+        they actually hold (identity-keyed accounting), so no counter ever
+        underflows.
+        """
+        self.begin()
+        self.config.tenancy = tenancy
+        if tenancy is None:
+            if self.tenancy is None:
+                return
+            flat = TransactionScheduler(self._make_policy())
+            flat.adopt_from(self.scheduler)
+            self.scheduler = flat
+            self.tenancy = None
+            return
+        if self.tenancy is None:
+            layered = TenantScheduler(tenancy, self._make_policy())
+            layered.adopt_from(self.scheduler)
+            self.scheduler = layered
+            self.tenancy = TenancyManager(tenancy)
+            self.tenancy.seed_inflight(
+                [when for when, kind, _, _p in self._events if kind == TXN_COMPLETE]
+            )
+            return
+        self.scheduler.set_tenancy(tenancy)
+        self.tenancy.set_config(tenancy)
+
     # ------------------------------------------------------------------
     # Driving the core
     # ------------------------------------------------------------------
@@ -434,8 +493,15 @@ class ClusterSimulator:
         """(need_estimates, gate_on_partitions) for the current configuration."""
         policy = self.scheduler.policy
         predictive = policy is not None and policy.uses_predictions
-        need_estimates = predictive or self.admission is not None
-        return need_estimates, predictive
+        # Tenancy needs estimates even under FCFS: predicted service time
+        # drives the fair-queuing charge and the shedding decision.  It also
+        # partition-gates dispatch — overload must back up in the tenant
+        # scheduler's weighted queues (where fairness and the backlog term of
+        # the shed predictor operate), not inside the partitions.
+        need_estimates = (
+            predictive or self.admission is not None or self.tenancy is not None
+        )
+        return need_estimates, predictive or self.tenancy is not None
 
     def step(self) -> bool:
         """Process exactly one event; ``False`` when nothing can progress.
@@ -503,6 +569,7 @@ class ClusterSimulator:
         need_estimates, gate_on_partitions = self._mode()
         if (
             self.admission is None
+            and self.tenancy is None
             and not gate_on_partitions
             and self._general_events == 0
             and deadline_ms == _INF
@@ -618,6 +685,8 @@ class ClusterSimulator:
                 client_id, was_committed, pending, _record = payload
                 if admission is not None:
                     admission.release_if_admitted(pending)
+                if self.tenancy is not None:
+                    self.tenancy.quota.release_if_admitted(pending)
                 completions.append((now, was_committed))
                 if not pending.external:
                     heappush(events, (now + think, CLIENT_READY, client_id, None))
@@ -651,11 +720,39 @@ class ClusterSimulator:
         base_partition = 0
         if estimate is not None and not estimate.degenerate:
             base_partition = estimate.base_partition() or 0
-        pending = self.scheduler.submit(request, estimate, base_partition=base_partition)
+        tenancy = self.tenancy
+        if tenancy is not None and tenant is not None:
+            tenancy.record_arrival(tenant)
+            own_cost_ms = 0.0
+            if estimate is not None and not estimate.degenerate:
+                own_cost_ms = self.scheduler.predicted_cost_for(
+                    request.procedure, estimate, base_partition
+                ).service_ms
+            if tenancy.should_shed(
+                tenant, own_cost_ms, self.scheduler, now, self._num_partitions
+            ):
+                # Shed at the door: the arrival is predicted to land outside
+                # its tenant's SLO, so rejecting it now is cheaper for
+                # everyone than queueing work that will miss anyway.
+                tenancy.record_shed(tenant)
+                self._counters["rejected"] += 1
+                acc = self._tenant_account(tenant)
+                acc["submitted"] += 1
+                acc["rejected"] += 1
+                if not external:
+                    heappush(
+                        self._events,
+                        (now + self.cost_model.redirect_ms, CLIENT_READY,
+                         request.client_id, None),
+                    )
+                return None
+        pending = self.scheduler.submit(request, estimate,
+                                        base_partition=base_partition, tenant=tenant)
+        if not any(p < self._num_partitions for p in pending.predicted_partitions):
+            self._ungated_queued += 1
         pending.submit_time_ms = now
         pending.external = external
         if tenant is not None:
-            pending.tenant = tenant
             self._tenant_account(tenant)["submitted"] += 1
         return pending
 
@@ -683,6 +780,23 @@ class ClusterSimulator:
         next_wakeup = self._next_wakeup
         redirect_ms = self.cost_model.redirect_ms
         execute = self._execute
+        tenancy = self.tenancy
+        quota = tenancy.quota if tenancy is not None else None
+        if gate_on_partitions and not self._ungated_queued:
+            # Saturation short-circuit: with every partition busy and no
+            # ungated work queued, the scan below would pop, block and
+            # requeue every entry without dispatching — O(queue) churn per
+            # event.  The partition gate precedes the quota and admission
+            # checks, so skipping the scan observes nothing they would
+            # have.  Waking at the first release is conservative (a drain
+            # there re-arms the precise wake-up if still nothing fits).
+            busy_until = min(partition_free)
+            if busy_until > now:
+                if busy_until < next_wakeup[0]:
+                    next_wakeup[0] = busy_until
+                    self._general_events += 1
+                    heappush(events, (busy_until, PARTITION_RELEASE, 0, None))
+                return
         blocked: list = []
         blocked_until = _INF
         while scheduler:
@@ -699,6 +813,13 @@ class ClusterSimulator:
                     if ready_at < blocked_until:
                         blocked_until = ready_at
                     continue
+            if quota is not None and not quota.would_admit(pending):
+                # Quota push-back: not an admission deferral (no wake-up
+                # event needed either — a blocked tenant holds quota >= 1
+                # slots, so a TXN_COMPLETE is outstanding and re-drains).
+                quota.note_blocked(pending)
+                blocked.append(pending)
+                continue
             if admission is not None:
                 decision = admission.decide(pending)
                 if decision is AdmissionDecision.DEFER:
@@ -707,6 +828,10 @@ class ClusterSimulator:
                     continue
                 if decision is AdmissionDecision.REJECT:
                     scheduler.note_rejected(pending)
+                    if not any(
+                        p < num_partitions for p in pending.predicted_partitions
+                    ):
+                        self._ungated_queued -= 1
                     counters["rejected"] += 1
                     if pending.tenant is not None:
                         self._tenant_account(pending.tenant)["rejected"] += 1
@@ -720,6 +845,11 @@ class ClusterSimulator:
                              pending.request.client_id, None),
                         )
                     continue
+            if quota is not None:
+                quota.admit(pending)
+            if not any(p < num_partitions for p in pending.predicted_partitions):
+                self._ungated_queued -= 1
+            scheduler.note_dispatched(pending)
             scheduler.record_wait(pending.request.procedure, now - pending.submit_time_ms)
             self._txn_clock = now
             record = execute(pending.request)
@@ -727,6 +857,9 @@ class ClusterSimulator:
             latency = end - pending.submit_time_ms
             latencies.append(latency)
             self._account_record(record, counters)
+            if tenancy is not None:
+                tenancy.note_dispatch(end)
+                tenancy.slo.record(pending.tenant, latency)
             if pending.tenant is not None:
                 acc = self._tenant_account(pending.tenant)
                 acc["latencies"].append(latency)
@@ -742,6 +875,19 @@ class ClusterSimulator:
                 (end, TXN_COMPLETE, self._complete_seq,
                  (pending.request.client_id, record.committed, pending, record)),
             )
+            if gate_on_partitions and not self._ungated_queued and scheduler:
+                # The dispatch may have re-saturated the cluster; once every
+                # partition is busy again (and nothing ungated is queued)
+                # no later entry can dispatch in this pass either, so stop
+                # scanning.  The wake-up below stays conservative: the
+                # earliest release bounds every unscanned entry's ready
+                # time from below, and a too-early drain is a no-op that
+                # re-arms precisely.
+                earliest_release = min(partition_free)
+                if earliest_release > now:
+                    if earliest_release < blocked_until:
+                        blocked_until = earliest_release
+                    break
         for pending in blocked:
             scheduler.requeue(pending)
         if blocked_until != _INF and blocked_until < next_wakeup[0]:
@@ -887,6 +1033,8 @@ class ClusterSimulator:
             result.maintenance = houdini.maintenance.stats_by_procedure()
         if self.selftune is not None:
             result.selftune = self.selftune.snapshot()
+        if self.tenancy is not None:
+            result.tenancy = self.tenancy.snapshot(self.scheduler)
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,207 @@
+"""Declarative multi-tenant policy: weights, quotas and latency SLOs.
+
+A :class:`TenancyConfig` turns tenant labels (``TenantSource`` streams,
+``submit_request(tenant=...)``) into enforced policy.  Each labeled tenant
+gets a :class:`TenantPolicy`:
+
+* ``weight`` — its share of dispatch capacity under the weighted fair
+  queuing scheduler (:class:`~repro.tenancy.scheduler.TenantScheduler`).
+  Fairness is charged in *predicted milliseconds* (the scheduler's
+  ``PredictedCost.service_ms``), so Houdini's predictions — not request
+  counts — define what a fair share means;
+* ``quota`` — the maximum number of the tenant's transactions admitted to
+  execute at once, with ``TenancyConfig.shared_quota`` slots of common
+  overflow capacity on top (:class:`~repro.tenancy.quota.TenantQuotaController`);
+* ``slo_latency_ms`` / ``slo_quantile`` — the tenant's latency objective
+  ("``slo_quantile`` of completions within ``slo_latency_ms``"), tracked by
+  :class:`~repro.tenancy.slo.SLOTracker` and enforced under overload by the
+  predicted-work shedding policy (:class:`~repro.tenancy.manager.TenancyManager`).
+
+Unlabeled traffic (``tenant=None``) and labels missing from ``tenants``
+fall back to ``default_policy`` for *weighting* only; quotas, SLO tracking
+and shedding always require an explicit tenant label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant policy: fair-share weight, admission quota, latency SLO."""
+
+    #: Relative share of dispatch capacity under weighted fair queuing.
+    weight: float = 1.0
+    #: Maximum concurrently executing transactions of this tenant
+    #: (``None`` disables the quota for the tenant).
+    quota: int | None = None
+    #: Latency objective in simulated milliseconds (``None`` = no SLO; the
+    #: tenant is neither tracked nor shed).
+    slo_latency_ms: float | None = None
+    #: The SLO quantile: ``slo_quantile`` of completions must land within
+    #: ``slo_latency_ms`` (burn rate is measured against the remaining
+    #: violation allowance, ``1 - slo_quantile``).
+    slo_quantile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.weight, (int, float)) or isinstance(self.weight, bool):
+            raise SimulationError(f"weight must be a number, got {self.weight!r}")
+        if not self.weight > 0:
+            raise SimulationError(f"weight must be positive, got {self.weight!r}")
+        if self.quota is not None:
+            if not isinstance(self.quota, int) or isinstance(self.quota, bool) or self.quota < 1:
+                raise SimulationError(
+                    f"quota must be an integer >= 1 when set, got {self.quota!r}"
+                )
+        if self.slo_latency_ms is not None:
+            if not isinstance(self.slo_latency_ms, (int, float)) or isinstance(
+                self.slo_latency_ms, bool
+            ) or not self.slo_latency_ms > 0:
+                raise SimulationError(
+                    f"slo_latency_ms must be positive when set, "
+                    f"got {self.slo_latency_ms!r}"
+                )
+        if isinstance(self.slo_quantile, bool) or not 0.0 < self.slo_quantile < 1.0:
+            raise SimulationError(
+                f"slo_quantile must be within (0, 1), got {self.slo_quantile!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "weight": self.weight,
+            "quota": self.quota,
+            "slo_latency_ms": self.slo_latency_ms,
+            "slo_quantile": self.slo_quantile,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TenantPolicy":
+        return cls(**dict(data))
+
+
+#: Policy applied to unlabeled traffic and unknown tenant labels.
+_DEFAULT_POLICY = TenantPolicy()
+
+
+@dataclass
+class TenancyConfig:
+    """The full multi-tenant policy of one cluster session."""
+
+    #: Tenant label -> policy.  Values may be given as field dicts; they are
+    #: coerced to :class:`TenantPolicy` at construction.
+    tenants: dict[str, TenantPolicy] = field(default_factory=dict)
+    #: Policy for unlabeled traffic and labels absent from ``tenants``
+    #: (weighting only; ``None`` uses ``TenantPolicy()`` defaults).
+    default_policy: TenantPolicy | None = None
+    #: Shared overflow pool: admission slots any quota-limited tenant may
+    #: borrow once its own quota is exhausted.
+    shared_quota: int = 0
+    #: Enable predicted-work shedding for tenants with an SLO.
+    shed: bool = True
+    #: Shedding aggressiveness: an arrival predicted to complete later than
+    #: ``slo_latency_ms * shed_headroom`` is rejected at the door.  Values
+    #: below 1.0 shed earlier (more protective), above 1.0 later.
+    shed_headroom: float = 1.0
+    #: Maintain one queue per (tenant, home partition) instead of one per
+    #: tenant — the cluster-shaped queue structure.  Dispatch order is
+    #: unchanged (the scheduler always pops the globally smallest head),
+    #: only the queue topology and its introspection differ.
+    per_partition_queues: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tenants, Mapping):
+            raise SimulationError(
+                f"tenants must be a mapping of label -> TenantPolicy, "
+                f"got {type(self.tenants).__name__}"
+            )
+        coerced: dict[str, TenantPolicy] = {}
+        for label, policy in self.tenants.items():
+            if not isinstance(label, str) or not label:
+                raise SimulationError(
+                    f"tenant labels must be non-empty strings, got {label!r}"
+                )
+            if isinstance(policy, Mapping):
+                policy = TenantPolicy.from_dict(policy)
+            if not isinstance(policy, TenantPolicy):
+                raise SimulationError(
+                    f"policy for tenant {label!r} must be a TenantPolicy or a "
+                    f"field dict, got {type(policy).__name__}"
+                )
+            coerced[label] = policy
+        self.tenants = coerced
+        if isinstance(self.default_policy, Mapping):
+            self.default_policy = TenantPolicy.from_dict(self.default_policy)
+        if self.default_policy is not None and not isinstance(
+            self.default_policy, TenantPolicy
+        ):
+            raise SimulationError(
+                f"default_policy must be a TenantPolicy or a field dict, "
+                f"got {type(self.default_policy).__name__}"
+            )
+        if (
+            not isinstance(self.shared_quota, int)
+            or isinstance(self.shared_quota, bool)
+            or self.shared_quota < 0
+        ):
+            raise SimulationError(
+                f"shared_quota must be a non-negative integer, "
+                f"got {self.shared_quota!r}"
+            )
+        if not isinstance(self.shed, bool):
+            raise SimulationError(f"shed must be a bool, got {self.shed!r}")
+        if not isinstance(self.shed_headroom, (int, float)) or isinstance(
+            self.shed_headroom, bool
+        ) or not self.shed_headroom > 0:
+            raise SimulationError(
+                f"shed_headroom must be positive, got {self.shed_headroom!r}"
+            )
+        if not isinstance(self.per_partition_queues, bool):
+            raise SimulationError(
+                f"per_partition_queues must be a bool, "
+                f"got {self.per_partition_queues!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def policy_for(self, label: str | None) -> TenantPolicy:
+        """The policy governing one tenant label (default for unknowns)."""
+        if label is not None:
+            policy = self.tenants.get(label)
+            if policy is not None:
+                return policy
+        if self.default_policy is not None:
+            return self.default_policy
+        return _DEFAULT_POLICY
+
+    def copy(self) -> "TenancyConfig":
+        """An independent copy (policies are frozen and safely shared)."""
+        return TenancyConfig(
+            tenants=dict(self.tenants),
+            default_policy=self.default_policy,
+            shared_quota=self.shared_quota,
+            shed=self.shed,
+            shed_headroom=self.shed_headroom,
+            per_partition_queues=self.per_partition_queues,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "tenants": {
+                label: policy.to_dict()
+                for label, policy in sorted(self.tenants.items())
+            },
+            "default_policy": self.default_policy.to_dict()
+            if self.default_policy is not None else None,
+            "shared_quota": self.shared_quota,
+            "shed": self.shed,
+            "shed_headroom": self.shed_headroom,
+            "per_partition_queues": self.per_partition_queues,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TenancyConfig":
+        return cls(**dict(data))

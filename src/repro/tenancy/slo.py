@@ -1,0 +1,92 @@
+"""Per-tenant latency-SLO compliance and burn-rate tracking.
+
+An SLO here is "``slo_quantile`` of completions within ``slo_latency_ms``".
+The tracker keeps two integers per SLO-bearing tenant — completions within
+target and completions total — so it is O(1) per completion and O(#tenants)
+memory at any scale.  ``burn_rate`` is the error-budget language of SRE
+practice: observed violation fraction divided by the allowed violation
+fraction (``1 - slo_quantile``); 1.0 means burning the budget exactly as
+fast as allowed, above 1.0 the SLO is being missed.
+"""
+
+from __future__ import annotations
+
+from .config import TenancyConfig
+
+
+class SLOTracker:
+    """Count per-tenant completions against their latency objectives."""
+
+    def __init__(self, config: TenancyConfig) -> None:
+        self._config = config
+        #: label -> [within_target, total] completion counters.
+        self._slo_counts: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _target(self, label: str | None) -> tuple[float, float] | None:
+        if label is None or label not in self._config.tenants:
+            return None
+        policy = self._config.tenants[label]
+        if policy.slo_latency_ms is None:
+            return None
+        return policy.slo_latency_ms, policy.slo_quantile
+
+    def set_config(self, config: TenancyConfig) -> None:
+        """Swap the config, resetting counters whose objective changed.
+
+        Completions measured against a different target are not comparable;
+        a tenant whose SLO is unchanged keeps its history.
+        """
+        for label in list(self._slo_counts):
+            if self._target(label) != self._target_under(config, label):
+                del self._slo_counts[label]
+        self._config = config
+
+    @staticmethod
+    def _target_under(
+        config: TenancyConfig, label: str
+    ) -> tuple[float, float] | None:
+        if label not in config.tenants:
+            return None
+        policy = config.tenants[label]
+        if policy.slo_latency_ms is None:
+            return None
+        return policy.slo_latency_ms, policy.slo_quantile
+
+    # ------------------------------------------------------------------
+    def record(self, label: str | None, latency_ms: float) -> None:
+        """Count one completion for ``label`` (no-op without an SLO)."""
+        target = self._target(label)
+        if target is None:
+            return
+        counts = self._slo_counts.get(label)
+        if counts is None:
+            counts = [0, 0]
+            self._slo_counts[label] = counts
+        if latency_ms <= target[0]:
+            counts[0] += 1
+        counts[1] += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-tenant compliance: counts, fraction, burn rate, met flag."""
+        out: dict[str, dict] = {}
+        for label in sorted(self._slo_counts):
+            target = self._target(label)
+            if target is None:  # pragma: no cover - counters reset on change
+                continue
+            target_ms, quantile = target
+            within, total = self._slo_counts[label]
+            compliance = within / total if total else 1.0
+            budget = 1.0 - quantile
+            burn = ((total - within) / total) / budget if total else 0.0
+            out[label] = {
+                "target_ms": target_ms,
+                "quantile": quantile,
+                "completed": total,
+                "within_target": within,
+                "compliance": compliance,
+                "burn_rate": burn,
+                "met": compliance >= quantile,
+            }
+        return out
